@@ -1,0 +1,62 @@
+// Command hetbench regenerates the paper's tables and figures on the
+// simulated platform and writes the full report (see EXPERIMENTS.md for
+// the paper-vs-measured comparison).
+//
+// Usage:
+//
+//	hetbench                 # full report to stdout
+//	hetbench -out report.txt # write to a file
+//	hetbench -ablate         # include the ablation studies
+//	hetbench -repeats 10     # average SA over more seeds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hetopt/internal/experiments"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output file (empty = stdout)")
+		ablate   = flag.Bool("ablate", false, "include ablation and extension studies")
+		repeats  = flag.Int("repeats", 7, "SA seeds averaged per table cell")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		jsonMode = flag.Bool("json", false, "emit the machine-readable JSON report instead of text")
+	)
+	flag.Parse()
+
+	if err := run(*out, *ablate, *repeats, *seed, *jsonMode); err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, ablate bool, repeats int, seed int64, jsonMode bool) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	suite := experiments.NewSuite()
+	suite.Repeats = repeats
+	suite.Seed = seed
+
+	if jsonMode {
+		return suite.WriteJSON(w)
+	}
+	start := time.Now()
+	if err := suite.RunAll(w, ablate); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nreport generated in %v\n", time.Since(start).Round(time.Millisecond))
+	return err
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCompleteReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.txt")
+	if err := run(out, false, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{
+		"Table I", "Table II", "Table III",
+		"Figure 2", "Figure 5", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+		"Table IV", "Table V", "Table VI", "Table VII", "Table VIII", "Table IX",
+		"Result 1/2", "Result 3", "Result 5",
+		"report generated in",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Without -ablate the extension sections are absent.
+	if strings.Contains(report, "Ablation:") {
+		t.Error("unexpected ablation section in plain report")
+	}
+}
+
+func TestRunRejectsBadPath(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing", "report.txt"), false, 1, 1, false); err == nil {
+		t.Fatal("uncreatable output path should fail")
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := run(out, false, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"space_size\": 19926") {
+		t.Error("JSON report missing space size")
+	}
+	if !strings.Contains(string(data), "fig9_method_comparison") {
+		t.Error("JSON report missing comparisons")
+	}
+}

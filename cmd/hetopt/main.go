@@ -1,0 +1,105 @@
+// Command hetopt tunes the work distribution of the DNA-analysis workload
+// on the simulated heterogeneous platform using any of the paper's four
+// optimization methods, and reports the suggested system configuration
+// together with the speedups over host-only and device-only execution.
+//
+// Usage:
+//
+//	hetopt -method saml -genome human -iterations 1000
+//	hetopt -method em -genome cat
+//	hetopt -compare -genome mouse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetopt"
+)
+
+func main() {
+	var (
+		methodName = flag.String("method", "saml", "optimization method: em, eml, sam or saml")
+		genomeName = flag.String("genome", "human", "evaluation genome: human, mouse, cat or dog")
+		iterations = flag.Int("iterations", 1000, "simulated-annealing iteration budget")
+		seed       = flag.Int64("seed", 1, "random seed for simulated annealing")
+		sizeMB     = flag.Float64("size", 0, "override the workload size in MB (0 = genome size)")
+		compare    = flag.Bool("compare", false, "run all four methods and compare")
+		modelCache = flag.String("model-cache", "", "path for persisted prediction models (loaded if present, written after training)")
+	)
+	flag.Parse()
+
+	if err := run(*methodName, *genomeName, *iterations, *seed, *sizeMB, *compare, *modelCache); err != nil {
+		fmt.Fprintln(os.Stderr, "hetopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(methodName, genomeName string, iterations int, seed int64, sizeMB float64, compare bool, modelCache string) error {
+	genome, err := hetopt.GenomeByName(genomeName)
+	if err != nil {
+		return err
+	}
+	workload := hetopt.GenomeWorkload(genome)
+	if sizeMB > 0 {
+		workload = workload.Scaled(sizeMB)
+	}
+
+	tuner := hetopt.NewTuner()
+	if modelCache != "" {
+		if models, err := hetopt.LoadModelsFile(modelCache); err == nil {
+			tuner.Models = models
+			fmt.Printf("loaded prediction models from %s\n", modelCache)
+		}
+	}
+	if tuner.Models == nil {
+		fmt.Printf("training prediction models (%d+%d experiments)...\n",
+			tuner.Plan.HostExperiments(), tuner.Plan.DeviceExperiments())
+		if err := tuner.Train(); err != nil {
+			return err
+		}
+		if modelCache != "" {
+			if err := hetopt.SaveModelsFile(tuner.Models, modelCache); err != nil {
+				return err
+			}
+			fmt.Printf("saved prediction models to %s\n", modelCache)
+		}
+	}
+	fmt.Printf("  host model:   %.3f%% mean percent error\n", tuner.Models.HostReport.Eval.MeanPercentError)
+	fmt.Printf("  device model: %.3f%% mean percent error\n\n", tuner.Models.DeviceReport.Eval.MeanPercentError)
+
+	hostOnly, deviceOnly, err := tuner.Baselines(workload)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s (%.0f MB)\n", workload.Name, workload.SizeMB)
+	fmt.Printf("host-only   (48T):  %.4f s\n", hostOnly.MeasuredE())
+	fmt.Printf("device-only (240T): %.4f s\n\n", deviceOnly.MeasuredE())
+
+	methods := []hetopt.Method{}
+	if compare {
+		methods = append(methods, hetopt.EM, hetopt.EML, hetopt.SAM, hetopt.SAML)
+	} else {
+		m, err := hetopt.ParseMethod(methodName)
+		if err != nil {
+			return err
+		}
+		methods = append(methods, m)
+	}
+
+	for _, m := range methods {
+		res, err := tuner.Tune(workload, m, hetopt.Options{Iterations: iterations, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-4s suggested: %v\n", m, res.Config)
+		fmt.Printf("     measured: T_host=%.4f s, T_device=%.4f s, E=%.4f s\n",
+			res.Measured.Host, res.Measured.Device, res.MeasuredE())
+		fmt.Printf("     speedup:  %.2fx vs host-only, %.2fx vs device-only\n",
+			hostOnly.MeasuredE()/res.MeasuredE(), deviceOnly.MeasuredE()/res.MeasuredE())
+		fmt.Printf("     effort:   %d search evaluations, %d experiments\n\n",
+			res.SearchEvaluations, res.Experiments)
+	}
+	return nil
+}

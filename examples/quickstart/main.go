@@ -1,0 +1,45 @@
+// Quickstart: train the performance models, then let SAML (simulated
+// annealing + machine learning) pick a near-optimal system configuration
+// for analyzing the human genome, and compare it against host-only and
+// device-only execution — the headline experiment of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetopt"
+)
+
+func main() {
+	tuner := hetopt.NewTuner()
+
+	// Train the boosted-decision-tree performance predictors on the
+	// 7,200-experiment grid (a couple of seconds on the simulator).
+	if err := tuner.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Tune with the paper's highlighted budget: 1000 SA iterations,
+	// about 5% of the 19,926-configuration space.
+	res, err := tuner.TuneGenome(hetopt.Human, hetopt.SAML, hetopt.Options{
+		Iterations: 1000,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hostOnly, deviceOnly, err := tuner.Baselines(hetopt.GenomeWorkload(hetopt.Human))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("suggested configuration:", res.Config)
+	fmt.Printf("execution time: %.3f s (host %.3f s, device %.3f s)\n",
+		res.MeasuredE(), res.Measured.Host, res.Measured.Device)
+	fmt.Printf("speedup vs host-only:   %.2fx\n", hostOnly.MeasuredE()/res.MeasuredE())
+	fmt.Printf("speedup vs device-only: %.2fx\n", deviceOnly.MeasuredE()/res.MeasuredE())
+	fmt.Printf("search effort: %d predicted evaluations, %d real experiment(s)\n",
+		res.SearchEvaluations, res.Experiments)
+}

@@ -1,0 +1,333 @@
+// Package hetopt is the public API of the reproduction of "Combinatorial
+// Optimization of Work Distribution on Heterogeneous Systems" (Memeti &
+// Pllana, ICPP Workshops 2016).
+//
+// The library determines a near-optimal system configuration — host and
+// device thread counts, thread affinities, and the host/device workload
+// fraction — for divisible workloads on heterogeneous platforms, by
+// combining simulated annealing over the discrete configuration space
+// with boosted-decision-tree regression models that predict per-side
+// execution times. The objective is E = max(T_host, T_device).
+//
+// Quick start:
+//
+//	tuner := hetopt.NewTuner()
+//	if err := tuner.Train(); err != nil { ... }
+//	res, err := tuner.TuneGenome(hetopt.Human, hetopt.SAML, hetopt.Options{Iterations: 1000})
+//	fmt.Println(res.Config, res.MeasuredE())
+//
+// The package re-exports the building blocks for advanced use: the
+// configuration space (Schema), the platform simulator (Platform), the
+// finite-automata matching engine (CompileMotifs, CountMatches), and the
+// four optimization methods (EM, EML, SAM, SAML). The internal packages
+// documented in DESIGN.md provide the full substrate.
+package hetopt
+
+import (
+	"fmt"
+	"io"
+
+	"hetopt/internal/adaptive"
+	"hetopt/internal/automata"
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+	"hetopt/internal/dynsched"
+	"hetopt/internal/machine"
+	"hetopt/internal/multi"
+	"hetopt/internal/offload"
+	"hetopt/internal/perf"
+	"hetopt/internal/space"
+)
+
+// Re-exported core types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Config is one point of the configuration space: thread counts,
+	// affinities and the host workload fraction.
+	Config = space.Config
+	// Schema is the discrete configuration space (Table I).
+	Schema = space.Schema
+	// SchemaSpec declares a custom configuration space.
+	SchemaSpec = space.SchemaSpec
+	// Affinity is a thread pinning strategy.
+	Affinity = machine.Affinity
+	// Processor describes one processing unit's hardware.
+	Processor = machine.Processor
+	// Platform couples the host and device performance models and
+	// executes (or simulates) runs.
+	Platform = offload.Platform
+	// Workload is a divisible input.
+	Workload = offload.Workload
+	// Times reports per-side execution times; Times.E() is the paper's
+	// objective.
+	Times = offload.Times
+	// Method is one of the four optimization methods.
+	Method = core.Method
+	// Options tunes an optimization run.
+	Options = core.Options
+	// Result is a completed optimization run.
+	Result = core.Result
+	// Models bundles the trained host/device performance predictors.
+	Models = core.Models
+	// TrainingPlan is the model-training experiment grid.
+	TrainingPlan = core.TrainingPlan
+	// TrainOptions configures model training.
+	TrainOptions = core.TrainOptions
+	// Genome describes a DNA input.
+	Genome = dna.Genome
+	// Motif is a nucleotide pattern (IUPAC codes allowed).
+	Motif = dna.Motif
+	// Generator produces deterministic synthetic DNA.
+	Generator = dna.Generator
+	// DFA is a compiled matching automaton.
+	DFA = automata.DFA
+	// PerfModel is the analytic performance model behind a Platform.
+	PerfModel = perf.Model
+	// Calibration collects the performance model's constants.
+	Calibration = perf.Calibration
+	// MultiPlatform is a host plus several accelerators (the paper's
+	// future-work scenario); MultiProblem/MultiConfig/MultiResult tune
+	// work distribution across all of them.
+	MultiPlatform = multi.Platform
+	MultiProblem  = multi.Problem
+	MultiConfig   = multi.Config
+	MultiResult   = multi.Result
+	// DynamicScheduler simulates CoreTsar-style dynamic self-scheduling,
+	// the related-work baseline.
+	DynamicScheduler = dynsched.Scheduler
+	DynamicConfig    = dynsched.Config
+	// Match is a streamed match event (end position + multiplicity).
+	Match = automata.Match
+	// RefineOptions and RefineResult configure and report adaptive
+	// measured refinement of a suggested configuration.
+	RefineOptions = adaptive.Options
+	RefineResult  = adaptive.Result
+)
+
+// Affinity values (Table I).
+const (
+	AffinityNone     = machine.AffinityNone
+	AffinityScatter  = machine.AffinityScatter
+	AffinityCompact  = machine.AffinityCompact
+	AffinityBalanced = machine.AffinityBalanced
+)
+
+// The four optimization methods (Table II).
+const (
+	EM   = core.EM
+	EML  = core.EML
+	SAM  = core.SAM
+	SAML = core.SAML
+)
+
+// The paper's evaluation genomes.
+var (
+	Human = dna.Human
+	Mouse = dna.Mouse
+	Cat   = dna.Cat
+	Dog   = dna.Dog
+)
+
+// NewPlatform returns the simulated paper platform (2x Xeon E5-2695v2 +
+// Xeon Phi 7120P).
+func NewPlatform() *Platform { return offload.NewPlatform() }
+
+// NewCustomPlatform wraps a custom performance model (host/device
+// processor descriptions plus calibration), enabling tuning for machines
+// other than the paper's.
+func NewCustomPlatform(m *PerfModel) *Platform { return offload.NewPlatformWithModel(m) }
+
+// DefaultCalibration returns the calibration constants of the paper
+// platform, a starting point for custom machines.
+func DefaultCalibration() Calibration { return perf.DefaultCalibration() }
+
+// XeonE5Host and XeonPhi7120P return the paper's processor descriptions.
+func XeonE5Host() *Processor   { return machine.XeonE5Host() }
+func XeonPhi7120P() *Processor { return machine.XeonPhi7120P() }
+
+// PaperSchema returns the paper's 19,926-configuration space.
+func PaperSchema() *Schema { return space.PaperSchema() }
+
+// NewSchema builds a custom configuration space.
+func NewSchema(spec SchemaSpec) (*Schema, error) { return space.NewSchema(spec) }
+
+// Genomes returns the four evaluation genomes.
+func Genomes() []Genome { return dna.Genomes() }
+
+// GenomeByName looks up an evaluation genome ("human", "mouse", "cat",
+// "dog").
+func GenomeByName(name string) (Genome, error) { return dna.GenomeByName(name) }
+
+// GenomeWorkload converts a genome to a tunable workload.
+func GenomeWorkload(g Genome) Workload { return offload.GenomeWorkload(g) }
+
+// DefaultMotifs returns the built-in biological motif set.
+func DefaultMotifs() []Motif { return dna.DefaultMotifs() }
+
+// CompileMotifs builds an Aho-Corasick matching automaton for a motif
+// set.
+func CompileMotifs(motifs []Motif) (*DFA, error) { return automata.CompileMotifs(motifs) }
+
+// CompilePattern compiles a single regex-like motif pattern into a search
+// automaton.
+func CompilePattern(pattern string) (*DFA, error) { return automata.CompilePattern(pattern) }
+
+// NewGenerator creates a deterministic synthetic-DNA generator for a
+// genome's composition.
+func NewGenerator(g Genome, seed uint64) *Generator { return dna.NewGenerator(g, seed) }
+
+// WriteFASTA writes one FASTA record to w.
+func WriteFASTA(w io.Writer, header string, seq []byte) error {
+	return dna.WriteFASTA(w, header, seq)
+}
+
+// ReadFASTA parses all FASTA records from r.
+func ReadFASTA(r io.Reader) ([]dna.FASTARecord, error) { return dna.ReadFASTA(r) }
+
+// PaperTrainingPlan returns the 7,200-experiment training grid.
+func PaperTrainingPlan() TrainingPlan { return core.PaperTrainingPlan() }
+
+// TrainModels generates training data on the platform and fits the
+// per-side performance predictors.
+func TrainModels(p *Platform, plan TrainingPlan, opt TrainOptions) (*Models, error) {
+	return core.Train(p, plan, opt)
+}
+
+// SaveModelsFile persists trained models (off-line learning: train once,
+// reuse the predictor without re-measuring).
+func SaveModelsFile(m *Models, path string) error { return core.SaveModelsFile(m, path) }
+
+// LoadModelsFile restores models written by SaveModelsFile.
+func LoadModelsFile(path string) (*Models, error) { return core.LoadModelsFile(path) }
+
+// ParseMethod converts a method name into a Method.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// MultiPhiProblem builds the multi-accelerator tuning problem for the
+// paper's host with n Xeon Phi cards over the Table I value sets.
+func MultiPhiProblem(n int, w Workload) (*MultiProblem, error) {
+	return multi.PaperProblem(n, w)
+}
+
+// TuneMulti runs simulated annealing over a multi-accelerator problem.
+func TuneMulti(p *MultiProblem, iterations int, seed int64) (MultiResult, error) {
+	return multi.Tune(p, iterations, seed)
+}
+
+// NewDynamicScheduler returns the dynamic self-scheduling baseline on the
+// paper platform's performance model.
+func NewDynamicScheduler() *DynamicScheduler { return dynsched.NewScheduler() }
+
+// CompileMotifsBothStrands compiles a motif set matching both DNA
+// strands (each motif plus its reverse complement; palindromes once).
+func CompileMotifsBothStrands(motifs []Motif) (*DFA, error) {
+	return automata.CompileMotifsBothStrands(motifs)
+}
+
+// ReverseComplement returns the reverse complement of a concrete
+// sequence.
+func ReverseComplement(seq []byte) []byte { return dna.ReverseComplement(seq) }
+
+// ParseAffinity converts an affinity name into an Affinity.
+func ParseAffinity(s string) (Affinity, error) { return machine.ParseAffinity(s) }
+
+// Tuner is the high-level entry point: it owns a platform, a
+// configuration space and (after Train) the prediction models, and runs
+// any of the four optimization methods against a workload.
+type Tuner struct {
+	// Platform is the measurement substrate (replaceable for custom
+	// machines).
+	Platform *Platform
+	// Schema is the configuration space.
+	Schema *Schema
+	// Plan is the training grid used by Train.
+	Plan TrainingPlan
+	// TrainOpt configures model fitting.
+	TrainOpt TrainOptions
+	// Models holds the trained predictors (nil until Train, unless
+	// assigned directly).
+	Models *Models
+}
+
+// NewTuner returns a Tuner with the paper's defaults.
+func NewTuner() *Tuner {
+	return &Tuner{
+		Platform: NewPlatform(),
+		Schema:   PaperSchema(),
+		Plan:     PaperTrainingPlan(),
+		TrainOpt: TrainOptions{SplitSeed: 7},
+	}
+}
+
+// Train generates training data and fits the prediction models. It is
+// required before running the ML-based methods (EML, SAML).
+func (t *Tuner) Train() error {
+	models, err := core.Train(t.Platform, t.Plan, t.TrainOpt)
+	if err != nil {
+		return err
+	}
+	t.Models = models
+	return nil
+}
+
+// instance assembles the optimizer inputs for a workload.
+func (t *Tuner) instance(w Workload, needML bool) (*core.Instance, error) {
+	inst := &core.Instance{
+		Schema:   t.Schema,
+		Measurer: core.NewMeasurer(t.Platform, w),
+	}
+	if t.Models != nil {
+		pred, err := core.NewPredictor(t.Models, w)
+		if err != nil {
+			return nil, err
+		}
+		inst.Predictor = pred
+	} else if needML {
+		return nil, fmt.Errorf("hetopt: method requires trained models; call Tuner.Train first")
+	}
+	return inst, nil
+}
+
+// Tune runs the given optimization method for a workload and returns the
+// suggested configuration with its fair-comparison measurement.
+func (t *Tuner) Tune(w Workload, m Method, opt Options) (Result, error) {
+	inst, err := t.instance(w, m.UsesML())
+	if err != nil {
+		return Result{}, err
+	}
+	return core.Run(m, inst, opt)
+}
+
+// TuneGenome is Tune for one of the evaluation genomes.
+func (t *Tuner) TuneGenome(g Genome, m Method, opt Options) (Result, error) {
+	return t.Tune(GenomeWorkload(g), m, opt)
+}
+
+// TuneAndRefine runs the adaptive pipeline (paper future work): SAML
+// proposes a configuration from predictions, then a small budget of real
+// measurements hill-climbs from it.
+func (t *Tuner) TuneAndRefine(w Workload, samlOpt Options, refineOpt RefineOptions) (Result, RefineResult, error) {
+	inst, err := t.instance(w, true)
+	if err != nil {
+		return Result{}, RefineResult{}, err
+	}
+	return adaptive.TuneAndRefine(inst, samlOpt, refineOpt)
+}
+
+// Baselines measures the host-only and device-only reference
+// configurations for a workload (Tables VIII and IX).
+func (t *Tuner) Baselines(w Workload) (hostOnly, deviceOnly Result, err error) {
+	inst, err := t.instance(w, false)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	hostOnly, err = core.HostOnlyBaseline(inst)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	deviceOnly, err = core.DeviceOnlyBaseline(inst)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	return hostOnly, deviceOnly, nil
+}

@@ -1,0 +1,209 @@
+// Package anneal implements the simulated annealing metaheuristic exactly
+// as the paper describes it (Section III-A and Figure 3):
+//
+//   - the annealing schedule is T = T * (1 - coolingRate) (Equation 3);
+//   - a proposed solution with energy E' is accepted unconditionally when
+//     E' < E, and otherwise with probability p = exp((E - E') / T)
+//     (Equation 4);
+//   - the loop stops when T drops below the stop temperature ("T < 1" in
+//     Figure 3) or when an explicit iteration budget is exhausted;
+//   - the best solution seen so far is tracked alongside the current one
+//     ("update current and best solution").
+//
+// The problem is abstracted over integer index vectors, matching the
+// discrete configuration space of internal/space.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Problem defines the optimization problem: a discrete state space with a
+// neighborhood structure and an energy (objective) function to minimize.
+type Problem interface {
+	// Dim returns the length of a state vector.
+	Dim() int
+	// Initial writes a starting state into dst.
+	Initial(dst []int, rng *rand.Rand)
+	// Neighbor writes into dst a neighbor of src; dst and src may alias.
+	Neighbor(dst, src []int, rng *rand.Rand)
+	// Energy evaluates a state. Lower is better. NaN energies are treated
+	// as +Inf (never accepted).
+	Energy(state []int) float64
+}
+
+// Options configures a Minimize run.
+type Options struct {
+	// InitialTemp is the starting temperature. Zero selects
+	// DefaultInitialTemp.
+	InitialTemp float64
+	// CoolingRate is the paper's coolingRate in T = T*(1-coolingRate).
+	// Zero selects the rate that reaches StopTemp after MaxIters
+	// iterations (or DefaultCoolingRate if MaxIters is also zero).
+	CoolingRate float64
+	// StopTemp stops the annealing once T < StopTemp; the paper uses 1.
+	// Zero selects 1.
+	StopTemp float64
+	// MaxIters, when positive, caps the number of iterations regardless
+	// of temperature.
+	MaxIters int
+	// Seed drives all stochastic choices; runs are reproducible.
+	Seed int64
+	// OnStep, when non-nil, observes every iteration.
+	OnStep func(Step)
+}
+
+// Defaults used when Options fields are zero.
+const (
+	DefaultInitialTemp = 10000.0
+	DefaultCoolingRate = 0.003
+)
+
+// Step describes one annealing iteration for observers.
+type Step struct {
+	// Iter counts iterations from 0.
+	Iter int
+	// Temp is the temperature when the step was evaluated.
+	Temp float64
+	// Candidate is the proposed energy E'; Current and Best are the
+	// energies after the acceptance decision.
+	Candidate, Current, Best float64
+	// Accepted reports whether the candidate replaced the current
+	// solution; Worse additionally reports that it was an uphill
+	// (worse-energy) acceptance.
+	Accepted, Worse bool
+}
+
+// Result is the outcome of a Minimize run.
+type Result struct {
+	// Best is the lowest-energy state seen; BestEnergy its energy.
+	Best       []int
+	BestEnergy float64
+	// Iterations is the number of candidate evaluations performed (the
+	// initial solution's evaluation is not counted).
+	Iterations int
+	// Accepted counts accepted moves; AcceptedWorse the uphill subset.
+	Accepted, AcceptedWorse int
+	// FinalTemp is the temperature when the run stopped.
+	FinalTemp float64
+}
+
+// CoolingRateFor returns the cooling rate at which the schedule
+// T = T*(1-rate) decays from initialTemp to stopTemp in exactly iters
+// iterations. It returns an error for non-positive arguments or
+// stopTemp >= initialTemp.
+func CoolingRateFor(iters int, initialTemp, stopTemp float64) (float64, error) {
+	if iters <= 0 {
+		return 0, fmt.Errorf("anneal: iteration count must be positive, got %d", iters)
+	}
+	if initialTemp <= 0 || stopTemp <= 0 {
+		return 0, fmt.Errorf("anneal: temperatures must be positive (initial %g, stop %g)", initialTemp, stopTemp)
+	}
+	if stopTemp >= initialTemp {
+		return 0, fmt.Errorf("anneal: stop temperature %g must be below initial %g", stopTemp, initialTemp)
+	}
+	return 1 - math.Pow(stopTemp/initialTemp, 1/float64(iters)), nil
+}
+
+// Minimize runs simulated annealing and returns the best state found.
+func Minimize(p Problem, opt Options) (Result, error) {
+	if p.Dim() <= 0 {
+		return Result{}, fmt.Errorf("anneal: problem dimension must be positive")
+	}
+	t0 := opt.InitialTemp
+	if t0 == 0 {
+		t0 = DefaultInitialTemp
+	}
+	if t0 < 0 {
+		return Result{}, fmt.Errorf("anneal: negative initial temperature %g", t0)
+	}
+	stop := opt.StopTemp
+	if stop == 0 {
+		stop = 1
+	}
+	rate := opt.CoolingRate
+	if rate == 0 {
+		if opt.MaxIters > 0 {
+			var err error
+			rate, err = CoolingRateFor(opt.MaxIters, t0, stop)
+			if err != nil {
+				return Result{}, err
+			}
+		} else {
+			rate = DefaultCoolingRate
+		}
+	}
+	if rate <= 0 || rate >= 1 {
+		return Result{}, fmt.Errorf("anneal: cooling rate %g outside (0,1)", rate)
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cur := make([]int, p.Dim())
+	p.Initial(cur, rng)
+	curE := sanitize(p.Energy(cur))
+
+	best := append([]int(nil), cur...)
+	bestE := curE
+
+	cand := make([]int, p.Dim())
+	res := Result{}
+	temp := t0
+	for iter := 0; temp >= stop; iter++ {
+		if opt.MaxIters > 0 && iter >= opt.MaxIters {
+			break
+		}
+		p.Neighbor(cand, cur, rng)
+		candE := sanitize(p.Energy(cand))
+
+		accepted := false
+		worse := false
+		if candE < curE {
+			accepted = true
+		} else if temp > 0 && !math.IsInf(candE, 1) {
+			// Equation 4: p = exp((E - E')/T).
+			if math.Exp((curE-candE)/temp) > rng.Float64() {
+				accepted = true
+				worse = candE > curE
+			}
+		}
+		if accepted {
+			copy(cur, cand)
+			curE = candE
+			res.Accepted++
+			if worse {
+				res.AcceptedWorse++
+			}
+			if curE < bestE {
+				bestE = curE
+				copy(best, cur)
+			}
+		}
+		res.Iterations++
+		if opt.OnStep != nil {
+			opt.OnStep(Step{
+				Iter:      iter,
+				Temp:      temp,
+				Candidate: candE,
+				Current:   curE,
+				Best:      bestE,
+				Accepted:  accepted,
+				Worse:     worse,
+			})
+		}
+		temp *= 1 - rate // Equation 3.
+	}
+	res.Best = best
+	res.BestEnergy = bestE
+	res.FinalTemp = temp
+	return res, nil
+}
+
+// sanitize maps NaN to +Inf so broken evaluations are never accepted.
+func sanitize(e float64) float64 {
+	if math.IsNaN(e) {
+		return math.Inf(1)
+	}
+	return e
+}

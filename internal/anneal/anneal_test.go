@@ -1,0 +1,284 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quadProblem is a separable quadratic bowl over a discrete grid with its
+// minimum at a known point; SA should find it easily.
+type quadProblem struct {
+	levels int
+	target []int
+	evals  int
+}
+
+func (p *quadProblem) Dim() int { return len(p.target) }
+
+func (p *quadProblem) Initial(dst []int, rng *rand.Rand) {
+	for i := range dst {
+		dst[i] = rng.Intn(p.levels)
+	}
+}
+
+func (p *quadProblem) Neighbor(dst, src []int, rng *rand.Rand) {
+	copy(dst, src)
+	i := rng.Intn(len(dst))
+	if dst[i] == 0 {
+		dst[i] = 1
+	} else if dst[i] == p.levels-1 {
+		dst[i]--
+	} else if rng.Intn(2) == 0 {
+		dst[i]--
+	} else {
+		dst[i]++
+	}
+}
+
+func (p *quadProblem) Energy(state []int) float64 {
+	p.evals++
+	e := 0.0
+	for i, v := range state {
+		d := float64(v - p.target[i])
+		e += d * d
+	}
+	return e
+}
+
+// rugged is a deceptive landscape with many local minima; used to check
+// uphill acceptance happens.
+type rugged struct{ quadProblem }
+
+func (p *rugged) Energy(state []int) float64 {
+	e := p.quadProblem.Energy(state)
+	return e + 5*math.Abs(math.Sin(float64(state[0])*2.1))
+}
+
+func TestCoolingRateFor(t *testing.T) {
+	rate, err := CoolingRateFor(1000, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After exactly 1000 steps T should be ~1.
+	temp := 10000.0
+	for i := 0; i < 1000; i++ {
+		temp *= 1 - rate
+	}
+	if temp < 0.99 || temp > 1.01 {
+		t.Fatalf("temperature after 1000 steps = %g, want ~1", temp)
+	}
+}
+
+func TestCoolingRateForErrors(t *testing.T) {
+	if _, err := CoolingRateFor(0, 100, 1); err == nil {
+		t.Error("zero iterations should fail")
+	}
+	if _, err := CoolingRateFor(10, 0, 1); err == nil {
+		t.Error("zero initial temp should fail")
+	}
+	if _, err := CoolingRateFor(10, 100, 0); err == nil {
+		t.Error("zero stop temp should fail")
+	}
+	if _, err := CoolingRateFor(10, 1, 100); err == nil {
+		t.Error("stop >= initial should fail")
+	}
+}
+
+func TestMinimizeFindsQuadraticMinimum(t *testing.T) {
+	p := &quadProblem{levels: 20, target: []int{7, 13, 2}}
+	res, err := Minimize(p, Options{MaxIters: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy != 0 {
+		t.Fatalf("best energy = %g at %v, want 0 at %v", res.BestEnergy, res.Best, p.target)
+	}
+}
+
+func TestMinimizeIterationBudgetRespected(t *testing.T) {
+	p := &quadProblem{levels: 10, target: []int{3, 3}}
+	res, err := Minimize(p, Options{MaxIters: 250, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 250 {
+		t.Fatalf("iterations = %d, want 250", res.Iterations)
+	}
+	// One initial evaluation plus one per iteration.
+	if p.evals != 251 {
+		t.Fatalf("energy evaluations = %d, want 251", p.evals)
+	}
+}
+
+func TestMinimizeStopsAtStopTemp(t *testing.T) {
+	p := &quadProblem{levels: 10, target: []int{3, 3}}
+	res, err := Minimize(p, Options{InitialTemp: 100, CoolingRate: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTemp >= 1 {
+		t.Fatalf("final temp = %g, want < 1 (the paper's stop criterion)", res.FinalTemp)
+	}
+	// ln(1/100)/ln(0.9) ~ 43.7 -> 44 iterations.
+	if res.Iterations < 40 || res.Iterations > 50 {
+		t.Fatalf("iterations = %d, want ~44", res.Iterations)
+	}
+}
+
+func TestMinimizeDeterministicBySeed(t *testing.T) {
+	mk := func() *quadProblem { return &quadProblem{levels: 30, target: []int{11, 22, 5, 17}} }
+	r1, err := Minimize(mk(), Options{MaxIters: 500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Minimize(mk(), Options{MaxIters: 500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestEnergy != r2.BestEnergy || r1.Accepted != r2.Accepted {
+		t.Fatalf("same seed diverged: %+v vs %+v", r1, r2)
+	}
+	r3, err := Minimize(mk(), Options{MaxIters: 500, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Accepted == r3.Accepted && r1.BestEnergy == r3.BestEnergy && equalInts(r1.Best, r3.Best) {
+		t.Log("different seeds produced identical runs (possible but unlikely)")
+	}
+}
+
+func TestMinimizeAcceptsWorseMovesAtHighTemp(t *testing.T) {
+	p := &rugged{quadProblem{levels: 50, target: []int{25, 25}}}
+	res, err := Minimize(p, Options{InitialTemp: 1000, MaxIters: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptedWorse == 0 {
+		t.Fatal("SA never accepted a worse solution; the acceptance function is broken")
+	}
+	if res.AcceptedWorse >= res.Accepted {
+		t.Fatalf("worse acceptances (%d) should be a minority of %d", res.AcceptedWorse, res.Accepted)
+	}
+}
+
+func TestMinimizeMoreIterationsNoWorse(t *testing.T) {
+	// Monotonicity in expectation: a longer budget should not yield a
+	// worse best on the same seed (best-so-far tracking guarantees it for
+	// nested runs with identical prefixes).
+	energies := []float64{}
+	for _, iters := range []int{100, 500, 2500} {
+		p := &rugged{quadProblem{levels: 64, target: []int{50, 9}}}
+		res, err := Minimize(p, Options{MaxIters: iters, InitialTemp: 500, CoolingRate: 0.002, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		energies = append(energies, res.BestEnergy)
+	}
+	for i := 1; i < len(energies); i++ {
+		if energies[i] > energies[i-1] {
+			t.Fatalf("best energy worsened with more iterations: %v", energies)
+		}
+	}
+}
+
+func TestMinimizeOnStepObserves(t *testing.T) {
+	p := &quadProblem{levels: 10, target: []int{5}}
+	steps := 0
+	lastBest := math.Inf(1)
+	_, err := Minimize(p, Options{MaxIters: 100, Seed: 5, OnStep: func(s Step) {
+		steps++
+		if s.Best > lastBest+1e-12 {
+			t.Fatalf("best energy increased at iter %d: %g -> %g", s.Iter, lastBest, s.Best)
+		}
+		lastBest = s.Best
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 100 {
+		t.Fatalf("OnStep called %d times, want 100", steps)
+	}
+}
+
+func TestMinimizeNaNEnergyNeverAccepted(t *testing.T) {
+	p := &nanProblem{}
+	res, err := Minimize(p, Options{MaxIters: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.BestEnergy, 1) {
+		// The initial state is also NaN -> +Inf, so best stays +Inf.
+		t.Fatalf("best energy = %g, want +Inf", res.BestEnergy)
+	}
+}
+
+type nanProblem struct{}
+
+func (p *nanProblem) Dim() int                                { return 1 }
+func (p *nanProblem) Initial(dst []int, rng *rand.Rand)       { dst[0] = 0 }
+func (p *nanProblem) Neighbor(dst, src []int, rng *rand.Rand) { dst[0] = src[0] }
+func (p *nanProblem) Energy(state []int) float64              { return math.NaN() }
+
+func TestMinimizeOptionValidation(t *testing.T) {
+	p := &quadProblem{levels: 4, target: []int{0}}
+	if _, err := Minimize(p, Options{InitialTemp: -5}); err == nil {
+		t.Error("negative initial temperature should fail")
+	}
+	if _, err := Minimize(p, Options{CoolingRate: 1.5}); err == nil {
+		t.Error("cooling rate >= 1 should fail")
+	}
+	if _, err := Minimize(p, Options{CoolingRate: -0.1}); err == nil {
+		t.Error("negative cooling rate should fail")
+	}
+	if _, err := Minimize(&zeroDim{}, Options{}); err == nil {
+		t.Error("zero-dimensional problem should fail")
+	}
+}
+
+type zeroDim struct{}
+
+func (z *zeroDim) Dim() int                                { return 0 }
+func (z *zeroDim) Initial(dst []int, rng *rand.Rand)       {}
+func (z *zeroDim) Neighbor(dst, src []int, rng *rand.Rand) {}
+func (z *zeroDim) Energy(state []int) float64              { return 0 }
+
+// Property: the reported best energy is never above the energy of any
+// state the observer saw, and the returned best state has the reported
+// energy.
+func TestBestIsTrulyBestProperty(t *testing.T) {
+	f := func(seed int64, itersRaw uint8) bool {
+		iters := int(itersRaw)%300 + 10
+		p := &quadProblem{levels: 16, target: []int{9, 4}}
+		minSeen := math.Inf(1)
+		res, err := Minimize(p, Options{MaxIters: iters, Seed: seed, OnStep: func(s Step) {
+			if s.Candidate < minSeen {
+				minSeen = s.Candidate
+			}
+		}})
+		if err != nil {
+			return false
+		}
+		check := &quadProblem{levels: 16, target: []int{9, 4}}
+		if res.BestEnergy > minSeen+1e-12 {
+			return false
+		}
+		return check.Energy(res.Best) == res.BestEnergy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

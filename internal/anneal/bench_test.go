@@ -1,0 +1,22 @@
+package anneal
+
+import "testing"
+
+func BenchmarkMinimize1000Iters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := &quadProblem{levels: 41, target: []int{20, 5, 33, 11, 40}}
+		if _, err := Minimize(p, Options{MaxIters: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizePaperSchedule(b *testing.B) {
+	// The paper's literal schedule: T0 = 10^4 cooled by 0.003 until T<1.
+	for i := 0; i < b.N; i++ {
+		p := &quadProblem{levels: 41, target: []int{20, 5, 33, 11, 40}}
+		if _, err := Minimize(p, Options{InitialTemp: 10000, CoolingRate: 0.003, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

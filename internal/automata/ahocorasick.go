@@ -1,0 +1,168 @@
+package automata
+
+import (
+	"fmt"
+
+	"hetopt/internal/dna"
+)
+
+// maxIUPACExpansion bounds how many concrete strings one IUPAC motif may
+// expand to; it guards against pathological inputs such as "NNNNNNNNNN".
+const maxIUPACExpansion = 4096
+
+// expandMotif expands a motif pattern containing IUPAC ambiguity codes
+// into the complete list of concrete encoded strings it denotes.
+func expandMotif(pattern string) ([][]uint8, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("automata: empty motif pattern")
+	}
+	acc := [][]uint8{{}}
+	for i := 0; i < len(pattern); i++ {
+		set, err := dna.ExpandIUPAC(pattern[i])
+		if err != nil {
+			return nil, fmt.Errorf("automata: motif %q: %v", pattern, err)
+		}
+		if len(acc)*len(set) > maxIUPACExpansion {
+			return nil, fmt.Errorf("automata: motif %q expands to more than %d concrete patterns", pattern, maxIUPACExpansion)
+		}
+		next := make([][]uint8, 0, len(acc)*len(set))
+		for _, prefix := range acc {
+			for _, base := range set {
+				ext := make([]uint8, len(prefix)+1)
+				copy(ext, prefix)
+				ext[len(prefix)] = base
+				next = append(next, ext)
+			}
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// CompileMotifs builds an Aho-Corasick automaton for a motif set and
+// returns it as a dense DFA. Out[s] counts how many motif occurrences end
+// when entering s (distinct motifs ending at the same position each
+// count). The returned automaton has ContextLen equal to the longest
+// concrete pattern: its state after any text depends only on that many
+// trailing symbols, which makes warm-up parallel matching exact.
+//
+// Duplicate concrete patterns (e.g. two IUPAC motifs expanding to the same
+// string) are each counted, matching the semantics of searching for every
+// motif independently.
+func CompileMotifs(motifs []dna.Motif) (*DFA, error) {
+	if len(motifs) == 0 {
+		return nil, fmt.Errorf("automata: no motifs to compile")
+	}
+	var patterns [][]uint8
+	maxLen := 0
+	for _, m := range motifs {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		exp, err := expandMotif(m.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range exp {
+			patterns = append(patterns, p)
+			if len(p) > maxLen {
+				maxLen = len(p)
+			}
+		}
+	}
+
+	// Trie construction. goto_[s][b] = child or -1.
+	type trieState struct {
+		next  [dna.AlphabetSize]int32
+		out   uint32
+		fail  int32
+		depth int
+	}
+	states := []trieState{{next: [dna.AlphabetSize]int32{-1, -1, -1, -1}}}
+	for _, p := range patterns {
+		cur := int32(0)
+		for _, b := range p {
+			if states[cur].next[b] == -1 {
+				states = append(states, trieState{
+					next:  [dna.AlphabetSize]int32{-1, -1, -1, -1},
+					depth: states[cur].depth + 1,
+				})
+				states[cur].next[b] = int32(len(states) - 1)
+			}
+			cur = states[cur].next[b]
+		}
+		states[cur].out++
+	}
+
+	// Failure links via BFS; simultaneously complete the transition
+	// function (convert goto+fail into a dense delta) and accumulate
+	// output counts along failure chains.
+	queue := make([]int32, 0, len(states))
+	for b := 0; b < dna.AlphabetSize; b++ {
+		c := states[0].next[b]
+		if c == -1 {
+			states[0].next[b] = 0
+			continue
+		}
+		states[c].fail = 0
+		queue = append(queue, c)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		// Inherit match counts from the failure target: every pattern
+		// ending at fail(s) also ends at s.
+		states[s].out += states[states[s].fail].out
+		for b := 0; b < dna.AlphabetSize; b++ {
+			c := states[s].next[b]
+			if c == -1 {
+				states[s].next[b] = states[states[s].fail].next[b]
+				continue
+			}
+			states[c].fail = states[states[s].fail].next[b]
+			queue = append(queue, c)
+		}
+	}
+
+	d := &DFA{
+		Next:       make([][dna.AlphabetSize]int32, len(states)),
+		Out:        make([]uint32, len(states)),
+		Start:      0,
+		ContextLen: maxLen,
+	}
+	for i, st := range states {
+		d.Next[i] = st.next
+		d.Out[i] = st.out
+	}
+	return d, nil
+}
+
+// NaiveMotifCount counts motif occurrences in text by brute force,
+// including overlapping occurrences and duplicate expansions. Bytes
+// outside ACGT break matches, mirroring the DFA engine's reset semantics.
+// It exists as the differential-testing oracle for the automata and
+// parallel matching engines.
+func NaiveMotifCount(motifs []dna.Motif, text []byte) (uint64, error) {
+	var total uint64
+	for _, m := range motifs {
+		exp, err := expandMotif(m.Pattern)
+		if err != nil {
+			return 0, err
+		}
+		for _, p := range exp {
+			for start := 0; start+len(p) <= len(text); start++ {
+				ok := true
+				for j, want := range p {
+					code, valid := dna.EncodeByte(text[start+j])
+					if !valid || code != want {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					total++
+				}
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,245 @@
+package automata
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetopt/internal/dna"
+)
+
+func motifs(patterns ...string) []dna.Motif {
+	out := make([]dna.Motif, len(patterns))
+	for i, p := range patterns {
+		out[i] = dna.Motif{Name: p, Pattern: p}
+	}
+	return out
+}
+
+func TestExpandMotifConcrete(t *testing.T) {
+	exp, err := expandMotif("ACG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp) != 1 || len(exp[0]) != 3 {
+		t.Fatalf("unexpected expansion %v", exp)
+	}
+}
+
+func TestExpandMotifIUPAC(t *testing.T) {
+	exp, err := expandMotif("RY") // {A,G} x {C,T}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp) != 4 {
+		t.Fatalf("RY should expand to 4 strings, got %d", len(exp))
+	}
+	seen := map[string]bool{}
+	for _, p := range exp {
+		s := ""
+		for _, b := range p {
+			s += string(dna.Letters[b])
+		}
+		seen[s] = true
+	}
+	for _, want := range []string{"AC", "AT", "GC", "GT"} {
+		if !seen[want] {
+			t.Errorf("missing expansion %s (have %v)", want, seen)
+		}
+	}
+}
+
+func TestExpandMotifGuard(t *testing.T) {
+	if _, err := expandMotif(strings.Repeat("N", 8)); err == nil {
+		t.Fatal("4^8 expansion should exceed the guard")
+	}
+	if _, err := expandMotif(""); err == nil {
+		t.Fatal("empty motif should fail")
+	}
+	if _, err := expandMotif("AXC"); err == nil {
+		t.Fatal("non-IUPAC byte should fail")
+	}
+}
+
+func TestCompileMotifsErrors(t *testing.T) {
+	if _, err := CompileMotifs(nil); err == nil {
+		t.Fatal("empty motif set should fail")
+	}
+	if _, err := CompileMotifs([]dna.Motif{{Name: "bad", Pattern: ""}}); err == nil {
+		t.Fatal("empty pattern should fail")
+	}
+}
+
+func TestAhoCorasickBasicCounts(t *testing.T) {
+	d, err := CompileMotifs(motifs("ACG", "GT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ACGT: ACG ends at 2, GT ends at 3.
+	if got := d.CountMatches([]byte("ACGT")); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestAhoCorasickOverlapAndSuffix(t *testing.T) {
+	// Patterns where one is a suffix of another: both must count.
+	d, err := CompileMotifs(motifs("AACG", "ACG", "CG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AACG ends: AACG(1) + ACG(1) + CG(1) = 3.
+	if got := d.CountMatches([]byte("AACG")); got != 3 {
+		t.Fatalf("suffix-chain count = %d, want 3", got)
+	}
+}
+
+func TestAhoCorasickDuplicatesCount(t *testing.T) {
+	d, err := CompileMotifs(motifs("ACG", "ACG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CountMatches([]byte("ACG")); got != 2 {
+		t.Fatalf("duplicate pattern count = %d, want 2", got)
+	}
+}
+
+func TestAhoCorasickContextLen(t *testing.T) {
+	d, err := CompileMotifs(motifs("ACGT", "GCCGCCATGG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ContextLen != 10 {
+		t.Fatalf("ContextLen = %d, want 10", d.ContextLen)
+	}
+}
+
+func TestAhoCorasickMatchesNaiveOnDefaults(t *testing.T) {
+	set := dna.DefaultMotifs()
+	d, err := CompileMotifs(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := dna.NewGenerator(dna.Human, 42)
+	gen, err = gen.WithPlantedMotif("GAATTC", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := gen.Generate(1 << 15)
+	want, err := NaiveMotifCount(set, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.CountMatches(text)
+	if got != want {
+		t.Fatalf("AC count = %d, naive = %d", got, want)
+	}
+	planted := uint64(gen.PlantedCount(1 << 15))
+	if got < planted {
+		t.Fatalf("count %d below planted lower bound %d", got, planted)
+	}
+}
+
+func TestAhoCorasickSeparators(t *testing.T) {
+	d, err := CompileMotifs(motifs("ACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CountMatches([]byte("ACNGT")); got != 0 {
+		t.Fatalf("separator should break matches, got %d", got)
+	}
+	if got := d.CountMatches([]byte("ACGT\nACGT")); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+}
+
+func TestNaiveMotifCountSeparators(t *testing.T) {
+	got, err := NaiveMotifCount(motifs("ACGT"), []byte("ACNGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("naive separator count = %d, want 0", got)
+	}
+}
+
+// Property: Aho-Corasick equals brute force on random motif sets and
+// random texts.
+func TestAhoCorasickNaiveEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nPat, textLen uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numPatterns := int(nPat)%4 + 1
+		set := make([]dna.Motif, numPatterns)
+		for i := range set {
+			l := rng.Intn(5) + 1
+			var sb strings.Builder
+			for j := 0; j < l; j++ {
+				sb.WriteByte(dna.Letters[rng.Intn(4)])
+			}
+			set[i] = dna.Motif{Name: "p", Pattern: sb.String()}
+		}
+		text := randomDNA(rng, int(textLen))
+		d, err := CompileMotifs(set)
+		if err != nil {
+			return false
+		}
+		want, err := NaiveMotifCount(set, text)
+		if err != nil {
+			return false
+		}
+		return d.CountMatches(text) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: single-motif AC agrees with the regex pipeline on end-position
+// counting (a single concrete pattern has multiplicity 0/1 everywhere, so
+// the two semantics coincide).
+func TestAhoCorasickRegexAgreementProperty(t *testing.T) {
+	f := func(seed int64, patLen, textLen uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := int(patLen)%6 + 1
+		var sb strings.Builder
+		for j := 0; j < l; j++ {
+			sb.WriteByte(dna.Letters[rng.Intn(4)])
+		}
+		pattern := sb.String()
+		text := randomDNA(rng, int(textLen))
+		ac, err := CompileMotifs(motifs(pattern))
+		if err != nil {
+			return false
+		}
+		re, err := CompilePattern(pattern)
+		if err != nil {
+			return false
+		}
+		return ac.CountMatches(text) == re.CountMatches(text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeAhoCorasick(t *testing.T) {
+	// Minimizing the AC automaton must preserve counts.
+	d, err := CompileMotifs(dna.DefaultMotifs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Minimize(d)
+	if m.NumStates() > d.NumStates() {
+		t.Fatalf("minimize grew automaton: %d -> %d", d.NumStates(), m.NumStates())
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		text := randomDNA(rng, 2000)
+		if a, b := d.CountMatches(text), m.CountMatches(text); a != b {
+			t.Fatalf("counts diverge: %d vs %d", a, b)
+		}
+	}
+}

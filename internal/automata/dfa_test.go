@@ -1,0 +1,306 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetopt/internal/dna"
+)
+
+// encode maps an ACGT string to base codes, failing the test on other
+// bytes.
+func encode(t *testing.T, s string) []uint8 {
+	t.Helper()
+	out := make([]uint8, len(s))
+	for i := 0; i < len(s); i++ {
+		code, ok := dna.EncodeByte(s[i])
+		if !ok {
+			t.Fatalf("bad test input byte %q", string(s[i]))
+		}
+		out[i] = code
+	}
+	return out
+}
+
+// randomDNA produces n random ACGT bytes from rng.
+func randomDNA(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = dna.Letters[rng.Intn(4)]
+	}
+	return out
+}
+
+func TestCompilePatternValidates(t *testing.T) {
+	if _, err := CompilePattern("A("); err == nil {
+		t.Fatal("invalid pattern should fail compilation")
+	}
+	d, err := CompilePattern("TATAAA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.ContextLen != 6 {
+		t.Fatalf("ContextLen = %d, want 6", d.ContextLen)
+	}
+}
+
+func TestCompilePatternUnboundedContext(t *testing.T) {
+	d, err := CompilePattern("(AC)*T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ContextLen != 0 {
+		t.Fatalf("unbounded pattern ContextLen = %d, want 0", d.ContextLen)
+	}
+}
+
+func TestDFAExactMatchCounts(t *testing.T) {
+	d, err := CompilePattern("ACG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]uint64{
+		"":          0,
+		"ACG":       1,
+		"AACGG":     1,
+		"ACGACG":    2,
+		"ACGCGACGT": 2,
+		"TTTT":      0,
+		"ACACACG":   1,
+	}
+	for text, want := range cases {
+		if got := d.CountMatches([]byte(text)); got != want {
+			t.Errorf("count(%q) = %d, want %d", text, got, want)
+		}
+	}
+}
+
+func TestDFAOverlappingMatches(t *testing.T) {
+	// AA in AAAA ends at positions 1,2,3 -> 3 matches.
+	d, err := CompilePattern("AA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CountMatches([]byte("AAAA")); got != 3 {
+		t.Fatalf("overlap count = %d, want 3", got)
+	}
+}
+
+func TestDFASeparatorResets(t *testing.T) {
+	d, err := CompilePattern("ACG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The N breaks the match.
+	if got := d.CountMatches([]byte("ACNG")); got != 0 {
+		t.Fatalf("count with separator = %d, want 0", got)
+	}
+	if got := d.CountMatches([]byte("ACGNACG")); got != 2 {
+		t.Fatalf("count around separator = %d, want 2", got)
+	}
+}
+
+func TestDFALowercaseInput(t *testing.T) {
+	d, err := CompilePattern("ACG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CountMatches([]byte("acgacg")); got != 2 {
+		t.Fatalf("lowercase count = %d, want 2", got)
+	}
+}
+
+func TestDFAAlternationAndClasses(t *testing.T) {
+	d, err := CompilePattern("GT[AG]AGT") // same as GTRAGT
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CountMatches([]byte("GTAAGTxGTGAGTxGTCAGT")); got != 2 {
+		t.Fatalf("IUPAC class count = %d, want 2", got)
+	}
+}
+
+func TestDFARepetition(t *testing.T) {
+	// (AC)+G matches ACG, ACACG, ... count end positions.
+	d, err := CompilePattern("(AC)+G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CountMatches([]byte("ACACG")); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := d.CountMatches([]byte("ACGACACG")); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if got := d.CountMatches([]byte("AG")); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}
+
+// TestDeterminizeMatchesNFASimulation differentially tests the subset
+// construction against direct NFA simulation on random anchored inputs.
+func TestDeterminizeMatchesNFASimulation(t *testing.T) {
+	patterns := []string{"ACG", "A|CC", "(A|T)+", "G[AC]?T", "(AC)*G", "A.T", "GTRAGT"}
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range patterns {
+		nfa, err := CompileNFA(p, false) // anchored
+		if err != nil {
+			t.Fatalf("compile %q: %v", p, err)
+		}
+		d := Determinize(nfa)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			n := rng.Intn(8)
+			in := make([]uint8, n)
+			for i := range in {
+				in[i] = uint8(rng.Intn(4))
+			}
+			wantAccept := nfa.Simulate(in)
+			state := d.Start
+			for _, sym := range in {
+				state = d.Step(state, sym)
+			}
+			gotAccept := d.Out[state] > 0
+			if gotAccept != wantAccept {
+				t.Fatalf("pattern %q input %v: DFA accept %v, NFA %v", p, in, gotAccept, wantAccept)
+			}
+		}
+	}
+}
+
+func TestMinimizeReducesAndPreserves(t *testing.T) {
+	patterns := []string{"ACGT", "A|C|G|T", "(AC)+T", "GCCRCCATGG", "A?C?G?T"}
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range patterns {
+		nfa, err := CompileNFA(p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big := Determinize(nfa)
+		small := Minimize(big)
+		if small.NumStates() > big.NumStates() {
+			t.Fatalf("%q: minimize grew the DFA: %d -> %d", p, big.NumStates(), small.NumStates())
+		}
+		if err := small.Validate(); err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		// Counting equivalence on random texts.
+		for trial := 0; trial < 50; trial++ {
+			text := randomDNA(rng, rng.Intn(200))
+			if a, b := big.CountMatches(text), small.CountMatches(text); a != b {
+				t.Fatalf("%q: counts diverge after minimization: %d vs %d", p, a, b)
+			}
+		}
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	nfa, err := CompileNFA("GC(A|G)CC", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Minimize(Determinize(nfa))
+	twice := Minimize(once)
+	if once.NumStates() != twice.NumStates() {
+		t.Fatalf("minimize not idempotent: %d vs %d states", once.NumStates(), twice.NumStates())
+	}
+}
+
+func TestCountFromComposition(t *testing.T) {
+	// Streaming a text in two halves from the carried state must equal
+	// streaming it whole.
+	d, err := CompilePattern("GAATTC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		text := randomDNA(rng, 500)
+		cut := rng.Intn(len(text))
+		whole := d.CountMatches(text)
+		c1, s := d.CountFrom(d.Start, text[:cut])
+		c2, _ := d.CountFrom(s, text[cut:])
+		if c1+c2 != whole {
+			t.Fatalf("split at %d: %d + %d != %d", cut, c1, c2, whole)
+		}
+	}
+}
+
+func TestFinalStateAgreesWithCountFrom(t *testing.T) {
+	d, err := CompilePattern("GGATCC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	text := randomDNA(rng, 1000)
+	_, s1 := d.CountFrom(d.Start, text)
+	s2 := d.FinalState(d.Start, text)
+	if s1 != s2 {
+		t.Fatalf("states diverge: %d vs %d", s1, s2)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d, err := CompilePattern("ACG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &DFA{Next: append([][4]int32(nil), d.Next...), Out: append([]uint32(nil), d.Out...), Start: d.Start}
+	bad.Next[0][2] = int32(bad.NumStates()) // out of range
+	if err := bad.Validate(); err == nil {
+		t.Fatal("corrupt transition should fail validation")
+	}
+	if err := (&DFA{}).Validate(); err == nil {
+		t.Fatal("empty DFA should fail validation")
+	}
+	short := &DFA{Next: d.Next, Out: d.Out[:1], Start: 0}
+	if err := short.Validate(); err == nil {
+		t.Fatal("mismatched Out length should fail validation")
+	}
+	negStart := &DFA{Next: d.Next, Out: d.Out, Start: -1}
+	if err := negStart.Validate(); err == nil {
+		t.Fatal("negative start should fail validation")
+	}
+}
+
+// Property: warm-up correctness of bounded-context DFAs — the state after
+// any text depends only on the last ContextLen symbols.
+func TestContextLenProperty(t *testing.T) {
+	d, err := CompilePattern("GCCRCCATGG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ContextLen <= 0 {
+		t.Fatal("finite pattern must advertise a context length")
+	}
+	f := func(prefixSeed, suffixSeed int64, nPrefix uint8) bool {
+		rngP := rand.New(rand.NewSource(prefixSeed))
+		rngS := rand.New(rand.NewSource(suffixSeed))
+		prefixA := randomDNA(rngP, int(nPrefix))
+		prefixB := randomDNA(rngP, int(nPrefix)) // different prefix
+		suffix := randomDNA(rngS, d.ContextLen)
+		sA := d.FinalState(d.Start, append(append([]byte{}, prefixA...), suffix...))
+		sB := d.FinalState(d.Start, append(append([]byte{}, prefixB...), suffix...))
+		return sA == sB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFAStringRendering(t *testing.T) {
+	d, err := CompilePattern("AC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	if len(s) == 0 || s[0] != 'D' {
+		t.Fatalf("unexpected String output: %q", s)
+	}
+}

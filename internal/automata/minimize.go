@@ -1,0 +1,132 @@
+package automata
+
+import (
+	"hetopt/internal/dna"
+)
+
+// Minimize returns an equivalent DFA with the minimal number of states,
+// using Hopcroft's partition-refinement algorithm. The initial partition
+// groups states by their Out multiplicity (not merely accept/reject), so
+// match counting is preserved exactly. ContextLen carries over: state
+// merging cannot lengthen the context a state depends on.
+func Minimize(d *DFA) *DFA {
+	n := d.NumStates()
+	if n == 0 {
+		return d
+	}
+
+	// Build reverse transitions: rev[sym][t] lists states s with
+	// d.Next[s][sym] == t.
+	var rev [dna.AlphabetSize][][]int32
+	for sym := 0; sym < dna.AlphabetSize; sym++ {
+		rev[sym] = make([][]int32, n)
+	}
+	for s := 0; s < n; s++ {
+		for sym := 0; sym < dna.AlphabetSize; sym++ {
+			t := d.Next[s][sym]
+			rev[sym][t] = append(rev[sym][t], int32(s))
+		}
+	}
+
+	// Initial partition: group by Out value.
+	blockOf := make([]int32, n)
+	groups := map[uint32]int32{}
+	var blocks [][]int32
+	for s := 0; s < n; s++ {
+		g, ok := groups[d.Out[s]]
+		if !ok {
+			g = int32(len(blocks))
+			groups[d.Out[s]] = g
+			blocks = append(blocks, nil)
+		}
+		blockOf[s] = g
+		blocks[g] = append(blocks[g], int32(s))
+	}
+
+	// Worklist of (block, symbol) splitters.
+	type splitter struct {
+		block int32
+		sym   uint8
+	}
+	var work []splitter
+	inWork := map[splitter]bool{}
+	push := func(b int32, sym uint8) {
+		sp := splitter{b, sym}
+		if !inWork[sp] {
+			inWork[sp] = true
+			work = append(work, sp)
+		}
+	}
+	for b := range blocks {
+		for sym := uint8(0); sym < dna.AlphabetSize; sym++ {
+			push(int32(b), sym)
+		}
+	}
+
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[splitter{sp.block, sp.sym}] = false
+
+		// X = set of states with a sym-transition into sp.block.
+		touched := map[int32][]int32{} // block -> members in X
+		for _, t := range blocks[sp.block] {
+			for _, s := range rev[sp.sym][t] {
+				b := blockOf[s]
+				touched[b] = append(touched[b], s)
+			}
+		}
+		for b, inX := range touched {
+			if len(inX) == len(blocks[b]) {
+				continue // block entirely inside X: no split
+			}
+			// Split block b into inX and the rest.
+			inXSet := make(map[int32]bool, len(inX))
+			for _, s := range inX {
+				inXSet[s] = true
+			}
+			var rest []int32
+			for _, s := range blocks[b] {
+				if !inXSet[s] {
+					rest = append(rest, s)
+				}
+			}
+			newB := int32(len(blocks))
+			// Keep the larger part in place; move the smaller out
+			// (Hopcroft's "process the smaller half").
+			small, large := inX, rest
+			if len(small) > len(large) {
+				small, large = large, small
+			}
+			blocks[b] = large
+			blocks = append(blocks, small)
+			for _, s := range small {
+				blockOf[s] = newB
+			}
+			for sym := uint8(0); sym < dna.AlphabetSize; sym++ {
+				if inWork[splitter{b, sym}] {
+					push(newB, sym)
+				} else {
+					push(newB, sym)
+					push(b, sym)
+				}
+			}
+		}
+	}
+
+	// Assemble the quotient automaton.
+	out := &DFA{
+		Next:       make([][dna.AlphabetSize]int32, len(blocks)),
+		Out:        make([]uint32, len(blocks)),
+		Start:      blockOf[d.Start],
+		ContextLen: d.ContextLen,
+	}
+	for b, members := range blocks {
+		repr := members[0]
+		out.Out[b] = d.Out[repr]
+		for sym := uint8(0); sym < dna.AlphabetSize; sym++ {
+			out.Next[b][sym] = blockOf[d.Next[repr][sym]]
+		}
+	}
+	return out
+}

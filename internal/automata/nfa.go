@@ -1,0 +1,231 @@
+package automata
+
+import (
+	"fmt"
+
+	"hetopt/internal/dna"
+)
+
+// NFA is a Thompson-constructed nondeterministic finite automaton over the
+// 4-symbol base alphabet. States are numbered densely; each state carries
+// up to two epsilon edges (a property of Thompson construction) and a
+// class-labelled symbol edge.
+type NFA struct {
+	// eps1, eps2 hold epsilon successors (-1 = none).
+	eps1, eps2 []int32
+	// symTo is the symbol-edge successor (-1 = none); symClass is its
+	// label.
+	symTo    []int32
+	symClass []classSet
+	// Start and Accept are the entry and single accepting state.
+	Start, Accept int32
+	// maxMatchLen is the maximum match length, or -1 when unbounded.
+	maxMatchLen int
+}
+
+// NumStates returns the number of NFA states.
+func (n *NFA) NumStates() int { return len(n.eps1) }
+
+// MaxMatchLen returns the maximum match length of the compiled pattern, or
+// -1 when the pattern contains unbounded repetition.
+func (n *NFA) MaxMatchLen() int { return n.maxMatchLen }
+
+func (n *NFA) newState() int32 {
+	n.eps1 = append(n.eps1, -1)
+	n.eps2 = append(n.eps2, -1)
+	n.symTo = append(n.symTo, -1)
+	n.symClass = append(n.symClass, 0)
+	return int32(len(n.eps1) - 1)
+}
+
+func (n *NFA) addEps(from, to int32) {
+	if n.eps1[from] == -1 {
+		n.eps1[from] = to
+		return
+	}
+	if n.eps2[from] == -1 {
+		n.eps2[from] = to
+		return
+	}
+	// Thompson construction never needs more than two epsilon edges.
+	panic(fmt.Sprintf("automata: state %d already has two epsilon edges", from))
+}
+
+// frag is an NFA fragment with dangling accept.
+type frag struct{ start, accept int32 }
+
+// CompileNFA parses pattern and builds its Thompson NFA. When unanchored
+// is true the start state loops on every symbol, turning the automaton
+// into a substring searcher (matches may begin at any position).
+func CompileNFA(pattern string, unanchored bool) (*NFA, error) {
+	ast, err := ParsePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	n := &NFA{maxMatchLen: patternMaxLength(ast)}
+	f := n.build(ast)
+	if unanchored {
+		// Fresh start state with self-loops on all bases plus an epsilon
+		// edge into the pattern. A symbol edge and an epsilon edge can
+		// coexist on one state.
+		s := n.newState()
+		n.symTo[s] = s
+		n.symClass[s] = classOf([]uint8{dna.BaseA, dna.BaseC, dna.BaseG, dna.BaseT})
+		n.addEps(s, f.start)
+		n.Start = s
+	} else {
+		n.Start = f.start
+	}
+	n.Accept = f.accept
+	return n, nil
+}
+
+// build recursively assembles Thompson fragments.
+func (n *NFA) build(ast node) frag {
+	switch v := ast.(type) {
+	case literalNode:
+		s := n.newState()
+		a := n.newState()
+		n.symTo[s] = a
+		n.symClass[s] = v.set
+		return frag{s, a}
+	case concatNode:
+		cur := n.build(v.parts[0])
+		for _, p := range v.parts[1:] {
+			next := n.build(p)
+			n.addEps(cur.accept, next.start)
+			cur = frag{cur.start, next.accept}
+		}
+		return cur
+	case altNode:
+		s := n.newState()
+		a := n.newState()
+		// Thompson alternation is binary; fold multi-way alternation into
+		// a chain of binary splits.
+		cur := n.build(v.options[0])
+		for _, opt := range v.options[1:] {
+			right := n.build(opt)
+			split := n.newState()
+			join := n.newState()
+			n.addEps(split, cur.start)
+			n.addEps(split, right.start)
+			n.addEps(cur.accept, join)
+			n.addEps(right.accept, join)
+			cur = frag{split, join}
+		}
+		n.addEps(s, cur.start)
+		n.addEps(cur.accept, a)
+		return frag{s, a}
+	case starNode:
+		inner := n.build(v.inner)
+		s := n.newState()
+		a := n.newState()
+		n.addEps(s, inner.start)
+		n.addEps(s, a)
+		n.addEps(inner.accept, inner.start)
+		n.addEps(inner.accept, a)
+		return frag{s, a}
+	case plusNode:
+		inner := n.build(v.inner)
+		a := n.newState()
+		n.addEps(inner.accept, inner.start)
+		n.addEps(inner.accept, a)
+		return frag{inner.start, a}
+	case optNode:
+		inner := n.build(v.inner)
+		s := n.newState()
+		a := n.newState()
+		n.addEps(s, inner.start)
+		n.addEps(s, a)
+		n.addEps(inner.accept, a)
+		return frag{s, a}
+	default:
+		panic(fmt.Sprintf("automata: unknown AST node %T", ast))
+	}
+}
+
+// epsClosure expands set (a sorted slice of states) with all
+// epsilon-reachable states, returning a sorted, deduplicated slice. The
+// visited scratch buffer must have NumStates entries and is reset on
+// return.
+func (n *NFA) epsClosure(set []int32, visited []bool) []int32 {
+	stack := append([]int32(nil), set...)
+	var out []int32
+	for _, s := range set {
+		visited[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, s)
+		for _, t := range [2]int32{n.eps1[s], n.eps2[s]} {
+			if t >= 0 && !visited[t] {
+				visited[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	sortInt32(out)
+	for _, s := range out {
+		visited[s] = false
+	}
+	return out
+}
+
+// move returns the sorted set of states reachable from set on symbol sym
+// (before epsilon closure).
+func (n *NFA) move(set []int32, sym uint8) []int32 {
+	var out []int32
+	for _, s := range set {
+		if t := n.symTo[s]; t >= 0 && n.symClass[s].has(sym) {
+			out = append(out, t)
+		}
+	}
+	sortInt32(out)
+	return dedupInt32(out)
+}
+
+// Simulate runs the NFA over encoded input (values 0..3) and reports
+// whether it ends in the accepting state. It exists chiefly as a reference
+// implementation for differential tests against the DFA.
+func (n *NFA) Simulate(encoded []uint8) bool {
+	visited := make([]bool, n.NumStates())
+	cur := n.epsClosure([]int32{n.Start}, visited)
+	for _, sym := range encoded {
+		next := n.move(cur, sym)
+		if len(next) == 0 {
+			cur = nil
+			break
+		}
+		cur = n.epsClosure(next, visited)
+	}
+	for _, s := range cur {
+		if s == n.Accept {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInt32(xs []int32) {
+	// Insertion sort: sets are small (Thompson fragments) and often
+	// nearly sorted.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func dedupInt32(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

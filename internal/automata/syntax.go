@@ -1,0 +1,288 @@
+// Package automata implements the finite-automata machinery behind the
+// paper's DNA sequence analysis application (built on the authors' PaREM
+// tool): a small motif-pattern language over the nucleotide alphabet,
+// Thompson NFA construction, subset-construction determinization, Hopcroft
+// minimization, an Aho-Corasick multi-pattern automaton, and a dense-table
+// DFA matching engine.
+//
+// All automata operate over the 4-symbol encoded alphabet of internal/dna
+// (A=0, C=1, G=2, T=3). Input bytes outside ACGT act as separators: they
+// reset the automaton to its start state and can never participate in a
+// match, which is the conventional treatment of N runs in genomic search.
+package automata
+
+import (
+	"fmt"
+
+	"hetopt/internal/dna"
+)
+
+// node is a parsed pattern AST node.
+type node interface{ isNode() }
+
+type literalNode struct{ set classSet } // one position matching a base set
+type concatNode struct{ parts []node }
+type altNode struct{ options []node }
+type starNode struct{ inner node }
+type plusNode struct{ inner node }
+type optNode struct{ inner node }
+
+func (literalNode) isNode() {}
+func (concatNode) isNode()  {}
+func (altNode) isNode()     {}
+func (starNode) isNode()    {}
+func (plusNode) isNode()    {}
+func (optNode) isNode()     {}
+
+// classSet is a bitmask over the 4 bases.
+type classSet uint8
+
+func (c classSet) has(b uint8) bool { return c&(1<<b) != 0 }
+
+func classOf(bases []uint8) classSet {
+	var c classSet
+	for _, b := range bases {
+		c |= 1 << b
+	}
+	return c
+}
+
+// parser is a recursive-descent parser for the motif pattern language:
+//
+//	pattern  = alt
+//	alt      = seq { "|" seq }
+//	seq      = { rep }
+//	rep      = atom [ "*" | "+" | "?" ]
+//	atom     = "(" alt ")" | "[" class "]" | "." | IUPAC letter
+//	class    = IUPAC letter { IUPAC letter }
+//
+// IUPAC ambiguity codes (N, R, Y, ...) denote base classes, "." is any
+// base. The language is deliberately small: it covers biological motifs
+// (which are finite strings over ambiguity codes) plus enough regex
+// structure (alternation, repetition) to exercise general NFA
+// determinization.
+type parser struct {
+	src string
+	pos int
+}
+
+// ParsePattern parses a motif pattern into an AST for NFA compilation. It
+// returns an error describing the offending position for malformed input.
+func ParsePattern(pattern string) (node, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("automata: empty pattern")
+	}
+	p := &parser{src: pattern}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("automata: pattern %q: unexpected %q at position %d", pattern, string(p.src[p.pos]), p.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	prefix := fmt.Sprintf("automata: pattern %q: position %d: ", p.src, p.pos)
+	return fmt.Errorf(prefix+format, args...)
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+func (p *parser) parseAlt() (node, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	options := []node{first}
+	for {
+		b, ok := p.peek()
+		if !ok || b != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		options = append(options, next)
+	}
+	if len(options) == 1 {
+		return options[0], nil
+	}
+	return altNode{options: options}, nil
+}
+
+func (p *parser) parseSeq() (node, error) {
+	var parts []node
+	for {
+		b, ok := p.peek()
+		if !ok || b == '|' || b == ')' {
+			break
+		}
+		rep, err := p.parseRep()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, rep)
+	}
+	if len(parts) == 0 {
+		return nil, p.errf("empty sequence (use '.' to match any base)")
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return concatNode{parts: parts}, nil
+}
+
+func (p *parser) parseRep() (node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	b, ok := p.peek()
+	if !ok {
+		return atom, nil
+	}
+	switch b {
+	case '*':
+		p.pos++
+		return starNode{inner: atom}, nil
+	case '+':
+		p.pos++
+		return plusNode{inner: atom}, nil
+	case '?':
+		p.pos++
+		return optNode{inner: atom}, nil
+	}
+	return atom, nil
+}
+
+func (p *parser) parseAtom() (node, error) {
+	b, ok := p.peek()
+	if !ok {
+		return nil, p.errf("unexpected end of pattern")
+	}
+	switch b {
+	case '(':
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := p.peek(); !ok || c != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	case '[':
+		p.pos++
+		var set classSet
+		for {
+			c, ok := p.peek()
+			if !ok {
+				return nil, p.errf("missing ']'")
+			}
+			if c == ']' {
+				p.pos++
+				break
+			}
+			bases, err := dna.ExpandIUPAC(c)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			set |= classOf(bases)
+			p.pos++
+		}
+		if set == 0 {
+			return nil, p.errf("empty character class")
+		}
+		return literalNode{set: set}, nil
+	case '.':
+		p.pos++
+		return literalNode{set: classOf([]uint8{dna.BaseA, dna.BaseC, dna.BaseG, dna.BaseT})}, nil
+	case '*', '+', '?':
+		return nil, p.errf("repetition %q has nothing to repeat", string(b))
+	case ')':
+		return nil, p.errf("unmatched ')'")
+	default:
+		bases, err := dna.ExpandIUPAC(b)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		p.pos++
+		return literalNode{set: classOf(bases)}, nil
+	}
+}
+
+// patternHasRepetition reports whether the AST contains * or +, i.e.
+// matches of unbounded length. Patterns without repetition have a bounded
+// match length, which enables the exact warm-up parallel matching
+// strategy.
+func patternHasRepetition(n node) bool {
+	switch v := n.(type) {
+	case literalNode:
+		return false
+	case concatNode:
+		for _, p := range v.parts {
+			if patternHasRepetition(p) {
+				return true
+			}
+		}
+		return false
+	case altNode:
+		for _, p := range v.options {
+			if patternHasRepetition(p) {
+				return true
+			}
+		}
+		return false
+	case starNode, plusNode:
+		return true
+	case optNode:
+		return patternHasRepetition(v.inner)
+	default:
+		return true
+	}
+}
+
+// patternMaxLength returns the maximum match length of the AST, or -1 when
+// unbounded.
+func patternMaxLength(n node) int {
+	switch v := n.(type) {
+	case literalNode:
+		return 1
+	case concatNode:
+		total := 0
+		for _, p := range v.parts {
+			l := patternMaxLength(p)
+			if l < 0 {
+				return -1
+			}
+			total += l
+		}
+		return total
+	case altNode:
+		maxL := 0
+		for _, p := range v.options {
+			l := patternMaxLength(p)
+			if l < 0 {
+				return -1
+			}
+			if l > maxL {
+				maxL = l
+			}
+		}
+		return maxL
+	case optNode:
+		return patternMaxLength(v.inner)
+	default: // star, plus
+		return -1
+	}
+}

@@ -1,0 +1,105 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValidPatterns(t *testing.T) {
+	valid := []string{
+		"TATAAA",
+		"GTRAGT",
+		"A|C|G",
+		"(AC)*T",
+		"A+C?G",
+		"[ACG]T",
+		"[RY]N",
+		".A.",
+		"(A|T)(C|G)",
+		"GCC(A|G)CCATGG",
+	}
+	for _, p := range valid {
+		if _, err := ParsePattern(p); err != nil {
+			t.Errorf("ParsePattern(%q) failed: %v", p, err)
+		}
+	}
+}
+
+func TestParseInvalidPatterns(t *testing.T) {
+	invalid := map[string]string{
+		"":       "empty",
+		"AX":     "not an IUPAC",
+		"(A":     "missing ')'",
+		"A)":     "unexpected",
+		"(|)":    "empty sequence",
+		"[AC":    "missing ']'",
+		"[]A":    "empty character class",
+		"*A":     "nothing to repeat",
+		"+":      "nothing to repeat",
+		"A|":     "empty sequence",
+		"|A":     "empty sequence",
+		"A||C":   "empty sequence",
+		"()":     "empty sequence",
+		"[AXC]T": "not an IUPAC",
+	}
+	for p, wantSub := range invalid {
+		_, err := ParsePattern(p)
+		if err == nil {
+			t.Errorf("ParsePattern(%q) should fail", p)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("ParsePattern(%q) error = %q, want substring %q", p, err, wantSub)
+		}
+	}
+}
+
+func TestPatternMaxLength(t *testing.T) {
+	cases := map[string]int{
+		"TATAAA":      6,
+		"A|CCC":       3,
+		"(A|T)(C|G)":  2,
+		"A?C":         2,
+		"GCCRCCATGG":  10,
+		"A*C":         -1,
+		"A+":          -1,
+		"(AC)*T":      -1,
+		"((A|C)T)?GG": 4,
+	}
+	for p, want := range cases {
+		ast, err := ParsePattern(p)
+		if err != nil {
+			t.Fatalf("parse %q: %v", p, err)
+		}
+		if got := patternMaxLength(ast); got != want {
+			t.Errorf("maxLength(%q) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestPatternHasRepetition(t *testing.T) {
+	cases := map[string]bool{
+		"TATAAA": false,
+		"A?C":    false,
+		"A*":     true,
+		"A+C":    true,
+		"(A*)?":  true,
+		"A|C":    false,
+	}
+	for p, want := range cases {
+		ast, err := ParsePattern(p)
+		if err != nil {
+			t.Fatalf("parse %q: %v", p, err)
+		}
+		if got := patternHasRepetition(ast); got != want {
+			t.Errorf("hasRepetition(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestClassSetSemantics(t *testing.T) {
+	set := classOf([]uint8{0, 2})
+	if !set.has(0) || set.has(1) || !set.has(2) || set.has(3) {
+		t.Fatalf("classOf({A,G}) misbehaves: %04b", set)
+	}
+}

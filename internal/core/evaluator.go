@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: determining a
+// near-optimal system configuration for heterogeneous work distribution by
+// combining combinatorial optimization (simulated annealing over the
+// configuration space) with machine learning (boosted decision tree
+// regression predicting per-side execution times).
+//
+// The four optimization methods of Table II are provided behind one
+// interface, differing only in how they explore the space and how they
+// evaluate candidate configurations:
+//
+//	EM    enumeration         + measurements
+//	EML   enumeration         + machine learning
+//	SAM   simulated annealing + measurements
+//	SAML  simulated annealing + machine learning
+//
+// Methods that search on predictions (EML, SAML) are scored by measuring
+// their suggested configuration, the paper's fair-comparison methodology
+// (Section IV-C).
+package core
+
+import (
+	"fmt"
+
+	"hetopt/internal/machine"
+	"hetopt/internal/offload"
+	"hetopt/internal/space"
+)
+
+// Evaluator estimates the per-side execution times of a configuration.
+// Implementations: *Measurer (testbed measurements) and *Predictor
+// (machine-learning predictions).
+type Evaluator interface {
+	Evaluate(cfg space.Config) (offload.Times, error)
+}
+
+// Measurer evaluates configurations by (simulated) measurement and counts
+// how many experiments were performed — the "effort" column of Table II.
+// It is not safe for concurrent use.
+type Measurer struct {
+	// Platform performs the measurements.
+	Platform *offload.Platform
+	// Workload is the input under optimization.
+	Workload offload.Workload
+	// Trial selects the measurement-noise draw (see perf.Model).
+	Trial int
+
+	count int
+}
+
+// NewMeasurer builds a Measurer for the workload on the platform.
+func NewMeasurer(p *offload.Platform, w offload.Workload) *Measurer {
+	return &Measurer{Platform: p, Workload: w}
+}
+
+// Evaluate implements Evaluator by running one experiment.
+func (m *Measurer) Evaluate(cfg space.Config) (offload.Times, error) {
+	m.count++
+	return m.Platform.Measure(m.Workload, cfg, m.Trial)
+}
+
+// Count returns the number of experiments performed so far.
+func (m *Measurer) Count() int { return m.count }
+
+// ResetCount zeroes the experiment counter.
+func (m *Measurer) ResetCount() { m.count = 0 }
+
+// Feature layout shared by the host and device models: the paper trains on
+// the number of threads, the thread affinity and the input size
+// (Section III-B).
+const (
+	featThreads = iota
+	featSizeMB
+	featAffBase // three one-hot affinity indicators follow
+	numFeatures = featAffBase + 3
+)
+
+// hostAffinityOrder fixes the one-hot encoding order per side.
+var hostAffinityOrder = []machine.Affinity{machine.AffinityNone, machine.AffinityScatter, machine.AffinityCompact}
+var deviceAffinityOrder = []machine.Affinity{machine.AffinityBalanced, machine.AffinityScatter, machine.AffinityCompact}
+
+// HostFeatureNames and DeviceFeatureNames label the model inputs.
+func HostFeatureNames() []string {
+	return []string{"threads", "size-mb", "aff-none", "aff-scatter", "aff-compact"}
+}
+
+// DeviceFeatureNames labels the device model inputs.
+func DeviceFeatureNames() []string {
+	return []string{"threads", "size-mb", "aff-balanced", "aff-scatter", "aff-compact"}
+}
+
+// hostFeatures encodes one host-side sample.
+func hostFeatures(threads int, aff machine.Affinity, sizeMB float64) []float64 {
+	return sideFeatures(threads, aff, sizeMB, hostAffinityOrder)
+}
+
+// deviceFeatures encodes one device-side sample.
+func deviceFeatures(threads int, aff machine.Affinity, sizeMB float64) []float64 {
+	return sideFeatures(threads, aff, sizeMB, deviceAffinityOrder)
+}
+
+func sideFeatures(threads int, aff machine.Affinity, sizeMB float64, order []machine.Affinity) []float64 {
+	x := make([]float64, numFeatures)
+	x[featThreads] = float64(threads)
+	x[featSizeMB] = sizeMB
+	for i, a := range order {
+		if a == aff {
+			x[featAffBase+i] = 1
+		}
+	}
+	return x
+}
+
+// Predictor evaluates configurations with the trained per-side regression
+// models (the paper's Figure 4 predictive model). Predictions are
+// memoized: the deterministic mapping from configuration to features makes
+// caching exact, which matters when enumeration queries 19,926
+// configurations built from only ~1,800 distinct per-side inputs.
+type Predictor struct {
+	models   *Models
+	workload offload.Workload
+
+	hostMemo map[sideKey]float64
+	devMemo  map[sideKey]float64
+}
+
+type sideKey struct {
+	threads int
+	aff     machine.Affinity
+	sizeMB  float64
+}
+
+// NewPredictor binds trained models to a workload.
+func NewPredictor(models *Models, w offload.Workload) (*Predictor, error) {
+	if models == nil || models.Host == nil || models.Device == nil {
+		return nil, fmt.Errorf("core: predictor needs trained host and device models")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		models:   models,
+		workload: w,
+		hostMemo: map[sideKey]float64{},
+		devMemo:  map[sideKey]float64{},
+	}, nil
+}
+
+// Evaluate implements Evaluator by predicting T_host and T_device.
+func (p *Predictor) Evaluate(cfg space.Config) (offload.Times, error) {
+	if cfg.HostFraction < 0 || cfg.HostFraction > 100 {
+		return offload.Times{}, fmt.Errorf("core: host fraction %g outside [0,100]", cfg.HostFraction)
+	}
+	hostMB := p.workload.SizeMB * cfg.HostFraction / 100
+	devMB := p.workload.SizeMB - hostMB
+	var t offload.Times
+	if hostMB > 0 {
+		key := sideKey{cfg.HostThreads, cfg.HostAffinity, hostMB}
+		v, ok := p.hostMemo[key]
+		if !ok {
+			var err error
+			v, err = p.models.PredictHost(cfg.HostThreads, cfg.HostAffinity, hostMB)
+			if err != nil {
+				return offload.Times{}, err
+			}
+			p.hostMemo[key] = v
+		}
+		t.Host = v
+	}
+	if devMB > 0 {
+		key := sideKey{cfg.DeviceThreads, cfg.DeviceAffinity, devMB}
+		v, ok := p.devMemo[key]
+		if !ok {
+			var err error
+			v, err = p.models.PredictDevice(cfg.DeviceThreads, cfg.DeviceAffinity, devMB)
+			if err != nil {
+				return offload.Times{}, err
+			}
+			p.devMemo[key] = v
+		}
+		t.Device = v
+	}
+	return t, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"hetopt/internal/dna"
+	"hetopt/internal/machine"
+	"hetopt/internal/offload"
+)
+
+func TestModelsSaveLoadRoundTrip(t *testing.T) {
+	platform := offload.NewPlatform()
+	orig := testModels(t, platform)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must be bit-identical across the round trip.
+	for _, probe := range []struct {
+		threads int
+		aff     machine.Affinity
+		sizeMB  float64
+	}{
+		{48, machine.AffinityScatter, 1500},
+		{4, machine.AffinityNone, 300},
+		{24, machine.AffinityCompact, 2800},
+	} {
+		a, err := orig.PredictHost(probe.threads, probe.aff, probe.sizeMB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.PredictHost(probe.threads, probe.aff, probe.sizeMB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("host prediction diverged: %g vs %g", a, b)
+		}
+	}
+	da, err := orig.PredictDevice(240, machine.AffinityBalanced, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := loaded.PredictDevice(240, machine.AffinityBalanced, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Fatalf("device prediction diverged: %g vs %g", da, db)
+	}
+	// Headline accuracy survives.
+	if loaded.HostReport.Eval.MeanPercentError != orig.HostReport.Eval.MeanPercentError {
+		t.Fatal("host accuracy lost in round trip")
+	}
+	if loaded.Kind != BoostedTrees {
+		t.Fatalf("kind = %v", loaded.Kind)
+	}
+}
+
+func TestLoadedModelsDriveOptimization(t *testing.T) {
+	platform := offload.NewPlatform()
+	orig := testModels(t, platform)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := offload.GenomeWorkload(dna.Cat)
+	pred, err := NewPredictor(loaded, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{Schema: smallSchema(t), Measurer: NewMeasurer(platform, w), Predictor: pred}
+	res, err := Run(SAML, inst, Options{Iterations: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredE() <= 0 {
+		t.Fatal("loaded models produced an unusable run")
+	}
+}
+
+func TestModelsFileHelpers(t *testing.T) {
+	platform := offload.NewPlatform()
+	orig := testModels(t, platform)
+	path := filepath.Join(t.TempDir(), "models.gob")
+	if err := SaveModelsFile(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DeviceReport.Eval.MeanPercentError != orig.DeviceReport.Eval.MeanPercentError {
+		t.Fatal("file round trip lost accuracy numbers")
+	}
+	if _, err := LoadModelsFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSaveRejectsNonBoosted(t *testing.T) {
+	platform := offload.NewPlatform()
+	models, err := Train(platform, smallPlan(), TrainOptions{Kind: Linear, SplitSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := models.Save(&buf); err == nil {
+		t.Fatal("linear models must not persist")
+	}
+}
+
+func TestLoadModelsRejectsGarbage(t *testing.T) {
+	if _, err := LoadModels(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}

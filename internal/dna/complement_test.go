@@ -1,0 +1,75 @@
+package dna
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestComplement(t *testing.T) {
+	cases := map[byte]byte{'A': 'T', 'T': 'A', 'C': 'G', 'G': 'C', 'R': 'Y', 'N': 'N', 'a': 'T', 'U': 'A'}
+	for in, want := range cases {
+		got, err := Complement(in)
+		if err != nil || got != want {
+			t.Errorf("Complement(%q) = %q, %v; want %q", string(in), string(got), err, string(want))
+		}
+	}
+	if _, err := Complement('X'); err == nil {
+		t.Error("X has no complement")
+	}
+}
+
+func TestReverseComplementPattern(t *testing.T) {
+	cases := map[string]string{
+		"TATAAA": "TTTATA",
+		"GAATTC": "GAATTC", // palindrome
+		"GTRAGT": "ACTYAC",
+		"A":      "T",
+	}
+	for in, want := range cases {
+		got, err := ReverseComplementPattern(in)
+		if err != nil || got != want {
+			t.Errorf("rc(%s) = %s, %v; want %s", in, got, err, want)
+		}
+	}
+	if _, err := ReverseComplementPattern("AXC"); err == nil {
+		t.Error("non-IUPAC should fail")
+	}
+}
+
+func TestReverseComplementSequence(t *testing.T) {
+	got := ReverseComplement([]byte("ACGT"))
+	if string(got) != "ACGT" { // ACGT is palindromic
+		t.Fatalf("rc(ACGT) = %s", got)
+	}
+	got = ReverseComplement([]byte("AAC!"))
+	if string(got) != "NGTT" {
+		t.Fatalf("rc(AAC!) = %s, want NGTT", got)
+	}
+}
+
+// Property: reverse complement is an involution on concrete sequences.
+func TestReverseComplementInvolution(t *testing.T) {
+	g := NewGenerator(Human, 77)
+	f := func(n uint8) bool {
+		seq := g.Generate(int(n))
+		return bytes.Equal(ReverseComplement(ReverseComplement(seq)), seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rc pattern of rc pattern is the original.
+func TestReverseComplementPatternInvolution(t *testing.T) {
+	for _, m := range DefaultMotifs() {
+		rc, err := ReverseComplementPattern(m.Pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReverseComplementPattern(rc)
+		if err != nil || back != m.Pattern {
+			t.Errorf("rc involution failed for %s: %s -> %s -> %s", m.Name, m.Pattern, rc, back)
+		}
+	}
+}

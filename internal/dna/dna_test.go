@@ -1,0 +1,209 @@
+package dna
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeByte(t *testing.T) {
+	cases := map[byte]struct {
+		code uint8
+		ok   bool
+	}{
+		'A': {BaseA, true}, 'a': {BaseA, true},
+		'C': {BaseC, true}, 'c': {BaseC, true},
+		'G': {BaseG, true}, 'g': {BaseG, true},
+		'T': {BaseT, true}, 't': {BaseT, true},
+		'N': {0, false}, 'X': {0, false}, '\n': {0, false}, '>': {0, false},
+	}
+	for b, want := range cases {
+		code, ok := EncodeByte(b)
+		if code != want.code || ok != want.ok {
+			t.Errorf("EncodeByte(%q) = %d,%v want %d,%v", string(b), code, ok, want.code, want.ok)
+		}
+	}
+}
+
+func TestLettersRoundTrip(t *testing.T) {
+	for code, letter := range Letters {
+		got, ok := EncodeByte(letter)
+		if !ok || got != uint8(code) {
+			t.Errorf("Letters[%d]=%q does not round-trip", code, string(letter))
+		}
+	}
+}
+
+func TestExpandIUPAC(t *testing.T) {
+	set, err := ExpandIUPAC('R')
+	if err != nil || len(set) != 2 {
+		t.Fatalf("R = %v, %v", set, err)
+	}
+	set, err = ExpandIUPAC('n') // lowercase accepted
+	if err != nil || len(set) != 4 {
+		t.Fatalf("n = %v, %v", set, err)
+	}
+	if _, err := ExpandIUPAC('Z'); err == nil {
+		t.Fatal("Z should not be IUPAC")
+	}
+	if _, err := ExpandIUPAC('@'); err == nil {
+		t.Fatal("@ should not be IUPAC")
+	}
+}
+
+func TestGenomesMatchPaper(t *testing.T) {
+	gs := Genomes()
+	if len(gs) != 4 {
+		t.Fatalf("want 4 genomes, got %d", len(gs))
+	}
+	// Order and sizes from Section IV-A: human 3.17, mouse 2.77, cat 2.43,
+	// dog 2.38 GB.
+	wantGB := []float64{3.17, 2.77, 2.43, 2.38}
+	for i, g := range gs {
+		if got := g.SizeMB / 1024; got != wantGB[i] {
+			t.Errorf("%s size = %.2f GB, want %.2f", g.Name, got, wantGB[i])
+		}
+	}
+	// Human is the reference complexity.
+	if Human.Complexity != 1.0 {
+		t.Errorf("human complexity = %g, want 1.0", Human.Complexity)
+	}
+}
+
+func TestGenomeByName(t *testing.T) {
+	g, err := GenomeByName("Mouse")
+	if err != nil || g.Name != "mouse" {
+		t.Fatalf("GenomeByName(Mouse) = %v, %v", g, err)
+	}
+	if _, err := GenomeByName("horse"); err == nil {
+		t.Fatal("unknown genome should fail")
+	}
+}
+
+func TestGenomeString(t *testing.T) {
+	if s := Human.String(); !strings.Contains(s, "human") || !strings.Contains(s, "MB") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestMotifValidate(t *testing.T) {
+	for _, m := range DefaultMotifs() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("default motif %s invalid: %v", m.Name, err)
+		}
+	}
+	if err := (Motif{Name: "bad", Pattern: ""}).Validate(); err == nil {
+		t.Error("empty pattern should fail")
+	}
+	if err := (Motif{Name: "bad", Pattern: "AXT"}).Validate(); err == nil {
+		t.Error("non-IUPAC should fail")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(Human, 1)
+	g2 := NewGenerator(Human, 1)
+	if !bytes.Equal(g1.Generate(4096), g2.Generate(4096)) {
+		t.Fatal("same seed must generate identical sequences")
+	}
+	g3 := NewGenerator(Human, 2)
+	if bytes.Equal(g1.Generate(4096), g3.Generate(4096)) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGeneratorWindowIndependence(t *testing.T) {
+	// GenerateAt(pos) must agree with the corresponding window of
+	// Generate.
+	g := NewGenerator(Cat, 77)
+	whole := g.Generate(10000)
+	for _, window := range []struct{ pos, n int }{{0, 100}, {500, 1000}, {9000, 1000}, {9999, 1}} {
+		part := make([]byte, window.n)
+		g.GenerateAt(int64(window.pos), part)
+		if !bytes.Equal(part, whole[window.pos:window.pos+window.n]) {
+			t.Fatalf("window at %d diverges from whole sequence", window.pos)
+		}
+	}
+}
+
+func TestGeneratorComposition(t *testing.T) {
+	// GC fraction should approximate the genome's GC parameter.
+	g := NewGenerator(Human, 5)
+	seq := g.Generate(1 << 18)
+	gc := 0
+	for _, b := range seq {
+		if b == 'G' || b == 'C' {
+			gc++
+		}
+	}
+	frac := float64(gc) / float64(len(seq))
+	if frac < Human.GC-0.02 || frac > Human.GC+0.02 {
+		t.Fatalf("GC fraction = %.3f, want ~%.2f", frac, Human.GC)
+	}
+	// Only ACGT bytes.
+	for _, b := range seq {
+		if _, ok := EncodeByte(b); !ok {
+			t.Fatalf("generator emitted non-ACGT byte %q", string(b))
+		}
+	}
+}
+
+func TestPlantedMotifGuarantees(t *testing.T) {
+	g, err := NewGenerator(Dog, 9).WithPlantedMotif("GGATCC", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 14
+	seq := g.Generate(n)
+	planted := g.PlantedCount(n)
+	if planted < n/256-2 {
+		t.Fatalf("planted count %d suspiciously low for %d bases", planted, n)
+	}
+	// Count literal occurrences; must be at least the planted count.
+	occ := bytes.Count(seq, []byte("GGATCC"))
+	if occ < planted {
+		t.Fatalf("found %d occurrences, planted %d", occ, planted)
+	}
+}
+
+func TestPlantedMotifWindowIndependence(t *testing.T) {
+	g, err := NewGenerator(Mouse, 13).WithPlantedMotif("TATAAA", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := g.Generate(8192)
+	part := make([]byte, 3000)
+	g.GenerateAt(2500, part)
+	if !bytes.Equal(part, whole[2500:5500]) {
+		t.Fatal("planting must be window-independent")
+	}
+}
+
+func TestWithPlantedMotifValidation(t *testing.T) {
+	if _, err := NewGenerator(Human, 1).WithPlantedMotif("", 100); err == nil {
+		t.Error("empty motif should fail")
+	}
+	if _, err := NewGenerator(Human, 1).WithPlantedMotif("ACGT", 4); err == nil {
+		t.Error("interval too small should fail")
+	}
+	if _, err := NewGenerator(Human, 1).WithPlantedMotif("ACNT", 100); err == nil {
+		t.Error("IUPAC in planted motif should fail")
+	}
+}
+
+// Property: window independence holds for arbitrary positions/lengths.
+func TestGenerateAtProperty(t *testing.T) {
+	g := NewGenerator(Human, 99)
+	whole := g.Generate(4096)
+	f := func(pos, n uint16) bool {
+		p := int(pos) % 4096
+		l := int(n) % (4096 - p)
+		part := make([]byte, l)
+		g.GenerateAt(int64(p), part)
+		return bytes.Equal(part, whole[p:p+l])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package dna
+
+import (
+	"fmt"
+)
+
+// Generator produces deterministic synthetic DNA with a target GC content
+// and optional planted motif occurrences. Two generators constructed with
+// the same parameters emit identical sequences, and generation is
+// position-addressable: GenerateAt can produce any window of the virtual
+// sequence without generating its prefix, which lets the parallel matching
+// engine stream multi-gigabyte virtual inputs piecewise.
+type Generator struct {
+	genome Genome
+	seed   uint64
+	// plant, when non-empty, is inserted at deterministic pseudo-random
+	// intervals with mean plantEvery bases.
+	plant      []byte
+	plantEvery int
+}
+
+// NewGenerator returns a generator for the genome's composition, keyed by
+// seed.
+func NewGenerator(genome Genome, seed uint64) *Generator {
+	return &Generator{genome: genome, seed: seed}
+}
+
+// WithPlantedMotif makes the generator overwrite the sequence with the
+// given motif at deterministic positions roughly every interval bases.
+// Planting guarantees a known lower bound of matches for tests. It returns
+// the generator for chaining and an error for invalid arguments.
+func (g *Generator) WithPlantedMotif(pattern string, interval int) (*Generator, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("dna: planted motif must be non-empty")
+	}
+	if interval < len(pattern)*2 {
+		return nil, fmt.Errorf("dna: plant interval %d too small for motif of length %d", interval, len(pattern))
+	}
+	for i := 0; i < len(pattern); i++ {
+		if _, ok := EncodeByte(pattern[i]); !ok {
+			return nil, fmt.Errorf("dna: planted motif must be concrete ACGT, got %q", string(pattern[i]))
+		}
+	}
+	g.plant = []byte(pattern)
+	g.plantEvery = interval
+	return g, nil
+}
+
+// mix is the SplitMix64 finalizer, used as a counter-based RNG so any
+// position's base can be derived independently.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// baseAt returns the raw (pre-planting) base at absolute position pos.
+func (g *Generator) baseAt(pos int64) byte {
+	r := mix(g.seed ^ uint64(pos)*0xD1B54A32D192ED03)
+	// Split the 64-bit draw: low bits choose GC vs AT per the genome's GC
+	// fraction, the next bit picks within the pair.
+	u := float64(r>>11) / (1 << 53)
+	gcPick := r&1 == 0
+	if u < g.genome.GC {
+		if gcPick {
+			return 'G'
+		}
+		return 'C'
+	}
+	if gcPick {
+		return 'A'
+	}
+	return 'T'
+}
+
+// plantStart returns the start position of the planted-motif occurrence in
+// plant window w (windows tile the sequence every plantEvery bases), or -1
+// if planting is disabled.
+func (g *Generator) plantStart(w int64) int64 {
+	if len(g.plant) == 0 {
+		return -1
+	}
+	span := int64(g.plantEvery - len(g.plant))
+	off := int64(mix(g.seed^0xA5A5A5A5A5A5A5A5^uint64(w)) % uint64(span))
+	return w*int64(g.plantEvery) + off
+}
+
+// GenerateAt fills dst with the bases of the virtual sequence starting at
+// absolute position pos. It is deterministic and window-independent.
+func (g *Generator) GenerateAt(pos int64, dst []byte) {
+	for i := range dst {
+		dst[i] = g.baseAt(pos + int64(i))
+	}
+	if len(g.plant) == 0 {
+		return
+	}
+	// Overlay planted occurrences from every window intersecting
+	// [pos, pos+len).
+	every := int64(g.plantEvery)
+	first := (pos - int64(len(g.plant))) / every
+	if first < 0 {
+		first = 0
+	}
+	last := (pos + int64(len(dst))) / every
+	for w := first; w <= last; w++ {
+		start := g.plantStart(w)
+		for j, b := range g.plant {
+			p := start + int64(j)
+			if p >= pos && p < pos+int64(len(dst)) {
+				dst[p-pos] = b
+			}
+		}
+	}
+}
+
+// FillAt is an alias for GenerateAt satisfying streaming-source interfaces
+// (notably parem.Source). Generators are immutable after construction, so
+// concurrent FillAt calls are safe.
+func (g *Generator) FillAt(pos int64, dst []byte) {
+	g.GenerateAt(pos, dst)
+}
+
+// Generate returns n freshly generated bases starting at position 0.
+func (g *Generator) Generate(n int) []byte {
+	out := make([]byte, n)
+	g.GenerateAt(0, out)
+	return out
+}
+
+// PlantedCount returns the number of complete planted occurrences whose
+// start positions fall in [0, n). It is the guaranteed lower bound of
+// matches in Generate(n)'s output (random occurrences can add more).
+func (g *Generator) PlantedCount(n int) int {
+	if len(g.plant) == 0 {
+		return 0
+	}
+	count := 0
+	for w := int64(0); ; w++ {
+		start := g.plantStart(w)
+		if start+int64(len(g.plant)) > int64(n) {
+			break
+		}
+		count++
+	}
+	return count
+}

@@ -1,0 +1,32 @@
+package dynsched
+
+import (
+	"testing"
+
+	"hetopt/internal/dna"
+	"hetopt/internal/offload"
+)
+
+func BenchmarkSimulate(b *testing.B) {
+	s := NewScheduler()
+	w := offload.GenomeWorkload(dna.Human)
+	cfg := fullConfig(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Simulate(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestChunk(b *testing.B) {
+	s := NewScheduler()
+	w := offload.GenomeWorkload(dna.Human)
+	candidates := []float64{1, 4, 16, 64, 128, 256, 512, 1024}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.BestChunk(w, fullConfig(0), candidates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+	"hetopt/internal/ml"
+	"hetopt/internal/offload"
+	"hetopt/internal/space"
+	"hetopt/internal/tables"
+)
+
+// Ablations probe the design choices DESIGN.md calls out: the SA
+// temperature scale, the SA neighborhood, the regressor family and the
+// boosting capacity. Each returns a rendered table so cmd/hetbench and
+// the benches can report them.
+
+// AblationCoolingRate compares SAML outcomes across initial temperatures
+// (the cooling rate follows from the budget, so temperature sets the
+// explore/exploit balance).
+func (s *Suite) AblationCoolingRate(g dna.Genome, iterations int) (string, error) {
+	inst, err := s.instance(g)
+	if err != nil {
+		return "", err
+	}
+	em, err := core.Run(core.EM, inst, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	tb := tables.New(fmt.Sprintf("Ablation: SA initial temperature (genome %s, %d iterations, %d seeds)",
+		g.Name, iterations, s.repeats()),
+		"initial temp", "mean SAML E [s]", "pct diff vs EM")
+	for _, t0 := range []float64{0.05, 0.5, core.DefaultInitialTemp, 50, 10000} {
+		sum := 0.0
+		for r := 0; r < s.repeats(); r++ {
+			res, err := core.Run(core.SAML, inst, core.Options{
+				Iterations:  iterations,
+				Seed:        s.Seed + int64(r),
+				InitialTemp: t0,
+			})
+			if err != nil {
+				return "", err
+			}
+			sum += res.MeasuredE()
+		}
+		mean := sum / float64(s.repeats())
+		tb.AddRow(tables.F(t0, 2), tables.F(mean, 4), tables.Percent(100*(mean-em.MeasuredE())/em.MeasuredE()))
+	}
+	return tb.String(), nil
+}
+
+// AblationNeighborhood compares the step-move neighborhood against
+// uniform resampling.
+func (s *Suite) AblationNeighborhood(g dna.Genome, iterations int) (string, error) {
+	inst, err := s.instance(g)
+	if err != nil {
+		return "", err
+	}
+	em, err := core.Run(core.EM, inst, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	tb := tables.New(fmt.Sprintf("Ablation: SA neighborhood (genome %s, %d iterations, %d seeds)",
+		g.Name, iterations, s.repeats()),
+		"neighborhood", "mean SAML E [s]", "pct diff vs EM")
+	for _, mode := range []struct {
+		name string
+		mode space.NeighborMode
+	}{{"step +-1", space.StepMove}, {"resample", space.ResampleMove}} {
+		sum := 0.0
+		for r := 0; r < s.repeats(); r++ {
+			res, err := core.Run(core.SAML, inst, core.Options{
+				Iterations:   iterations,
+				Seed:         s.Seed + int64(r),
+				NeighborMode: mode.mode,
+			})
+			if err != nil {
+				return "", err
+			}
+			sum += res.MeasuredE()
+		}
+		mean := sum / float64(s.repeats())
+		tb.AddRow(mode.name, tables.F(mean, 4), tables.Percent(100*(mean-em.MeasuredE())/em.MeasuredE()))
+	}
+	return tb.String(), nil
+}
+
+// AblationRegressors compares BDTR with the linear and Poisson
+// alternatives the paper considered (Section III-B), both on prediction
+// accuracy and on the quality of the SAML result they induce.
+func (s *Suite) AblationRegressors(g dna.Genome) (string, error) {
+	hostData, err := core.GenerateHostData(s.Platform, s.Plan)
+	if err != nil {
+		return "", err
+	}
+	devData, err := core.GenerateDeviceData(s.Platform, s.Plan)
+	if err != nil {
+		return "", err
+	}
+	w := dnaWorkload(g)
+	meas := core.NewMeasurer(s.Platform, w)
+	em, err := core.Run(core.EM, &core.Instance{Schema: s.Schema, Measurer: meas}, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	tb := tables.New(fmt.Sprintf("Ablation: regressor family (genome %s, 1000 iterations)", g.Name),
+		"regressor", "host pct err", "device pct err", "SAML pct diff vs EM")
+	for _, kind := range []core.RegressorKind{core.BoostedTrees, core.Linear, core.Poisson} {
+		models, err := core.TrainOnData(hostData, devData, core.TrainOptions{Kind: kind, SplitSeed: s.TrainOpt.SplitSeed})
+		if err != nil {
+			return "", err
+		}
+		pred, err := core.NewPredictor(models, w)
+		if err != nil {
+			return "", err
+		}
+		inst := &core.Instance{Schema: s.Schema, Measurer: meas, Predictor: pred}
+		sum := 0.0
+		for r := 0; r < s.repeats(); r++ {
+			res, err := core.Run(core.SAML, inst, core.Options{Iterations: 1000, Seed: s.Seed + int64(r)})
+			if err != nil {
+				return "", err
+			}
+			sum += res.MeasuredE()
+		}
+		mean := sum / float64(s.repeats())
+		tb.AddRow(kind.String(),
+			tables.Percent(models.HostReport.Eval.MeanPercentError),
+			tables.Percent(models.DeviceReport.Eval.MeanPercentError),
+			tables.Percent(100*(mean-em.MeasuredE())/em.MeasuredE()))
+	}
+	return tb.String(), nil
+}
+
+// AblationBoosting explores boosted-tree capacity: rounds and depth vs
+// held-out accuracy.
+func (s *Suite) AblationBoosting() (string, error) {
+	hostData, err := core.GenerateHostData(s.Platform, s.Plan)
+	if err != nil {
+		return "", err
+	}
+	devData, err := core.GenerateDeviceData(s.Platform, s.Plan)
+	if err != nil {
+		return "", err
+	}
+	tb := tables.New("Ablation: boosting capacity", "rounds", "depth", "lr", "host pct err", "device pct err")
+	for _, cfg := range []ml.BoostOptions{
+		{Rounds: 25, LearningRate: 0.3, Tree: ml.TreeOptions{MaxDepth: 3, MinLeaf: 5}, Subsample: 0.9, Seed: 1},
+		{Rounds: 100, LearningRate: 0.1, Tree: ml.TreeOptions{MaxDepth: 5, MinLeaf: 5}, Subsample: 0.9, Seed: 1},
+		{Rounds: 300, LearningRate: 0.08, Tree: ml.TreeOptions{MaxDepth: 7, MinLeaf: 5}, Subsample: 0.9, Seed: 1},
+	} {
+		models, err := core.TrainOnData(hostData, devData, core.TrainOptions{Boost: cfg, SplitSeed: s.TrainOpt.SplitSeed})
+		if err != nil {
+			return "", err
+		}
+		tb.AddRow(fmt.Sprint(cfg.Rounds), fmt.Sprint(cfg.Tree.MaxDepth), tables.F(cfg.LearningRate, 2),
+			tables.Percent(models.HostReport.Eval.MeanPercentError),
+			tables.Percent(models.DeviceReport.Eval.MeanPercentError))
+	}
+	return tb.String(), nil
+}
+
+// RenderAblations runs every ablation and concatenates the reports.
+func (s *Suite) RenderAblations() (string, error) {
+	var sb strings.Builder
+	cool, err := s.AblationCoolingRate(dna.Human, 1000)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(cool)
+	sb.WriteByte('\n')
+	nb, err := s.AblationNeighborhood(dna.Human, 1000)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(nb)
+	sb.WriteByte('\n')
+	reg, err := s.AblationRegressors(dna.Human)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(reg)
+	sb.WriteByte('\n')
+	boost, err := s.AblationBoosting()
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(boost)
+	return sb.String(), nil
+}
+
+func dnaWorkload(g dna.Genome) offload.Workload {
+	return offload.GenomeWorkload(g)
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hetopt/internal/dna"
+)
+
+func TestExtAdaptiveClosesTheGap(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.ExtAdaptive(500, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 genomes", len(rows))
+	}
+	improvedSomewhere := false
+	for _, r := range rows {
+		if r.RefinedE > r.SAMLE+1e-12 {
+			t.Errorf("%s: refinement worsened SAML (%g -> %g)", r.Genome, r.SAMLE, r.RefinedE)
+		}
+		if r.RefinedPd < -1e-9 {
+			t.Errorf("%s: refined result beat the enumerated optimum", r.Genome)
+		}
+		if r.RefinedPd < r.SAMLPd-1e-9 {
+			improvedSomewhere = true
+		}
+		// The adaptive pipeline must stay far below enumeration effort.
+		if r.Experiments > 100 {
+			t.Errorf("%s: %d experiments is not 'adaptive'", r.Genome, r.Experiments)
+		}
+	}
+	if !improvedSomewhere {
+		t.Error("refinement never improved any genome; the extension is vacuous")
+	}
+	text := RenderAdaptive(rows, 500, 60)
+	if !strings.Contains(text, "refined E [s]") {
+		t.Error("rendered adaptive table incomplete")
+	}
+}
+
+func TestExtSizeSweepShowsCrossover(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.ExtSizeSweep(dna.Human, []float64{100, 400, 1600, 3200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Small inputs run CPU-only; the largest splits (paper Section II-C).
+	if !rows[0].CPUOnly {
+		t.Errorf("100 MB should tune to CPU-only, got host fraction %g", rows[0].HostFraction)
+	}
+	last := rows[len(rows)-1]
+	if last.CPUOnly {
+		t.Error("3200 MB should tune to a split")
+	}
+	if last.HostFraction <= 0 || last.HostFraction >= 100 {
+		t.Errorf("3200 MB host fraction = %g, want a real split", last.HostFraction)
+	}
+	// Execution time grows with size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].E <= rows[i-1].E {
+			t.Errorf("E not increasing with size: %v", rows)
+		}
+	}
+	if _, err := s.ExtSizeSweep(dna.Human, nil); err == nil {
+		t.Error("empty size list should fail")
+	}
+	text := RenderSizeSweep(rows, dna.Human)
+	if !strings.Contains(text, "CPU only") || !strings.Contains(text, "split") {
+		t.Error("rendered sweep missing modes")
+	}
+}
+
+func TestWriteJSONReport(t *testing.T) {
+	s := testSuite(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.SpaceSize != 19926 {
+		t.Errorf("space size = %d", report.SpaceSize)
+	}
+	if len(report.Fig2) != 3 || len(report.Comparisons) != 4 {
+		t.Errorf("report incomplete: fig2=%d comparisons=%d", len(report.Fig2), len(report.Comparisons))
+	}
+	if report.HostErrorHistogram.Counts == nil || report.Result3.EMExperiments != 19926 {
+		t.Error("histogram or result3 missing")
+	}
+	if len(report.Table6Average) != len(PaperIterations()) {
+		t.Errorf("table6 average has %d entries", len(report.Table6Average))
+	}
+}

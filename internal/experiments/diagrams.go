@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hetopt/internal/machine"
+)
+
+// The paper's non-data figures are diagrams; RenderFig1/3/4 reproduce
+// them as ASCII art so the report covers every figure.
+
+// RenderFig1 draws the heterogeneous platform diagram (paper Figure 1):
+// the host's sockets and cores on the left, the accelerator on the right,
+// joined by PCIe.
+func (s *Suite) RenderFig1() string {
+	host, dev := s.Platform.Host(), s.Platform.Device()
+	var sb strings.Builder
+	sb.WriteString("Figure 1: target accelerated system\n\n")
+
+	left := processorBox(host, "Host")
+	right := processorBox(dev, "Device")
+	// Join side by side with the PCIe link on the middle line.
+	maxLines := len(left)
+	if len(right) > maxLines {
+		maxLines = len(right)
+	}
+	width := 0
+	for _, l := range left {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i := 0; i < maxLines; i++ {
+		var l, r string
+		if i < len(left) {
+			l = left[i]
+		}
+		if i < len(right) {
+			r = right[i]
+		}
+		link := "        "
+		if i == maxLines/2 {
+			link = "--PCIe--"
+		}
+		fmt.Fprintf(&sb, "%-*s %s %s\n", width, l, link, r)
+	}
+	return sb.String()
+}
+
+// processorBox renders one processor as a bordered box of facts.
+func processorBox(p *machine.Processor, role string) []string {
+	lines := []string{
+		fmt.Sprintf("%s: %s", role, p.Name),
+		fmt.Sprintf("%d socket(s) x %d cores", p.Sockets, p.CoresPerSocket),
+		fmt.Sprintf("%d HW threads/core -> %d threads", p.ThreadsPerCore, p.TotalThreads()),
+		fmt.Sprintf("%.1f MB cache, %.0f GB/s", p.CacheMB, p.MemBandwidthGBs),
+		fmt.Sprintf("%d-bit SIMD", p.VectorBits),
+	}
+	if p.ReservedCores > 0 {
+		lines = append(lines, fmt.Sprintf("%d core(s) reserved for uOS", p.ReservedCores))
+	}
+	width := 0
+	for _, l := range lines {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	out := []string{"+" + strings.Repeat("-", width+2) + "+"}
+	for _, l := range lines {
+		out = append(out, fmt.Sprintf("| %-*s |", width, l))
+	}
+	out = append(out, "+"+strings.Repeat("-", width+2)+"+")
+	return out
+}
+
+// RenderFig3 draws the simulated-annealing flowchart (paper Figure 3).
+func RenderFig3() string {
+	return `Figure 3: structure of the simulated annealing algorithm
+
+  [ set initial & best solution, temperature T ]
+                     |
+                     v
+        +--> [ generate a new solution ]
+        |            |
+        |            v
+        |   [ evaluate the new solution:
+        |     predict T_host and T_device,
+        |     E' = max(T_host, T_device) ]
+        |            |
+        |            v
+        |   ( E' < E  or  p = exp((E-E')/T) close to 1 ? )
+        |        | yes                | no
+        |        v                    |
+        |   [ update current          |
+        |     and best solution ]     |
+        |        |                    |
+        |        +--------+-----------+
+        |                 v
+        |        [ T = T * (1 - coolingRate) ]
+        |                 |
+        |                 v
+        +------ no ( T < stop temperature ? ) yes --> [ stop ]
+`
+}
+
+// RenderFig4 draws the predictive-model pipeline (paper Figure 4).
+func RenderFig4() string {
+	return `Figure 4: the predictive model using boosted decision tree regression
+
+   training (offline)                     prediction (online)
+  +--------------------+               +------------------------+
+  |   training data    |               |  proposed system       |
+  | (7200 experiments) |               |  configuration         |
+  +--------------------+               +------------------------+
+            |                                      |
+            v                                      v
+  +--------------------+               +------------------------+
+  |   normalize data   | -- ranges --> |  normalize features    |
+  +--------------------+               +------------------------+
+            |                                      |
+            v                                      v
+  +--------------------+   ensemble    +------------------------+
+  |    train model     | ------------> |  boosted decision tree |
+  |  (least-squares    |               |  regression:           |
+  |   gradient boost)  |               |  predict T_host,       |
+  +--------------------+               |  T_device              |
+                                       +------------------------+
+`
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hetopt/internal/dna"
+)
+
+// sharedSuite is trained once and reused across tests: model training
+// dominates test time and is deterministic.
+var (
+	sharedOnce  sync.Once
+	sharedSuite *Suite
+	sharedErr   error
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedSuite = NewSuite()
+		sharedSuite.Repeats = 2 // keep method-comparison tests fast
+		_, sharedErr = sharedSuite.Models()
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedSuite
+}
+
+func TestFig2ReproducesPaperShapes(t *testing.T) {
+	s := testSuite(t)
+	series, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("scenarios = %d, want 3", len(series))
+	}
+	// Figure 2a: CPU-only is fastest for the small input.
+	a := series[0]
+	if a.Ratios[a.BestIndex] != "CPU only" {
+		t.Errorf("fig2a best = %s, want CPU only", a.Ratios[a.BestIndex])
+	}
+	// Figure 2b: a balanced split wins for the large input at 48 threads.
+	b := series[1]
+	if f := b.HostFractions[b.BestIndex]; f < 50 || f > 80 {
+		t.Errorf("fig2b best host share = %g, want within [50,80]", f)
+	}
+	// Figure 2c: the device takes the majority with 4 host threads.
+	c := series[2]
+	if f := c.HostFractions[c.BestIndex]; f > 40 {
+		t.Errorf("fig2c best host share = %g, want <= 40", f)
+	}
+	// Normalization covers [1, 10] per the paper's presentation.
+	for _, sr := range series {
+		lo, hi := sr.Normalized[0], sr.Normalized[0]
+		for _, v := range sr.Normalized {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo != 1 || hi != 10 {
+			t.Errorf("%s normalized range [%g,%g], want [1,10]", sr.Scenario.Label, lo, hi)
+		}
+		if len(sr.Ratios) != 11 {
+			t.Errorf("%s has %d ratios, want 11", sr.Scenario.Label, len(sr.Ratios))
+		}
+	}
+	text := RenderFig2(series)
+	for _, want := range []string{"fig2a", "fig2b", "fig2c", "CPU only", "Phi only", "<- best"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered fig2 missing %q", want)
+		}
+	}
+}
+
+func TestModelAccuracyWithinPaperBands(t *testing.T) {
+	s := testSuite(t)
+	models, err := s.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: host 5.239%, device 3.132%. Allow generous bands.
+	if pct := models.HostReport.Eval.MeanPercentError; pct > 8 {
+		t.Errorf("host percent error %.2f%% outside band (paper 5.24%%)", pct)
+	}
+	if pct := models.DeviceReport.Eval.MeanPercentError; pct > 6 {
+		t.Errorf("device percent error %.2f%% outside band (paper 3.13%%)", pct)
+	}
+	// Split halves: 1440/1440 host, 2160/2160 device.
+	if models.HostReport.TrainN != 1440 || models.HostReport.TestN != 1440 {
+		t.Errorf("host split %d/%d, want 1440/1440", models.HostReport.TrainN, models.HostReport.TestN)
+	}
+	if models.DeviceReport.TrainN != 2160 || models.DeviceReport.TestN != 2160 {
+		t.Errorf("device split %d/%d, want 2160/2160", models.DeviceReport.TrainN, models.DeviceReport.TestN)
+	}
+}
+
+func TestFig5HostCurves(t *testing.T) {
+	s := testSuite(t)
+	pc, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Side != "host" || len(pc.ThreadCounts) != 4 {
+		t.Fatalf("unexpected curves %v", pc.ThreadCounts)
+	}
+	for _, n := range pc.ThreadCounts {
+		pts := pc.Curves[n]
+		if len(pts) != len(s.Plan.Genomes)*len(s.Plan.Fractions) {
+			t.Fatalf("%dT: %d points", n, len(pts))
+		}
+		// Sizes sorted; predictions track measurements.
+		var worst float64
+		for i := 1; i < len(pts); i++ {
+			if pts[i].SizeMB < pts[i-1].SizeMB {
+				t.Fatalf("%dT: sizes not sorted", n)
+			}
+		}
+		var pctSum float64
+		for _, p := range pts {
+			pct := 100 * abs(p.Measured-p.Predicted) / p.Measured
+			pctSum += pct
+			if pct > worst {
+				worst = pct
+			}
+		}
+		if mean := pctSum / float64(len(pts)); mean > 12 {
+			t.Errorf("%dT: mean prediction error %.1f%% too large", n, mean)
+		}
+	}
+	// More threads must be faster at the same size (paper Figure 5).
+	p6 := pc.Curves[6]
+	p48 := pc.Curves[48]
+	if p6[len(p6)-1].Measured <= p48[len(p48)-1].Measured {
+		t.Error("6 threads should be slower than 48 at the largest size")
+	}
+	text := RenderPredictionCurves(pc, "Figure 5")
+	if !strings.Contains(text, "48T measured") || !strings.Contains(text, "48T predicted") {
+		t.Error("rendered curves missing series labels")
+	}
+}
+
+func TestFig6DeviceCurves(t *testing.T) {
+	s := testSuite(t)
+	pc, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Side != "device" {
+		t.Fatal("wrong side")
+	}
+	// 240 threads beat 30 at the largest size.
+	p30 := pc.Curves[30]
+	p240 := pc.Curves[240]
+	if p30[len(p30)-1].Measured <= p240[len(p240)-1].Measured {
+		t.Error("30 device threads should be slower than 240")
+	}
+}
+
+func TestFig7And8Histograms(t *testing.T) {
+	s := testSuite(t)
+	h7, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h7.Hist.Total() != 1440 {
+		t.Errorf("fig7 samples = %d, want 1440 (host test half)", h7.Hist.Total())
+	}
+	h8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h8.Hist.Total() != 2160 {
+		t.Errorf("fig8 samples = %d, want 2160 (device test half)", h8.Hist.Total())
+	}
+	// Result 2: "most of the absolute error values are low" — at least
+	// half the mass in the lower half of the buckets.
+	lowerMass := 0
+	for i := 0; i < len(h7.Hist.Counts)/2; i++ {
+		lowerMass += h7.Hist.Counts[i]
+	}
+	if lowerMass < h7.Hist.Total()/2 {
+		t.Errorf("host error mass not concentrated low: %d of %d", lowerMass, h7.Hist.Total())
+	}
+	text := RenderErrorHistogram(h7, "Figure 7")
+	if !strings.Contains(text, "host") || !strings.Contains(text, "#") {
+		t.Error("rendered histogram looks empty")
+	}
+}
+
+func TestTables4And5(t *testing.T) {
+	s := testSuite(t)
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != len(s.Plan.HostThreads) {
+		t.Fatalf("table 4 rows = %d, want %d", len(t4.Rows), len(s.Plan.HostThreads))
+	}
+	if t4.AvgPercent <= 0 || t4.AvgPercent > 10 {
+		t.Errorf("table 4 avg percent = %.2f implausible", t4.AvgPercent)
+	}
+	t5, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != len(s.Plan.DeviceThreads) {
+		t.Fatalf("table 5 rows = %d, want %d", len(t5.Rows), len(s.Plan.DeviceThreads))
+	}
+	text := RenderAccuracyTable(t4, "Table IV")
+	if !strings.Contains(text, "avg") {
+		t.Error("rendered accuracy table missing average row")
+	}
+}
+
+func TestMethodComparisonSingleGenome(t *testing.T) {
+	s := testSuite(t)
+	mc, err := s.MethodComparisonFor(dna.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.EMExperiments != 19926 {
+		t.Fatalf("EM performed %d experiments, want 19926", mc.EMExperiments)
+	}
+	if len(mc.SAML) != len(PaperIterations()) || len(mc.SAM) != len(PaperIterations()) {
+		t.Fatal("budget sweep incomplete")
+	}
+	for i := range mc.SAML {
+		// EM is the enumerated optimum: nothing beats it.
+		if mc.SAML[i] < mc.EM-1e-12 || mc.SAM[i] < mc.EM-1e-12 {
+			t.Fatalf("budget %d: SA beat the enumerated optimum", mc.Iterations[i])
+		}
+	}
+	if mc.HostOnly <= mc.EM || mc.DeviceOnly <= mc.EM {
+		t.Fatal("heterogeneous optimum should beat both baselines")
+	}
+	// Result 3 shape: late budgets should be no worse than the first one
+	// on average.
+	if mc.SAML[len(mc.SAML)-1] > mc.SAML[0]*1.2 {
+		t.Errorf("SAML at 2000 iterations (%g) much worse than at 250 (%g)", mc.SAML[len(mc.SAML)-1], mc.SAML[0])
+	}
+}
+
+func TestDerivedTablesFromSyntheticData(t *testing.T) {
+	mcs := []MethodComparison{
+		{
+			Genome:     "human",
+			Iterations: []int{250, 1000},
+			SAML:       []float64{0.45, 0.40},
+			SAM:        []float64{0.42, 0.39},
+			EM:         0.36, EML: 0.38, EMExperiments: 19926,
+			HostOnly: 0.60, DeviceOnly: 0.72,
+		},
+		{
+			Genome:     "mouse",
+			Iterations: []int{250, 1000},
+			SAML:       []float64{0.40, 0.36},
+			SAM:        []float64{0.38, 0.34},
+			EM:         0.32, EML: 0.33, EMExperiments: 19926,
+			HostOnly: 0.55, DeviceOnly: 0.62,
+		},
+	}
+	t6 := Table6(mcs)
+	if !t6.Percent || len(t6.Average) != 2 {
+		t.Fatalf("table 6 malformed: %+v", t6)
+	}
+	wantHuman := 100 * (0.45 - 0.36) / 0.36
+	if got := t6.Rows["human"][0]; abs(got-wantHuman) > 1e-9 {
+		t.Fatalf("human pd = %g, want %g", got, wantHuman)
+	}
+	if t6.Average[0] <= t6.Average[1] {
+		t.Fatal("average percent difference should shrink with iterations")
+	}
+	t7 := Table7(mcs)
+	if got := t7.Rows["mouse"][1]; abs(got-0.04) > 1e-9 {
+		t.Fatalf("mouse abs diff = %g, want 0.04", got)
+	}
+	t8 := Table8(mcs)
+	if got := t8.Rows["human"][1]; abs(got-0.60/0.40) > 1e-9 {
+		t.Fatalf("human host speedup = %g", got)
+	}
+	if got := t8.EMRow["human"]; abs(got-0.60/0.36) > 1e-9 {
+		t.Fatalf("human EM speedup = %g", got)
+	}
+	t9 := Table9(mcs)
+	if got := t9.MaxSpeedup(1000); abs(got-0.72/0.40) > 1e-9 {
+		t.Fatalf("max device speedup = %g", got)
+	}
+	r3, err := Result3(mcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(r3.Fraction-100*1000.0/19926) > 1e-9 {
+		t.Fatalf("result 3 fraction = %g", r3.Fraction)
+	}
+	for _, text := range []string{
+		RenderDifferenceTable(t6, "Table VI"),
+		RenderDifferenceTable(t7, "Table VII"),
+		RenderSpeedupTable(t8, "Table VIII"),
+		RenderSpeedupTable(t9, "Table IX"),
+		RenderFig9(mcs),
+	} {
+		if !strings.Contains(text, "human") || !strings.Contains(text, "mouse") {
+			t.Error("rendered table missing genomes")
+		}
+	}
+}
+
+func TestResult3Errors(t *testing.T) {
+	if _, err := Result3(nil); err == nil {
+		t.Error("empty comparisons should fail")
+	}
+	if _, err := Result3([]MethodComparison{{Genome: "x", Iterations: []int{10}, SAML: []float64{1}, EM: 1}}); err == nil {
+		t.Error("missing 1000-iteration budget should fail")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	s := testSuite(t)
+	t1 := s.RenderTable1()
+	if !strings.Contains(t1, "19926") {
+		t.Error("table 1 missing space size")
+	}
+	t2 := RenderTable2()
+	for _, m := range []string{"EM", "EML", "SAM", "SAML"} {
+		if !strings.Contains(t2, m) {
+			t.Errorf("table 2 missing %s", m)
+		}
+	}
+	t3 := s.RenderTable3()
+	for _, wantStr := range []string{"Xeon Phi", "61", "244", "352.0"} {
+		if !strings.Contains(t3, wantStr) {
+			t.Errorf("table 3 missing %q", wantStr)
+		}
+	}
+}
+
+func TestGenomeSeedDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, g := range dna.Genomes() {
+		s := genomeSeed(g.Name)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("genomes %s and %s share a seed", prev, g.Name)
+		}
+		seen[s] = g.Name
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+	"hetopt/internal/heuristics"
+	"hetopt/internal/space"
+	"hetopt/internal/tables"
+)
+
+// searchProblem adapts the configuration space + an evaluator to the
+// heuristics package's Problem interface.
+type searchProblem struct {
+	schema *space.Schema
+	eval   core.Evaluator
+	err    error
+}
+
+func (p *searchProblem) Dim() int { return p.schema.Space().Dim() }
+
+func (p *searchProblem) Levels(i int) int { return p.schema.Space().Params[i].Levels() }
+
+func (p *searchProblem) Energy(state []int) float64 {
+	if p.err != nil {
+		return math.Inf(1)
+	}
+	cfg, err := p.schema.Config(state)
+	if err != nil {
+		p.err = err
+		return math.Inf(1)
+	}
+	t, err := p.eval.Evaluate(cfg)
+	if err != nil {
+		p.err = err
+		return math.Inf(1)
+	}
+	return t.E()
+}
+
+// HeuristicResult is one row of the explorer comparison.
+type HeuristicResult struct {
+	// Name of the search heuristic.
+	Name string
+	// MeanMeasuredE is the measured objective of the suggested
+	// configuration, averaged over Suite.Repeats seeds.
+	MeanMeasuredE float64
+	// PercentVsEM is the gap to the enumerated optimum.
+	PercentVsEM float64
+}
+
+// HeuristicComparison is the extension experiment behind the paper's
+// Section III-A discussion: all candidate metaheuristics explore the same
+// configuration space with ML evaluation under an equal budget, and their
+// suggestions are measured for fair comparison. Simulated annealing (the
+// paper's choice) is included via the regular SAML path.
+func (s *Suite) HeuristicComparison(g dna.Genome, budget int) ([]HeuristicResult, float64, error) {
+	inst, err := s.instance(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	em, err := core.Run(core.EM, inst, core.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	measureBest := func(best []int) (float64, error) {
+		cfg, err := inst.Schema.Config(best)
+		if err != nil {
+			return 0, err
+		}
+		t, err := inst.Measurer.Evaluate(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return t.E(), nil
+	}
+
+	type searcher struct {
+		name string
+		run  func(seed int64) ([]int, error)
+	}
+	problem := func() *searchProblem {
+		return &searchProblem{schema: inst.Schema, eval: inst.Predictor}
+	}
+	searchers := []searcher{
+		{"simulated-annealing", func(seed int64) ([]int, error) {
+			res, err := core.Run(core.SAML, inst, core.Options{Iterations: budget, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return inst.Schema.Index(res.Config)
+		}},
+		{"tabu-search", func(seed int64) ([]int, error) {
+			p := problem()
+			res, err := heuristics.TabuSearch(p, heuristics.TabuOptions{Options: heuristics.Options{Budget: budget, Seed: seed}})
+			if err != nil {
+				return nil, err
+			}
+			if p.err != nil {
+				return nil, p.err
+			}
+			return res.Best, nil
+		}},
+		{"local-search", func(seed int64) ([]int, error) {
+			p := problem()
+			res, err := heuristics.LocalSearch(p, heuristics.Options{Budget: budget, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			if p.err != nil {
+				return nil, p.err
+			}
+			return res.Best, nil
+		}},
+		{"genetic-algorithm", func(seed int64) ([]int, error) {
+			p := problem()
+			res, err := heuristics.Genetic(p, heuristics.GeneticOptions{Options: heuristics.Options{Budget: budget, Seed: seed}})
+			if err != nil {
+				return nil, err
+			}
+			if p.err != nil {
+				return nil, p.err
+			}
+			return res.Best, nil
+		}},
+		{"random-search", func(seed int64) ([]int, error) {
+			p := problem()
+			res, err := heuristics.RandomSearch(p, heuristics.Options{Budget: budget, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			if p.err != nil {
+				return nil, p.err
+			}
+			return res.Best, nil
+		}},
+	}
+
+	var out []HeuristicResult
+	for _, sr := range searchers {
+		sum := 0.0
+		for r := 0; r < s.repeats(); r++ {
+			best, err := sr.run(s.Seed + int64(r))
+			if err != nil {
+				return nil, 0, fmt.Errorf("experiments: %s: %w", sr.name, err)
+			}
+			e, err := measureBest(best)
+			if err != nil {
+				return nil, 0, err
+			}
+			sum += e
+		}
+		mean := sum / float64(s.repeats())
+		out = append(out, HeuristicResult{
+			Name:          sr.name,
+			MeanMeasuredE: mean,
+			PercentVsEM:   100 * (mean - em.MeasuredE()) / em.MeasuredE(),
+		})
+	}
+	return out, em.MeasuredE(), nil
+}
+
+// RenderHeuristicComparison formats the explorer comparison.
+func RenderHeuristicComparison(rows []HeuristicResult, emE float64, g dna.Genome, budget, repeats int) string {
+	tb := tables.New(fmt.Sprintf("Extension: metaheuristic comparison (genome %s, budget %d evaluations, %d seeds, EM optimum %.4f s)",
+		g.Name, budget, repeats, emE),
+		"heuristic", "mean measured E [s]", "pct diff vs EM")
+	for _, r := range rows {
+		tb.AddRow(r.Name, tables.F(r.MeanMeasuredE, 4), tables.Percent(r.PercentVsEM))
+	}
+	return tb.String()
+}

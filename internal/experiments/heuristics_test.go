@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetopt/internal/dna"
+)
+
+func TestHeuristicComparison(t *testing.T) {
+	s := testSuite(t)
+	rows, emE, err := s.HeuristicComparison(dna.Human, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 heuristics", len(rows))
+	}
+	if emE <= 0 {
+		t.Fatal("EM reference not positive")
+	}
+	byName := map[string]HeuristicResult{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		// No heuristic may beat the enumerated optimum.
+		if r.PercentVsEM < -1e-9 {
+			t.Errorf("%s beat the EM optimum (pd %.2f%%)", r.Name, r.PercentVsEM)
+		}
+		if r.MeanMeasuredE < emE-1e-12 {
+			t.Errorf("%s measured below optimum", r.Name)
+		}
+	}
+	for _, want := range []string{"simulated-annealing", "tabu-search", "local-search", "genetic-algorithm", "random-search"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("missing heuristic %s", want)
+		}
+	}
+	// The guided heuristics (excluding SA, which needs a longer budget to
+	// finish cooling) should beat uniform random sampling.
+	if byName["genetic-algorithm"].MeanMeasuredE >= byName["random-search"].MeanMeasuredE {
+		t.Error("genetic algorithm should beat random search")
+	}
+	text := RenderHeuristicComparison(rows, emE, dna.Human, 500, s.repeats())
+	if !strings.Contains(text, "tabu-search") || !strings.Contains(text, "EM optimum") {
+		t.Error("rendered comparison incomplete")
+	}
+}

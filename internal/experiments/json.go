@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the machine-readable form of the full evaluation, for
+// regenerating the paper's figures with external plotting tools.
+type Report struct {
+	// SpaceSize is the configuration-space cardinality (19,926).
+	SpaceSize int `json:"space_size"`
+	// Fig2 holds the motivational sweeps.
+	Fig2 []Fig2Series `json:"fig2"`
+	// Host and Device prediction accuracy.
+	HostAccuracy   AccuracyTable `json:"table4_host_accuracy"`
+	DeviceAccuracy AccuracyTable `json:"table5_device_accuracy"`
+	// HostErrorHistogram and DeviceErrorHistogram mirror Figures 7/8.
+	HostErrorHistogram   HistogramJSON `json:"fig7_host_error_histogram"`
+	DeviceErrorHistogram HistogramJSON `json:"fig8_device_error_histogram"`
+	// Comparisons holds the per-genome method comparison (Figure 9 and
+	// Tables VI-IX derive from it).
+	Comparisons []MethodComparison `json:"fig9_method_comparison"`
+	// Table6Average is the average percent difference row of Table VI.
+	Table6Average []float64 `json:"table6_average_percent_difference"`
+	// Result3 summarizes the search-effort claim.
+	Result3 Result3Summary `json:"result3"`
+}
+
+// HistogramJSON is the serializable histogram form.
+type HistogramJSON struct {
+	Edges    []float64 `json:"edges"`
+	Counts   []int     `json:"counts"`
+	Overflow int       `json:"overflow"`
+}
+
+// BuildReport runs the core experiments and assembles the JSON report.
+func (s *Suite) BuildReport() (*Report, error) {
+	fig2, err := s.Fig2()
+	if err != nil {
+		return nil, err
+	}
+	t4, err := s.Table4()
+	if err != nil {
+		return nil, err
+	}
+	t5, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	f7, err := s.Fig7()
+	if err != nil {
+		return nil, err
+	}
+	f8, err := s.Fig8()
+	if err != nil {
+		return nil, err
+	}
+	fig9, err := s.Fig9()
+	if err != nil {
+		return nil, err
+	}
+	r3, err := Result3(fig9)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		SpaceSize:      s.Schema.Size(),
+		Fig2:           fig2,
+		HostAccuracy:   t4,
+		DeviceAccuracy: t5,
+		HostErrorHistogram: HistogramJSON{
+			Edges: f7.Hist.Edges, Counts: f7.Hist.Counts, Overflow: f7.Hist.Overflow,
+		},
+		DeviceErrorHistogram: HistogramJSON{
+			Edges: f8.Hist.Edges, Counts: f8.Hist.Counts, Overflow: f8.Hist.Overflow,
+		},
+		Comparisons:   fig9,
+		Table6Average: Table6(fig9).Average,
+		Result3:       r3,
+	}, nil
+}
+
+// WriteJSON builds the report and writes it, indented, to w.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	report, err := s.BuildReport()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return fmt.Errorf("experiments: encoding JSON report: %w", err)
+	}
+	return nil
+}

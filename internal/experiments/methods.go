@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+	"hetopt/internal/stats"
+	"hetopt/internal/tables"
+)
+
+// PaperIterations are the SA budgets of Tables VI-IX and Figure 9.
+func PaperIterations() []int {
+	return []int{250, 500, 750, 1000, 1250, 1500, 1750, 2000}
+}
+
+// MethodComparison is the per-genome result behind Figure 9 and
+// Tables VI-IX: measured execution times of the configurations suggested
+// by each method.
+type MethodComparison struct {
+	// Genome is the input's name.
+	Genome string
+	// Iterations lists the SA budgets.
+	Iterations []int
+	// SAML and SAM hold the measured E of the suggested configuration per
+	// budget, averaged over Suite.Repeats seeds.
+	SAML, SAM []float64
+	// EM and EML are the enumeration references; EMExperiments the
+	// enumeration effort (19,926 in the paper space).
+	EM, EML       float64
+	EMExperiments int
+	// HostOnly and DeviceOnly are the baselines of Tables VIII and IX.
+	HostOnly, DeviceOnly float64
+}
+
+// MethodComparisonFor runs the full comparison for one genome.
+func (s *Suite) MethodComparisonFor(g dna.Genome) (MethodComparison, error) {
+	inst, err := s.instance(g)
+	if err != nil {
+		return MethodComparison{}, err
+	}
+	mc := MethodComparison{Genome: g.Name, Iterations: PaperIterations()}
+
+	em, err := core.Run(core.EM, inst, core.Options{})
+	if err != nil {
+		return MethodComparison{}, fmt.Errorf("experiments: EM on %s: %w", g.Name, err)
+	}
+	mc.EM = em.MeasuredE()
+	mc.EMExperiments = em.SearchEvaluations
+
+	eml, err := core.Run(core.EML, inst, core.Options{})
+	if err != nil {
+		return MethodComparison{}, fmt.Errorf("experiments: EML on %s: %w", g.Name, err)
+	}
+	mc.EML = eml.MeasuredE()
+
+	host, err := core.HostOnlyBaseline(inst)
+	if err != nil {
+		return MethodComparison{}, err
+	}
+	mc.HostOnly = host.MeasuredE()
+	device, err := core.DeviceOnlyBaseline(inst)
+	if err != nil {
+		return MethodComparison{}, err
+	}
+	mc.DeviceOnly = device.MeasuredE()
+
+	for _, iters := range mc.Iterations {
+		var samlSum, samSum float64
+		for r := 0; r < s.repeats(); r++ {
+			// Seeds are paired across budgets (the same seed set per
+			// column) so the iteration-count effect is not drowned in
+			// between-run variance.
+			seed := s.Seed + int64(r) + genomeSeed(g.Name)
+			saml, err := core.Run(core.SAML, inst, core.Options{Iterations: iters, Seed: seed})
+			if err != nil {
+				return MethodComparison{}, fmt.Errorf("experiments: SAML on %s: %w", g.Name, err)
+			}
+			samlSum += saml.MeasuredE()
+			sam, err := core.Run(core.SAM, inst, core.Options{Iterations: iters, Seed: seed})
+			if err != nil {
+				return MethodComparison{}, fmt.Errorf("experiments: SAM on %s: %w", g.Name, err)
+			}
+			samSum += sam.MeasuredE()
+		}
+		mc.SAML = append(mc.SAML, samlSum/float64(s.repeats()))
+		mc.SAM = append(mc.SAM, samSum/float64(s.repeats()))
+	}
+	return mc, nil
+}
+
+// genomeSeed decorrelates per-genome SA seeds deterministically.
+func genomeSeed(name string) int64 {
+	var h int64
+	for _, c := range name {
+		h = h*131 + int64(c)
+	}
+	return h
+}
+
+// Fig9 runs the method comparison for all four genomes.
+func (s *Suite) Fig9() ([]MethodComparison, error) {
+	var out []MethodComparison
+	for _, g := range s.Plan.Genomes {
+		mc, err := s.MethodComparisonFor(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mc)
+	}
+	return out, nil
+}
+
+// RenderFig9 plots the per-genome comparison: SAML and SAM versus the EM
+// and EML horizontal references.
+func RenderFig9(mcs []MethodComparison) string {
+	var sb strings.Builder
+	for _, mc := range mcs {
+		fmt.Fprintf(&sb, "Figure 9 (%s): execution time of suggested configuration vs SA iterations\n", mc.Genome)
+		xs := make([]float64, len(mc.Iterations))
+		emY := make([]float64, len(mc.Iterations))
+		emlY := make([]float64, len(mc.Iterations))
+		for i, it := range mc.Iterations {
+			xs[i] = float64(it)
+			emY[i] = mc.EM
+			emlY[i] = mc.EML
+		}
+		sb.WriteString(tables.LineChart("", []tables.Series{
+			{Name: "SAML", X: xs, Y: mc.SAML},
+			{Name: "SAM", X: xs, Y: mc.SAM},
+			{Name: "EM", X: xs, Y: emY},
+			{Name: "EML", X: xs, Y: emlY},
+		}, 72, 14))
+		tb := tables.New("", "iterations", "SAML [s]", "SAM [s]", "EM [s]", "EML [s]")
+		for i, it := range mc.Iterations {
+			tb.AddRow(fmt.Sprint(it), tables.F(mc.SAML[i], 4), tables.F(mc.SAM[i], 4), tables.F(mc.EM, 4), tables.F(mc.EML, 4))
+		}
+		sb.WriteString(tb.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DifferenceTable is Table VI (percent) or Table VII (absolute): the gap
+// between SAML's suggestion and the EM optimum per iteration budget.
+type DifferenceTable struct {
+	// Percent selects the metric.
+	Percent bool
+	// Iterations are the column budgets.
+	Iterations []int
+	// Rows maps genome name to per-budget differences; Average aggregates
+	// across genomes per budget.
+	Rows    map[string][]float64
+	Order   []string
+	Average []float64
+}
+
+// differences derives Table VI/VII from Fig9 results.
+func differences(mcs []MethodComparison, percent bool) DifferenceTable {
+	dt := DifferenceTable{Percent: percent, Rows: map[string][]float64{}}
+	if len(mcs) == 0 {
+		return dt
+	}
+	dt.Iterations = mcs[0].Iterations
+	dt.Average = make([]float64, len(dt.Iterations))
+	for _, mc := range mcs {
+		row := make([]float64, len(mc.Iterations))
+		for i := range mc.Iterations {
+			diff := mc.SAML[i] - mc.EM
+			if percent {
+				row[i] = 100 * diff / mc.EM
+			} else {
+				row[i] = diff
+			}
+			dt.Average[i] += row[i]
+		}
+		dt.Rows[mc.Genome] = row
+		dt.Order = append(dt.Order, mc.Genome)
+	}
+	for i := range dt.Average {
+		dt.Average[i] /= float64(len(mcs))
+	}
+	return dt
+}
+
+// Table6 builds the percent-difference table (SAML vs EM).
+func Table6(mcs []MethodComparison) DifferenceTable { return differences(mcs, true) }
+
+// Table7 builds the absolute-difference table (seconds).
+func Table7(mcs []MethodComparison) DifferenceTable { return differences(mcs, false) }
+
+// RenderDifferenceTable formats Table VI/VII in the paper's layout
+// (genomes as rows, budgets as columns).
+func RenderDifferenceTable(dt DifferenceTable, name string) string {
+	metric := "absolute difference [s]"
+	decimals := 3
+	if dt.Percent {
+		metric = "percent difference [%]"
+		decimals = 2
+	}
+	cols := []string{"DNA"}
+	for _, it := range dt.Iterations {
+		cols = append(cols, fmt.Sprint(it))
+	}
+	tb := tables.New(fmt.Sprintf("%s: %s of SAML vs the EM optimum", name, metric), cols...)
+	for _, g := range dt.Order {
+		row := []string{g}
+		for _, v := range dt.Rows[g] {
+			row = append(row, tables.F(v, decimals))
+		}
+		tb.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for _, v := range dt.Average {
+		avg = append(avg, tables.F(v, decimals))
+	}
+	tb.AddRow(avg...)
+	return tb.String()
+}
+
+// SpeedupTable is Table VIII (vs host-only) or Table IX (vs device-only).
+type SpeedupTable struct {
+	// Baseline names the reference execution ("host-only", "device-only").
+	Baseline   string
+	Iterations []int
+	// Rows maps genome to per-budget speedups; EMRow holds the EM column.
+	Rows  map[string][]float64
+	EMRow map[string]float64
+	Order []string
+}
+
+func speedups(mcs []MethodComparison, baseline func(MethodComparison) float64, name string) SpeedupTable {
+	st := SpeedupTable{Baseline: name, Rows: map[string][]float64{}, EMRow: map[string]float64{}}
+	if len(mcs) == 0 {
+		return st
+	}
+	st.Iterations = mcs[0].Iterations
+	for _, mc := range mcs {
+		base := baseline(mc)
+		row := make([]float64, len(mc.Iterations))
+		for i := range mc.Iterations {
+			row[i] = base / mc.SAML[i]
+		}
+		st.Rows[mc.Genome] = row
+		st.EMRow[mc.Genome] = base / mc.EM
+		st.Order = append(st.Order, mc.Genome)
+	}
+	return st
+}
+
+// Table8 builds the speedup table against the CPU-only baseline.
+func Table8(mcs []MethodComparison) SpeedupTable {
+	return speedups(mcs, func(mc MethodComparison) float64 { return mc.HostOnly }, "host-only")
+}
+
+// Table9 builds the speedup table against the accelerator-only baseline.
+func Table9(mcs []MethodComparison) SpeedupTable {
+	return speedups(mcs, func(mc MethodComparison) float64 { return mc.DeviceOnly }, "device-only")
+}
+
+// MaxSpeedup returns the best SAML speedup at the given budget across
+// genomes (the headline numbers of Section IV-D).
+func (st SpeedupTable) MaxSpeedup(iterations int) float64 {
+	best := 0.0
+	for _, g := range st.Order {
+		for i, it := range st.Iterations {
+			if it == iterations && st.Rows[g][i] > best {
+				best = st.Rows[g][i]
+			}
+		}
+	}
+	return best
+}
+
+// RenderSpeedupTable formats Table VIII/IX.
+func RenderSpeedupTable(st SpeedupTable, name string) string {
+	cols := []string{"DNA"}
+	for _, it := range st.Iterations {
+		cols = append(cols, fmt.Sprint(it))
+	}
+	cols = append(cols, "EM")
+	tb := tables.New(fmt.Sprintf("%s: speedup of SAML-suggested configuration vs %s", name, st.Baseline), cols...)
+	for _, g := range st.Order {
+		row := []string{g}
+		for _, v := range st.Rows[g] {
+			row = append(row, tables.F(v, 2))
+		}
+		row = append(row, tables.F(st.EMRow[g], 2))
+		tb.AddRow(row...)
+	}
+	return tb.String()
+}
+
+// Result3Summary quantifies the paper's Result 3: SAML needs only ~5% of
+// EM's experiments.
+type Result3Summary struct {
+	SAMLIterations int
+	EMExperiments  int
+	Fraction       float64
+	AvgPercentDiff float64
+}
+
+// Result3 derives the summary from Fig9 data at the 1000-iteration budget.
+func Result3(mcs []MethodComparison) (Result3Summary, error) {
+	if len(mcs) == 0 {
+		return Result3Summary{}, fmt.Errorf("experiments: no comparisons")
+	}
+	target := 1000
+	var diffs []float64
+	em := 0
+	for _, mc := range mcs {
+		for i, it := range mc.Iterations {
+			if it == target {
+				diffs = append(diffs, 100*(mc.SAML[i]-mc.EM)/mc.EM)
+			}
+		}
+		em = mc.EMExperiments
+	}
+	if len(diffs) == 0 {
+		return Result3Summary{}, fmt.Errorf("experiments: budget %d not present", target)
+	}
+	return Result3Summary{
+		SAMLIterations: target,
+		EMExperiments:  em,
+		Fraction:       100 * float64(target) / float64(em),
+		AvgPercentDiff: stats.Mean(diffs),
+	}, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hetopt/internal/anneal"
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+	"hetopt/internal/space"
+	"hetopt/internal/trace"
+)
+
+// annealAdapter exposes the tuning problem to the annealer for the
+// instrumented trace run.
+type annealAdapter struct {
+	schema *space.Schema
+	eval   core.Evaluator
+	err    error
+}
+
+func (a *annealAdapter) Dim() int { return a.schema.Space().Dim() }
+
+func (a *annealAdapter) Initial(dst []int, rng *rand.Rand) {
+	copy(dst, a.schema.Space().Random(rng))
+}
+
+func (a *annealAdapter) Neighbor(dst, src []int, rng *rand.Rand) {
+	a.schema.Space().Neighbor(dst, src, rng, space.StepMove)
+}
+
+func (a *annealAdapter) Energy(state []int) float64 {
+	if a.err != nil {
+		return math.Inf(1)
+	}
+	cfg, err := a.schema.Config(state)
+	if err != nil {
+		a.err = err
+		return math.Inf(1)
+	}
+	t, err := a.eval.Evaluate(cfg)
+	if err != nil {
+		a.err = err
+		return math.Inf(1)
+	}
+	return t.E()
+}
+
+// RenderSATrace runs one instrumented SAML search and renders its
+// convergence trajectory with acceptance statistics — the observability
+// view behind the Figure 9 discussion ("sometimes it accepts a worse
+// system configuration ... to avoid ending at a local optima").
+func (s *Suite) RenderSATrace(g dna.Genome, iterations int) (string, error) {
+	inst, err := s.instance(g)
+	if err != nil {
+		return "", err
+	}
+	rec := &trace.Recorder{}
+	adapter := &annealAdapter{schema: inst.Schema, eval: inst.Predictor}
+	res, err := anneal.Minimize(adapter, anneal.Options{
+		InitialTemp: core.DefaultInitialTemp,
+		StopTemp:    core.DefaultInitialTemp / core.TempSpan,
+		MaxIters:    iterations,
+		Seed:        s.Seed,
+		OnStep:      rec.Hook(),
+	})
+	if err != nil {
+		return "", err
+	}
+	if adapter.err != nil {
+		return "", adapter.err
+	}
+	cfg, err := inst.Schema.Config(res.Best)
+	if err != nil {
+		return "", err
+	}
+	title := fmt.Sprintf("Extension: instrumented SAML trace (genome %s, %d iterations, best %v at predicted E %.4f s)",
+		g.Name, iterations, cfg, res.BestEnergy)
+	return rec.RenderConvergence(title), nil
+}

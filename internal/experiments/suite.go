@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section II-C and Section IV). Each experiment has a typed
+// result, a driver method on Suite, and a text rendering; DESIGN.md maps
+// experiment ids to the modules involved and bench_test.go exposes one
+// benchmark per artifact.
+package experiments
+
+import (
+	"fmt"
+
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+	"hetopt/internal/offload"
+	"hetopt/internal/space"
+)
+
+// Suite carries the shared state of an experiment session: the simulated
+// platform, the paper's configuration space, and lazily trained
+// performance models.
+type Suite struct {
+	// Platform is the measurement substrate.
+	Platform *offload.Platform
+	// Schema is the configuration space (19,926 configurations).
+	Schema *space.Schema
+	// Plan is the model-training grid (7,200 experiments).
+	Plan core.TrainingPlan
+	// TrainOpt configures model fitting.
+	TrainOpt core.TrainOptions
+	// Seed drives simulated annealing; per-run seeds derive from it.
+	Seed int64
+	// Repeats is the number of SA seeds averaged per (genome, budget)
+	// cell in the method-comparison experiments. The paper reports single
+	// runs; averaging a few seeds recovers the trend its tables show
+	// without the jitter of one trajectory.
+	Repeats int
+
+	models *core.Models
+}
+
+// NewSuite returns a Suite with the paper's defaults.
+func NewSuite() *Suite {
+	return &Suite{
+		Platform: offload.NewPlatform(),
+		Schema:   space.PaperSchema(),
+		Plan:     core.PaperTrainingPlan(),
+		TrainOpt: core.TrainOptions{SplitSeed: 7},
+		Seed:     1,
+		Repeats:  7,
+	}
+}
+
+// Models trains (once) and returns the performance-prediction models.
+func (s *Suite) Models() (*core.Models, error) {
+	if s.models != nil {
+		return s.models, nil
+	}
+	m, err := core.Train(s.Platform, s.Plan, s.TrainOpt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training models: %w", err)
+	}
+	s.models = m
+	return m, nil
+}
+
+// instance assembles a method-run instance for a genome.
+func (s *Suite) instance(g dna.Genome) (*core.Instance, error) {
+	models, err := s.Models()
+	if err != nil {
+		return nil, err
+	}
+	w := offload.GenomeWorkload(g)
+	pred, err := core.NewPredictor(models, w)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Instance{
+		Schema:    s.Schema,
+		Measurer:  core.NewMeasurer(s.Platform, w),
+		Predictor: pred,
+	}, nil
+}
+
+// repeats returns the effective SA repeat count.
+func (s *Suite) repeats() int {
+	if s.Repeats <= 0 {
+		return 1
+	}
+	return s.Repeats
+}

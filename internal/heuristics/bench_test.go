@@ -1,0 +1,39 @@
+package heuristics
+
+import "testing"
+
+func benchProblem() *bowl {
+	return &bowl{levels: 41, target: []int{20, 5, 33, 11, 40}}
+}
+
+func BenchmarkRandomSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RandomSearch(benchProblem(), Options{Budget: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := LocalSearch(benchProblem(), Options{Budget: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTabuSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TabuSearch(benchProblem(), TabuOptions{Options: Options{Budget: 1000, Seed: int64(i)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Genetic(benchProblem(), GeneticOptions{Options: Options{Budget: 1000, Seed: int64(i)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

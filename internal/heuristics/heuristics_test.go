@@ -1,0 +1,230 @@
+package heuristics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bowl is a separable quadratic with a unique minimum.
+type bowl struct {
+	levels int
+	target []int
+	evals  int
+}
+
+func (b *bowl) Dim() int         { return len(b.target) }
+func (b *bowl) Levels(i int) int { return b.levels }
+func (b *bowl) Energy(state []int) float64 {
+	b.evals++
+	e := 0.0
+	for i, v := range state {
+		d := float64(v - b.target[i])
+		e += d * d
+	}
+	return e
+}
+
+// deceptive has a broad false valley and a narrow true optimum.
+type deceptive struct{ bowl }
+
+func (d *deceptive) Energy(state []int) float64 {
+	e := d.bowl.Energy(state)
+	if state[0] == 0 && state[1] == 0 {
+		return -1 // hidden optimum far from the bowl's center
+	}
+	return e
+}
+
+func newBowl() *bowl { return &bowl{levels: 12, target: []int{7, 3, 9}} }
+
+func TestAllSearchersFindBowlMinimum(t *testing.T) {
+	searchers := map[string]func(Problem, Options) (Result, error){
+		"random": RandomSearch,
+		"local":  LocalSearch,
+		"tabu": func(p Problem, o Options) (Result, error) {
+			return TabuSearch(p, TabuOptions{Options: o})
+		},
+		"genetic": func(p Problem, o Options) (Result, error) {
+			return Genetic(p, GeneticOptions{Options: o})
+		},
+	}
+	for name, search := range searchers {
+		res, err := search(newBowl(), Options{Budget: 3000, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Random search may miss the exact optimum; the guided searchers
+		// must hit it on a 12^3 space with 3000 evaluations.
+		if name != "random" && res.BestEnergy != 0 {
+			t.Errorf("%s: best = %g at %v, want 0", name, res.BestEnergy, res.Best)
+		}
+		if name == "random" && res.BestEnergy > 9 {
+			t.Errorf("random: best = %g suspiciously bad", res.BestEnergy)
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	for name, run := range map[string]func(p Problem) (Result, error){
+		"random": func(p Problem) (Result, error) { return RandomSearch(p, Options{Budget: 137, Seed: 2}) },
+		"local":  func(p Problem) (Result, error) { return LocalSearch(p, Options{Budget: 137, Seed: 2}) },
+		"tabu": func(p Problem) (Result, error) {
+			return TabuSearch(p, TabuOptions{Options: Options{Budget: 137, Seed: 2}})
+		},
+		"genetic": func(p Problem) (Result, error) {
+			return Genetic(p, GeneticOptions{Options: Options{Budget: 137, Seed: 2}})
+		},
+	} {
+		b := newBowl()
+		res, err := run(b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Evaluations > 137 {
+			t.Errorf("%s: spent %d evaluations for budget 137", name, res.Evaluations)
+		}
+		if b.evals != res.Evaluations {
+			t.Errorf("%s: reported %d evaluations but problem saw %d", name, res.Evaluations, b.evals)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, err := Genetic(newBowl(), GeneticOptions{Options: Options{Budget: 500, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Genetic(newBowl(), GeneticOptions{Options: Options{Budget: 500, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestEnergy != b.BestEnergy || a.Evaluations != b.Evaluations {
+		t.Fatal("same seed must reproduce the genetic run")
+	}
+	c, err := TabuSearch(newBowl(), TabuOptions{Options: Options{Budget: 500, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := TabuSearch(newBowl(), TabuOptions{Options: Options{Budget: 500, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BestEnergy != d.BestEnergy {
+		t.Fatal("same seed must reproduce the tabu run")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := RandomSearch(&bowl{levels: 12}, Options{}); err == nil {
+		t.Error("zero-dimensional problem should fail")
+	}
+	if _, err := LocalSearch(&bowl{levels: 0, target: []int{1}}, Options{}); err == nil {
+		t.Error("zero levels should fail")
+	}
+	if _, err := Genetic(newBowl(), GeneticOptions{Options: Options{Budget: 10}, Population: 1}); err == nil {
+		t.Error("population 1 should fail")
+	}
+	if _, err := Genetic(newBowl(), GeneticOptions{Options: Options{Budget: 10}, MutationRate: 2}); err == nil {
+		t.Error("mutation rate 2 should fail")
+	}
+	if _, err := Genetic(newBowl(), GeneticOptions{Options: Options{Budget: 10}, Elite: 50}); err == nil {
+		t.Error("elite >= population should fail")
+	}
+}
+
+func TestTabuEscapesLocalMinimum(t *testing.T) {
+	// The deceptive problem's hidden optimum sits away from the bowl
+	// center; tabu's uphill moves should find it where pure descent can
+	// stall at the bowl.
+	p := &deceptive{bowl{levels: 12, target: []int{7, 3}}}
+	res, err := TabuSearch(p, TabuOptions{Options: Options{Budget: 4000, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy != -1 {
+		t.Fatalf("tabu best = %g, want -1 (hidden optimum)", res.BestEnergy)
+	}
+}
+
+func TestNaNTreatedAsInf(t *testing.T) {
+	res, err := RandomSearch(&nanProblem{}, Options{Budget: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.BestEnergy, 1) {
+		t.Fatalf("best = %g, want +Inf", res.BestEnergy)
+	}
+}
+
+type nanProblem struct{}
+
+func (n *nanProblem) Dim() int                   { return 1 }
+func (n *nanProblem) Levels(i int) int           { return 3 }
+func (n *nanProblem) Energy(state []int) float64 { return math.NaN() }
+
+// Property: every searcher returns an in-bounds state whose energy equals
+// its reported best.
+func TestSearchersSoundProperty(t *testing.T) {
+	f := func(seed int64, which uint8, budgetRaw uint8) bool {
+		budget := int(budgetRaw)%400 + 50
+		p := newBowl()
+		var res Result
+		var err error
+		switch which % 4 {
+		case 0:
+			res, err = RandomSearch(p, Options{Budget: budget, Seed: seed})
+		case 1:
+			res, err = LocalSearch(p, Options{Budget: budget, Seed: seed})
+		case 2:
+			res, err = TabuSearch(p, TabuOptions{Options: Options{Budget: budget, Seed: seed}})
+		case 3:
+			res, err = Genetic(p, GeneticOptions{Options: Options{Budget: budget, Seed: seed}})
+		}
+		if err != nil {
+			return false
+		}
+		for i, v := range res.Best {
+			if v < 0 || v >= p.Levels(i) {
+				return false
+			}
+		}
+		check := newBowl()
+		return check.Energy(res.Best) == res.BestEnergy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: guided searchers beat random search on average over seeds.
+func TestGuidedBeatsRandomOnAverage(t *testing.T) {
+	var randSum, localSum, tabuSum, gaSum float64
+	const n = 20
+	for seed := int64(0); seed < n; seed++ {
+		r, err := RandomSearch(newBowl(), Options{Budget: 400, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := LocalSearch(newBowl(), Options{Budget: 400, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := TabuSearch(newBowl(), TabuOptions{Options: Options{Budget: 400, Seed: seed}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Genetic(newBowl(), GeneticOptions{Options: Options{Budget: 400, Seed: seed}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		randSum += r.BestEnergy
+		localSum += l.BestEnergy
+		tabuSum += tb.BestEnergy
+		gaSum += g.BestEnergy
+	}
+	if localSum > randSum || tabuSum > randSum || gaSum > randSum {
+		t.Fatalf("guided searchers should beat random: random=%g local=%g tabu=%g ga=%g",
+			randSum/n, localSum/n, tabuSum/n, gaSum/n)
+	}
+}

@@ -1,0 +1,196 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaceErrors(t *testing.T) {
+	h := XeonE5Host()
+	if _, err := Place(h, 0, AffinityScatter); err == nil {
+		t.Error("zero threads should fail")
+	}
+	if _, err := Place(h, -4, AffinityScatter); err == nil {
+		t.Error("negative threads should fail")
+	}
+	if _, err := Place(h, 4, AffinityBalanced); err == nil {
+		t.Error("balanced on host should fail")
+	}
+	d := XeonPhi7120P()
+	if _, err := Place(d, 4, AffinityNone); err == nil {
+		t.Error("none on device should fail")
+	}
+}
+
+func TestPlaceCompactHost(t *testing.T) {
+	h := XeonE5Host()
+	// 4 threads compact occupy 2 cores with 2 threads each, one socket.
+	pl, err := Place(h, 4, AffinityCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CoresUsed != 2 || pl.SocketsUsed != 1 {
+		t.Fatalf("compact 4T: cores=%d sockets=%d, want 2/1", pl.CoresUsed, pl.SocketsUsed)
+	}
+	if pl.MaxShare() != 2 {
+		t.Fatalf("compact 4T: max share = %d, want 2", pl.MaxShare())
+	}
+}
+
+func TestPlaceScatterHost(t *testing.T) {
+	h := XeonE5Host()
+	// 4 threads scatter occupy 4 distinct cores across both sockets.
+	pl, err := Place(h, 4, AffinityScatter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CoresUsed != 4 || pl.SocketsUsed != 2 {
+		t.Fatalf("scatter 4T: cores=%d sockets=%d, want 4/2", pl.CoresUsed, pl.SocketsUsed)
+	}
+	if pl.MaxShare() != 1 {
+		t.Fatalf("scatter 4T: max share = %d, want 1", pl.MaxShare())
+	}
+}
+
+func TestPlaceFullHost(t *testing.T) {
+	h := XeonE5Host()
+	for _, aff := range []Affinity{AffinityScatter, AffinityCompact, AffinityNone} {
+		pl, err := Place(h, 48, aff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.CoresUsed != 24 || pl.MaxShare() != 2 || pl.SocketsUsed != 2 {
+			t.Fatalf("%v 48T: %+v", aff, pl)
+		}
+	}
+}
+
+func TestPlaceNoneIsOSManaged(t *testing.T) {
+	h := XeonE5Host()
+	pl, err := Place(h, 8, AffinityNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.OSManaged {
+		t.Error("none affinity should mark the placement OS-managed")
+	}
+	pl2, _ := Place(h, 8, AffinityScatter)
+	if pl2.OSManaged {
+		t.Error("scatter must not be OS-managed")
+	}
+	// Occupancy of none matches scatter.
+	if pl.CoresUsed != pl2.CoresUsed || pl.MaxShare() != pl2.MaxShare() {
+		t.Errorf("none occupancy %+v != scatter %+v", pl, pl2)
+	}
+}
+
+func TestPlaceDeviceFull(t *testing.T) {
+	d := XeonPhi7120P()
+	pl, err := Place(d, 240, AffinityBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CoresUsed != 60 || pl.MaxShare() != 4 {
+		t.Fatalf("240T balanced: %+v", pl)
+	}
+}
+
+func TestPlaceDeviceCompactSmall(t *testing.T) {
+	d := XeonPhi7120P()
+	pl, err := Place(d, 8, AffinityCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CoresUsed != 2 || pl.MaxShare() != 4 {
+		t.Fatalf("8T compact on Phi: cores=%d share=%d, want 2/4", pl.CoresUsed, pl.MaxShare())
+	}
+	pl2, _ := Place(d, 8, AffinityScatter)
+	if pl2.CoresUsed != 8 || pl2.MaxShare() != 1 {
+		t.Fatalf("8T scatter on Phi: cores=%d share=%d, want 8/1", pl2.CoresUsed, pl2.MaxShare())
+	}
+}
+
+func TestPlaceOversubscription(t *testing.T) {
+	h := XeonE5Host()
+	pl, err := Place(h, 96, AffinityCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.MaxShare() != 4 {
+		t.Fatalf("96T on 48-thread host: max share = %d, want 4", pl.MaxShare())
+	}
+	if pl.CoresUsed != 24 {
+		t.Fatalf("96T: cores = %d, want 24", pl.CoresUsed)
+	}
+}
+
+func TestPlacePaperThreadCounts(t *testing.T) {
+	// All thread counts from Table I must place successfully.
+	h, d := XeonE5Host(), XeonPhi7120P()
+	for _, n := range []int{2, 4, 6, 12, 24, 36, 48} {
+		for _, a := range h.Affinities {
+			if _, err := Place(h, n, a); err != nil {
+				t.Errorf("host %dT %v: %v", n, a, err)
+			}
+		}
+	}
+	for _, n := range []int{2, 4, 8, 16, 30, 60, 120, 180, 240} {
+		for _, a := range d.Affinities {
+			if _, err := Place(d, n, a); err != nil {
+				t.Errorf("device %dT %v: %v", n, a, err)
+			}
+		}
+	}
+}
+
+// Property: for any valid thread count and supported affinity, the
+// placement conserves threads (sum over cores equals n), uses no more
+// cores than exist, and never exceeds the SMT width unless oversubscribed.
+func TestPlaceConservationProperty(t *testing.T) {
+	procs := []*Processor{XeonE5Host(), XeonPhi7120P()}
+	f := func(nRaw uint16, procIdx, affIdx uint8) bool {
+		p := procs[int(procIdx)%len(procs)]
+		a := p.Affinities[int(affIdx)%len(p.Affinities)]
+		n := int(nRaw)%600 + 1
+		pl, err := Place(p, n, a)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, c := range pl.ThreadsOnCore {
+			total += (i + 1) * c
+		}
+		if total != n {
+			return false
+		}
+		if pl.CoresUsed > p.TotalCores() || pl.SocketsUsed > p.Sockets {
+			return false
+		}
+		if n <= p.TotalThreads() && pl.MaxShare() > p.ThreadsPerCore {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scatter never uses fewer cores than compact for the same
+// thread count (scatter maximizes spread).
+func TestScatterSpreadsAtLeastAsWideAsCompact(t *testing.T) {
+	procs := []*Processor{XeonE5Host(), XeonPhi7120P()}
+	f := func(nRaw uint16, procIdx uint8) bool {
+		p := procs[int(procIdx)%len(procs)]
+		n := int(nRaw)%p.TotalThreads() + 1
+		sc, err1 := Place(p, n, AffinityScatter)
+		co, err2 := Place(p, n, AffinityCompact)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sc.CoresUsed >= co.CoresUsed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package ml implements the supervised machine-learning stack of the
+// paper's performance-prediction component (Section III-B): Boosted
+// Decision Tree Regression (gradient-boosted CART regression trees) plus
+// the two alternatives the authors considered and rejected — Linear
+// Regression and Poisson Regression — together with data normalization,
+// train/test splitting, and the prediction-accuracy metrics of Equations
+// 5 and 6 (absolute error and percent error).
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a dense supervised-regression dataset.
+type Dataset struct {
+	// FeatureNames labels the columns (len = feature dimension).
+	FeatureNames []string
+	// X holds one row per sample.
+	X [][]float64
+	// Y holds one target per sample.
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the feature dimension (0 for an empty dataset).
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return len(d.FeatureNames)
+	}
+	return len(d.X[0])
+}
+
+// Append adds one sample.
+func (d *Dataset) Append(x []float64, y float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Validate checks rectangular shape and matching lengths.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d feature rows but %d targets", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return fmt.Errorf("ml: empty dataset")
+	}
+	dim := len(d.X[0])
+	if dim == 0 {
+		return fmt.Errorf("ml: zero-dimensional features")
+	}
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	if d.FeatureNames != nil && len(d.FeatureNames) != dim {
+		return fmt.Errorf("ml: %d feature names for %d features", len(d.FeatureNames), dim)
+	}
+	return nil
+}
+
+// Subset returns a view-dataset with the given sample indices (rows are
+// shared, not copied).
+func (d *Dataset) Subset(indices []int) *Dataset {
+	sub := &Dataset{FeatureNames: d.FeatureNames}
+	for _, i := range indices {
+		sub.Append(d.X[i], d.Y[i])
+	}
+	return sub
+}
+
+// Split partitions the dataset into train and test halves using a seeded
+// shuffle, reproducing the paper's validation methodology ("half of the
+// experiments for training and the other half for evaluation").
+// trainFraction must lie in (0,1); both halves are guaranteed non-empty
+// for datasets with at least two samples.
+func (d *Dataset) Split(trainFraction float64, seed int64) (train, test *Dataset, err error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if trainFraction <= 0 || trainFraction >= 1 {
+		return nil, nil, fmt.Errorf("ml: train fraction %g outside (0,1)", trainFraction)
+	}
+	if d.Len() < 2 {
+		return nil, nil, fmt.Errorf("ml: need at least 2 samples to split, have %d", d.Len())
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(d.Len())
+	nTrain := int(float64(d.Len()) * trainFraction)
+	if nTrain == 0 {
+		nTrain = 1
+	}
+	if nTrain == d.Len() {
+		nTrain = d.Len() - 1
+	}
+	return d.Subset(perm[:nTrain]), d.Subset(perm[nTrain:]), nil
+}

@@ -1,0 +1,45 @@
+package ml
+
+import "fmt"
+
+// FeatureImportance computes permutation importance: the increase in mean
+// squared error when one feature's values are cyclically shifted across
+// the evaluation set, breaking its relationship with the target while
+// preserving its marginal distribution. Larger values mean the model
+// relies more on that feature.
+//
+// For the performance-prediction models this answers the paper-adjacent
+// question of which configuration parameters (threads, size, affinity)
+// the learned model actually uses.
+func FeatureImportance(m Regressor, d *Dataset) ([]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("ml: nil regressor")
+	}
+	n := d.Len()
+	baseMSE := 0.0
+	for i, x := range d.X {
+		e := d.Y[i] - m.Predict(x)
+		baseMSE += e * e
+	}
+	baseMSE /= float64(n)
+
+	dim := d.Dim()
+	shift := n/2 + 1 // cyclic shift decorrelates feature from target
+	importances := make([]float64, dim)
+	probe := make([]float64, dim)
+	for f := 0; f < dim; f++ {
+		mse := 0.0
+		for i, x := range d.X {
+			copy(probe, x)
+			probe[f] = d.X[(i+shift)%n][f]
+			e := d.Y[i] - m.Predict(probe)
+			mse += e * e
+		}
+		mse /= float64(n)
+		importances[f] = mse - baseMSE
+	}
+	return importances, nil
+}

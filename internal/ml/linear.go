@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearModel is ordinary least squares with optional ridge damping, one
+// of the regressors the paper evaluated before settling on boosted trees.
+type LinearModel struct {
+	// Weights has one coefficient per feature plus a trailing intercept.
+	Weights []float64
+}
+
+// Predict implements Regressor.
+func (m *LinearModel) Predict(x []float64) float64 {
+	out := m.Weights[len(m.Weights)-1]
+	for j, w := range m.Weights[:len(m.Weights)-1] {
+		out += w * x[j]
+	}
+	return out
+}
+
+// FitLinear solves min ||Xw - y||^2 + ridge*||w||^2 via the normal
+// equations with Cholesky factorization. ridge must be non-negative; a
+// small positive value keeps degenerate designs solvable.
+func FitLinear(d *Dataset, ridge float64) (*LinearModel, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if ridge < 0 {
+		return nil, fmt.Errorf("ml: negative ridge %g", ridge)
+	}
+	dim := d.Dim() + 1 // + intercept
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	atb := make([]float64, dim)
+	row := make([]float64, dim)
+	for i, x := range d.X {
+		copy(row, x)
+		row[dim-1] = 1
+		for a := 0; a < dim; a++ {
+			for b := a; b < dim; b++ {
+				ata[a][b] += row[a] * row[b]
+			}
+			atb[a] += row[a] * d.Y[i]
+		}
+	}
+	for a := 0; a < dim; a++ {
+		for b := 0; b < a; b++ {
+			ata[a][b] = ata[b][a]
+		}
+		if a < dim-1 { // do not dampen the intercept
+			ata[a][a] += ridge
+		}
+	}
+	w, err := solveCholesky(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("ml: linear fit: %w", err)
+	}
+	return &LinearModel{Weights: w}, nil
+}
+
+// solveCholesky solves the symmetric positive-definite system a*x = b,
+// destroying its inputs. It returns an error when the matrix is not
+// positive definite (within tolerance).
+func solveCholesky(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Decompose a = L L^T in place (lower triangle).
+	for j := 0; j < n; j++ {
+		sum := a[j][j]
+		for k := 0; k < j; k++ {
+			sum -= a[j][k] * a[j][k]
+		}
+		if sum <= 1e-12 {
+			return nil, fmt.Errorf("matrix not positive definite at pivot %d (%g)", j, sum)
+		}
+		a[j][j] = math.Sqrt(sum)
+		for i := j + 1; i < n; i++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= a[i][k] * a[j][k]
+			}
+			a[i][j] = s / a[j][j]
+		}
+	}
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i][k] * y[k]
+		}
+		y[i] = s / a[i][i]
+	}
+	// Back substitution: L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[k][i] * x[k]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,428 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth builds a dataset y = f(x) + noise over random features.
+func synth(n, dim int, seed int64, noise float64, f func(x []float64) float64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Float64() * 10
+		}
+		d.Append(x, f(x)+rng.NormFloat64()*noise)
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	d := &Dataset{}
+	if err := d.Validate(); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	d.Append([]float64{1, 2}, 3)
+	d.Append([]float64{1}, 4)
+	if err := d.Validate(); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	d2 := &Dataset{X: [][]float64{{1}}, Y: nil}
+	if err := d2.Validate(); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	d3 := &Dataset{FeatureNames: []string{"a", "b"}, X: [][]float64{{1}}, Y: []float64{1}}
+	if err := d3.Validate(); err == nil {
+		t.Error("feature-name mismatch should fail")
+	}
+}
+
+func TestSplitHalves(t *testing.T) {
+	d := synth(100, 2, 1, 0, func(x []float64) float64 { return x[0] })
+	train, test, err := d.Split(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 50 || test.Len() != 50 {
+		t.Fatalf("split = %d/%d, want 50/50 (paper methodology)", train.Len(), test.Len())
+	}
+	// Same seed reproduces the same split.
+	train2, _, _ := d.Split(0.5, 7)
+	for i := range train.X {
+		if &train.X[i][0] != &train2.X[i][0] {
+			t.Fatal("same seed should reproduce the same split")
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	d := synth(10, 1, 1, 0, func(x []float64) float64 { return x[0] })
+	if _, _, err := d.Split(0, 1); err == nil {
+		t.Error("fraction 0 should fail")
+	}
+	if _, _, err := d.Split(1, 1); err == nil {
+		t.Error("fraction 1 should fail")
+	}
+	single := &Dataset{X: [][]float64{{1}}, Y: []float64{1}}
+	if _, _, err := single.Split(0.5, 1); err == nil {
+		t.Error("single sample cannot be split")
+	}
+}
+
+func TestSplitExtremeFractionsStayNonEmpty(t *testing.T) {
+	d := synth(10, 1, 2, 0, func(x []float64) float64 { return x[0] })
+	train, test, err := d.Split(0.01, 3)
+	if err != nil || train.Len() == 0 || test.Len() == 0 {
+		t.Fatalf("tiny fraction: %d/%d (%v)", train.Len(), test.Len(), err)
+	}
+	train, test, err = d.Split(0.999, 3)
+	if err != nil || train.Len() == 0 || test.Len() == 0 {
+		t.Fatalf("huge fraction: %d/%d (%v)", train.Len(), test.Len(), err)
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	d := &Dataset{X: [][]float64{{0, 5, 7}, {10, 5, 9}}, Y: []float64{1, 2}}
+	n, err := FitNormalizer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Apply([]float64{5, 5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0.5 {
+		t.Errorf("out[0] = %g, want 0.5", out[0])
+	}
+	if out[1] != 0 { // constant column maps to 0
+		t.Errorf("constant column = %g, want 0", out[1])
+	}
+	if out[2] != 0.5 {
+		t.Errorf("out[2] = %g, want 0.5", out[2])
+	}
+	if _, err := n.Apply([]float64{1}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	nd, err := n.ApplyDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.X[1][0] != 1 {
+		t.Errorf("dataset normalization wrong: %v", nd.X)
+	}
+}
+
+func TestTreeFitsConstant(t *testing.T) {
+	d := synth(50, 2, 3, 0, func(x []float64) float64 { return 4.2 })
+	tree, err := FitTree(d, d.Y, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{1, 1}); math.Abs(got-4.2) > 1e-9 {
+		t.Fatalf("constant prediction = %g, want 4.2", got)
+	}
+	if tree.NumNodes() != 1 {
+		t.Fatalf("constant target should yield a single leaf, got %d nodes", tree.NumNodes())
+	}
+}
+
+func TestTreeFitsStep(t *testing.T) {
+	// A perfect single split exists; the tree must find it.
+	d := &Dataset{}
+	for i := 0; i < 40; i++ {
+		x := float64(i)
+		y := 0.0
+		if x >= 20 {
+			y = 10
+		}
+		d.Append([]float64{x}, y)
+	}
+	tree, err := FitTree(d, d.Y, TreeOptions{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{5}); got != 0 {
+		t.Fatalf("left prediction = %g, want 0", got)
+	}
+	if got := tree.Predict([]float64{30}); got != 10 {
+		t.Fatalf("right prediction = %g, want 10", got)
+	}
+	if tree.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", tree.Depth())
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	d := synth(300, 2, 4, 0.1, func(x []float64) float64 { return x[0]*x[1] + x[0] })
+	for _, depth := range []int{1, 2, 4} {
+		tree, err := FitTree(d, d.Y, TreeOptions{MaxDepth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.Depth(); got > depth {
+			t.Fatalf("depth %d exceeds max %d", got, depth)
+		}
+	}
+}
+
+func TestTreeRespectsMinLeaf(t *testing.T) {
+	d := synth(100, 1, 5, 0.5, func(x []float64) float64 { return x[0] })
+	tree, err := FitTree(d, d.Y, TreeOptions{MaxDepth: 10, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With min-leaf 30 of 100 samples, at most 3 leaves.
+	leaves := 0
+	for _, n := range tree.nodes {
+		if n.feature < 0 {
+			leaves++
+		}
+	}
+	if leaves > 3 {
+		t.Fatalf("%d leaves violate MinLeaf=30 over 100 samples", leaves)
+	}
+}
+
+func TestTreeTargetsLengthChecked(t *testing.T) {
+	d := synth(10, 1, 6, 0, func(x []float64) float64 { return x[0] })
+	if _, err := FitTree(d, d.Y[:5], TreeOptions{}); err == nil {
+		t.Fatal("mismatched targets should fail")
+	}
+}
+
+func TestBoostingImprovesOverSingleTree(t *testing.T) {
+	f := func(x []float64) float64 { return math.Sin(x[0]) * 3 * x[1] }
+	train := synth(800, 2, 7, 0.05, f)
+	test := synth(200, 2, 8, 0.05, f)
+
+	tree, err := FitTree(train, train.Y, TreeOptions{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeEval, err := Evaluate(treeRegressor{tree}, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boost, err := FitBoostedTrees(train, BoostOptions{Rounds: 150, Tree: TreeOptions{MaxDepth: 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boostEval, err := Evaluate(boost, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boostEval.RMSE >= treeEval.RMSE {
+		t.Fatalf("boosting RMSE %g not better than single tree %g", boostEval.RMSE, treeEval.RMSE)
+	}
+}
+
+type treeRegressor struct{ t *Tree }
+
+func (r treeRegressor) Predict(x []float64) float64 { return r.t.Predict(x) }
+
+func TestBoostingTrainLossDecreases(t *testing.T) {
+	d := synth(400, 2, 9, 0.01, func(x []float64) float64 { return x[0] + 2*x[1] })
+	b, err := FitBoostedTrees(d, BoostOptions{Rounds: 60, Subsample: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.TrainLoss) != 60 {
+		t.Fatalf("TrainLoss has %d entries, want 60", len(b.TrainLoss))
+	}
+	// With full-sample fitting, squared loss is non-increasing.
+	for i := 1; i < len(b.TrainLoss); i++ {
+		if b.TrainLoss[i] > b.TrainLoss[i-1]+1e-9 {
+			t.Fatalf("train loss increased at round %d: %g -> %g", i, b.TrainLoss[i-1], b.TrainLoss[i])
+		}
+	}
+	if b.NumTrees() != 60 {
+		t.Fatalf("NumTrees = %d, want 60", b.NumTrees())
+	}
+}
+
+func TestBoostingDeterministicBySeed(t *testing.T) {
+	d := synth(200, 2, 10, 0.1, func(x []float64) float64 { return x[0] * x[1] })
+	b1, err := FitBoostedTrees(d, BoostOptions{Rounds: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := FitBoostedTrees(d, BoostOptions{Rounds: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{3, 4}
+	if b1.Predict(probe) != b2.Predict(probe) {
+		t.Fatal("same seed must reproduce the same ensemble")
+	}
+}
+
+func TestBoostingOptionValidation(t *testing.T) {
+	d := synth(20, 1, 11, 0, func(x []float64) float64 { return x[0] })
+	if _, err := FitBoostedTrees(d, BoostOptions{Rounds: -1}); err == nil {
+		t.Error("negative rounds should fail")
+	}
+	if _, err := FitBoostedTrees(d, BoostOptions{LearningRate: 2}); err == nil {
+		t.Error("learning rate > 1 should fail")
+	}
+	if _, err := FitBoostedTrees(d, BoostOptions{Subsample: 1.5}); err == nil {
+		t.Error("subsample > 1 should fail")
+	}
+}
+
+func TestLinearRecoversCoefficients(t *testing.T) {
+	d := synth(500, 3, 12, 0.01, func(x []float64) float64 {
+		return 2*x[0] - 3*x[1] + 0.5*x[2] + 7
+	})
+	m, err := FitLinear(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -3, 0.5, 7}
+	for i, w := range want {
+		if math.Abs(m.Weights[i]-w) > 0.05 {
+			t.Fatalf("weight %d = %g, want ~%g", i, m.Weights[i], w)
+		}
+	}
+}
+
+func TestLinearRidgeHandlesDegenerate(t *testing.T) {
+	// Duplicate feature columns make plain OLS singular; ridge fixes it.
+	d := &Dataset{}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		v := rng.Float64()
+		d.Append([]float64{v, v}, 3*v)
+	}
+	if _, err := FitLinear(d, 0); err == nil {
+		t.Log("plain OLS happened to solve the singular system (tolerated)")
+	}
+	m, err := FitLinear(d, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.5, 0.5}); math.Abs(got-1.5) > 0.01 {
+		t.Fatalf("ridge prediction = %g, want 1.5", got)
+	}
+}
+
+func TestLinearNegativeRidgeRejected(t *testing.T) {
+	d := synth(10, 1, 14, 0, func(x []float64) float64 { return x[0] })
+	if _, err := FitLinear(d, -1); err == nil {
+		t.Fatal("negative ridge should fail")
+	}
+}
+
+func TestPoissonRecoversRates(t *testing.T) {
+	// y = exp(0.3*x0 + 1): log-linear ground truth.
+	d := &Dataset{}
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 600; i++ {
+		x := rng.Float64() * 5
+		mu := math.Exp(0.3*x + 1)
+		d.Append([]float64{x}, mu*(1+rng.NormFloat64()*0.02))
+	}
+	m, err := FitPoisson(d, PoissonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-0.3) > 0.05 || math.Abs(m.Weights[1]-1) > 0.1 {
+		t.Fatalf("weights = %v, want ~[0.3, 1]", m.Weights)
+	}
+}
+
+func TestPoissonRejectsNonPositive(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}, {2}}, Y: []float64{1, 0}}
+	if _, err := FitPoisson(d, PoissonOptions{}); err == nil {
+		t.Fatal("non-positive target should fail")
+	}
+}
+
+func TestMetricsEquations(t *testing.T) {
+	// Equation 5/6 on a worked example.
+	if got := AbsoluteError(2.0, 1.5); got != 0.5 {
+		t.Fatalf("absolute error = %g, want 0.5", got)
+	}
+	if got := PercentError(2.0, 1.5); got != 25 {
+		t.Fatalf("percent error = %g, want 25", got)
+	}
+	if !math.IsInf(PercentError(0, 1), 1) {
+		t.Fatal("percent error with zero measurement should be +Inf")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []float64{1, 2, 3}}
+	perfect := &LinearModel{Weights: []float64{1, 0}}
+	ev, err := Evaluate(perfect, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MeanAbsoluteError != 0 || ev.RMSE != 0 || ev.R2 != 1 || ev.N != 3 {
+		t.Fatalf("perfect model evaluation wrong: %+v", ev)
+	}
+	if len(ev.AbsErrors) != 3 {
+		t.Fatalf("AbsErrors length = %d", len(ev.AbsErrors))
+	}
+}
+
+func TestEvaluateRejectsNonFinite(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}}, Y: []float64{1}}
+	bad := badRegressor{}
+	if _, err := Evaluate(bad, d); err == nil {
+		t.Fatal("non-finite prediction should fail evaluation")
+	}
+}
+
+type badRegressor struct{}
+
+func (badRegressor) Predict(x []float64) float64 { return math.NaN() }
+
+func TestBoostedBeatsLinearOnNonlinearData(t *testing.T) {
+	// The paper selected BDTR because it out-predicted linear/Poisson;
+	// verify that ordering on a nonlinear performance-like surface
+	// T = a/x + b (execution time vs thread count).
+	f := func(x []float64) float64 { return 50/x[0] + 3 + 0.2*x[1] }
+	gen := func(seed int64, n int) *Dataset {
+		rng := rand.New(rand.NewSource(seed))
+		d := &Dataset{}
+		for i := 0; i < n; i++ {
+			x := []float64{float64(rng.Intn(47) + 1), rng.Float64() * 3}
+			d.Append(x, f(x)*(1+rng.NormFloat64()*0.02))
+		}
+		return d
+	}
+	train, test := gen(16, 1000), gen(17, 300)
+	boost, err := FitBoostedTrees(train, BoostOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear, err := FitLinear(train, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson, err := FitPoisson(train, PoissonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := Evaluate(boost, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evL, err := Evaluate(linear, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evP, err := Evaluate(poisson, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evB.MeanPercentError >= evL.MeanPercentError {
+		t.Fatalf("BDTR (%.2f%%) should beat linear (%.2f%%)", evB.MeanPercentError, evL.MeanPercentError)
+	}
+	if evB.MeanPercentError >= evP.MeanPercentError {
+		t.Fatalf("BDTR (%.2f%%) should beat poisson (%.2f%%)", evB.MeanPercentError, evP.MeanPercentError)
+	}
+}

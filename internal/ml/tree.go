@@ -1,0 +1,205 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TreeOptions configures CART regression-tree induction.
+type TreeOptions struct {
+	// MaxDepth bounds the tree depth (root = depth 0). Zero selects 5.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf. Zero selects 1.
+	MinLeaf int
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 5
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 1
+	}
+	return o
+}
+
+// treeNode is one node of a regression tree, stored in a flat arena.
+type treeNode struct {
+	// feature is the split feature, or -1 for leaves.
+	feature int
+	// threshold routes x[feature] <= threshold to left, else right.
+	threshold float64
+	// left, right index the arena.
+	left, right int32
+	// value is the leaf prediction (mean of targets).
+	value float64
+}
+
+// Tree is a fitted CART regression tree.
+type Tree struct {
+	nodes []treeNode
+}
+
+// NumNodes returns the node count (diagnostics).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth (root = 0).
+func (t *Tree) Depth() int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0)
+}
+
+// Predict evaluates the tree on one sample.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// FitTree builds a regression tree minimizing squared error, using exact
+// greedy splits over all features. targets may differ from d.Y (boosting
+// fits trees to residuals); len(targets) must equal d.Len().
+func FitTree(d *Dataset, targets []float64, opt TreeOptions) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(targets) != d.Len() {
+		return nil, fmt.Errorf("ml: %d targets for %d samples", len(targets), d.Len())
+	}
+	opt = opt.withDefaults()
+	if opt.MaxDepth < 0 || opt.MinLeaf < 1 {
+		return nil, fmt.Errorf("ml: invalid tree options %+v", opt)
+	}
+	t := &Tree{}
+	indices := make([]int, d.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	b := &treeBuilder{data: d, targets: targets, opt: opt, tree: t}
+	b.build(indices, 0)
+	return t, nil
+}
+
+type treeBuilder struct {
+	data    *Dataset
+	targets []float64
+	opt     TreeOptions
+	tree    *Tree
+}
+
+// build grows the subtree over the given sample indices and returns its
+// arena index. indices is consumed (re-partitioned in place).
+func (b *treeBuilder) build(indices []int, depth int) int32 {
+	mean := 0.0
+	for _, i := range indices {
+		mean += b.targets[i]
+	}
+	mean /= float64(len(indices))
+
+	id := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, treeNode{feature: -1, value: mean})
+
+	if depth >= b.opt.MaxDepth || len(indices) < 2*b.opt.MinLeaf {
+		return id
+	}
+	feature, threshold, ok := b.bestSplit(indices)
+	if !ok {
+		return id
+	}
+	// Partition in place.
+	lo, hi := 0, len(indices)
+	for lo < hi {
+		if b.data.X[indices[lo]][feature] <= threshold {
+			lo++
+		} else {
+			hi--
+			indices[lo], indices[hi] = indices[hi], indices[lo]
+		}
+	}
+	left, right := indices[:lo], indices[lo:]
+	if len(left) == 0 || len(right) == 0 {
+		return id // numerical degeneracy; keep the leaf
+	}
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.tree.nodes[id].feature = feature
+	b.tree.nodes[id].threshold = threshold
+	b.tree.nodes[id].left = l
+	b.tree.nodes[id].right = r
+	return id
+}
+
+// bestSplit scans every feature for the squared-error-minimizing split
+// honoring MinLeaf. It returns ok=false when no valid split improves on
+// the parent.
+func (b *treeBuilder) bestSplit(indices []int) (feature int, threshold float64, ok bool) {
+	n := len(indices)
+	totalSum, totalSq := 0.0, 0.0
+	for _, i := range indices {
+		y := b.targets[i]
+		totalSum += y
+		totalSq += y * y
+	}
+	parentSSE := totalSq - totalSum*totalSum/float64(n)
+
+	bestGain := 1e-12 // require strictly positive improvement
+	sorted := make([]int, n)
+	for f := 0; f < b.data.Dim(); f++ {
+		copy(sorted, indices)
+		sort.Slice(sorted, func(a, c int) bool {
+			return b.data.X[sorted[a]][f] < b.data.X[sorted[c]][f]
+		})
+		leftSum, leftSq := 0.0, 0.0
+		for k := 0; k < n-1; k++ {
+			y := b.targets[sorted[k]]
+			leftSum += y
+			leftSq += y * y
+			vk, vk1 := b.data.X[sorted[k]][f], b.data.X[sorted[k+1]][f]
+			if vk == vk1 {
+				continue // cannot split between equal values
+			}
+			nl, nr := k+1, n-k-1
+			if nl < b.opt.MinLeaf || nr < b.opt.MinLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
+			gain := parentSSE - sse
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = (vk + vk1) / 2
+				ok = true
+			}
+		}
+	}
+	if math.IsNaN(threshold) {
+		return 0, 0, false
+	}
+	return feature, threshold, ok
+}

@@ -1,0 +1,396 @@
+// Package multi extends the paper's optimizer to platforms with several
+// accelerators. The paper evaluates one Xeon Phi but motivates the
+// problem with nodes carrying up to eight accelerators (Section II-A;
+// Tianhe-2 nodes carry three Phis), and the configuration-space
+// formulation (Equation 1) already generalizes: this package adds the
+// multi-device workload split — a fraction vector over host + K devices
+// summing to 100% — the generalized objective E = max over all
+// processing units, and a simulated-annealing tuner over the extended
+// space.
+package multi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hetopt/internal/anneal"
+	"hetopt/internal/machine"
+	"hetopt/internal/offload"
+	"hetopt/internal/perf"
+)
+
+// Platform is a host plus K accelerators, each with its own performance
+// model (device models may differ, modeling mixed accelerator
+// generations).
+type Platform struct {
+	host    *perf.Model
+	devices []*perf.Model
+	names   []string
+}
+
+// NewPlatform assembles a multi-accelerator platform. host's device side
+// is ignored; each devices entry contributes its device side.
+func NewPlatform(host *perf.Model, names []string, devices []*perf.Model) (*Platform, error) {
+	if host == nil {
+		return nil, fmt.Errorf("multi: nil host model")
+	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("multi: need at least one device")
+	}
+	if len(names) != len(devices) {
+		return nil, fmt.Errorf("multi: %d names for %d devices", len(names), len(devices))
+	}
+	for i, d := range devices {
+		if d == nil {
+			return nil, fmt.Errorf("multi: device %d is nil", i)
+		}
+	}
+	return &Platform{host: host, devices: devices, names: names}, nil
+}
+
+// PaperWithPhis builds the paper's host with n identical Xeon Phi 7120P
+// cards. Each card observes independent measurement noise.
+func PaperWithPhis(n int) (*Platform, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("multi: need at least one Phi, got %d", n)
+	}
+	host := perf.NewModel()
+	devices := make([]*perf.Model, n)
+	names := make([]string, n)
+	for i := range devices {
+		m := perf.NewModel()
+		// Decorrelate per-card noise: same silicon, different card.
+		m.Cal.NoiseSeed ^= uint64(i+1) * 0x9E3779B97F4A7C15
+		devices[i] = m
+		names[i] = fmt.Sprintf("phi%d", i)
+	}
+	return NewPlatform(host, names, devices)
+}
+
+// NumDevices returns the accelerator count.
+func (p *Platform) NumDevices() int { return len(p.devices) }
+
+// DeviceName returns the display name of device i.
+func (p *Platform) DeviceName(i int) string { return p.names[i] }
+
+// Assignment configures one processing unit's share.
+type Assignment struct {
+	// Threads and Affinity configure the unit.
+	Threads  int
+	Affinity machine.Affinity
+	// FractionPct is the percentage of the total workload mapped to the
+	// unit.
+	FractionPct float64
+}
+
+// Config is a complete multi-device system configuration.
+type Config struct {
+	Host    Assignment
+	Devices []Assignment
+}
+
+// Validate checks the fraction simplex and unit counts.
+func (c Config) Validate(numDevices int) error {
+	if len(c.Devices) != numDevices {
+		return fmt.Errorf("multi: config has %d device assignments for %d devices", len(c.Devices), numDevices)
+	}
+	total := c.Host.FractionPct
+	if c.Host.FractionPct < 0 {
+		return fmt.Errorf("multi: negative host fraction %g", c.Host.FractionPct)
+	}
+	for i, d := range c.Devices {
+		if d.FractionPct < 0 {
+			return fmt.Errorf("multi: negative fraction %g on device %d", d.FractionPct, i)
+		}
+		total += d.FractionPct
+	}
+	if math.Abs(total-100) > 1e-9 {
+		return fmt.Errorf("multi: fractions sum to %g, want 100", total)
+	}
+	return nil
+}
+
+// String renders the distribution, e.g. "host 40% (48T,scatter) | phi0
+// 30% (240T,balanced) | phi1 30% (240T,balanced)".
+func (c Config) String() string {
+	s := fmt.Sprintf("host %g%% (%dT,%s)", c.Host.FractionPct, c.Host.Threads, c.Host.Affinity)
+	for _, d := range c.Devices {
+		s += fmt.Sprintf(" | %g%% (%dT,%s)", d.FractionPct, d.Threads, d.Affinity)
+	}
+	return s
+}
+
+// Times holds per-unit execution times.
+type Times struct {
+	Host    float64
+	Devices []float64
+}
+
+// E is the generalized objective: the maximum over all processing units.
+func (t Times) E() float64 {
+	e := t.Host
+	for _, d := range t.Devices {
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// Measure evaluates a configuration on the platform.
+func (p *Platform) Measure(w offload.Workload, cfg Config, trial int) (Times, error) {
+	if err := w.Validate(); err != nil {
+		return Times{}, err
+	}
+	if err := cfg.Validate(p.NumDevices()); err != nil {
+		return Times{}, err
+	}
+	traits := perf.Traits{Name: w.Name, Complexity: w.Complexity}
+	out := Times{Devices: make([]float64, p.NumDevices())}
+	if cfg.Host.FractionPct > 0 {
+		t, err := p.host.HostTime(perf.Assignment{
+			SizeMB:   w.SizeMB * cfg.Host.FractionPct / 100,
+			Threads:  cfg.Host.Threads,
+			Affinity: cfg.Host.Affinity,
+		}, traits, trial)
+		if err != nil {
+			return Times{}, err
+		}
+		out.Host = t
+	}
+	for i, d := range cfg.Devices {
+		if d.FractionPct == 0 {
+			continue
+		}
+		t, err := p.devices[i].DeviceTime(perf.Assignment{
+			SizeMB:   w.SizeMB * d.FractionPct / 100,
+			Threads:  d.Threads,
+			Affinity: d.Affinity,
+		}, perf.Traits{Name: w.Name + ":" + p.names[i], Complexity: w.Complexity}, trial)
+		if err != nil {
+			return Times{}, err
+		}
+		out.Devices[i] = t
+	}
+	return out, nil
+}
+
+// Problem is the multi-device tuning problem for simulated annealing.
+//
+// State layout: [hostThreadIdx, hostAffIdx,
+// (devThreadIdx, devAffIdx) x K, unit_0 ... unit_K] where unit_i counts
+// FractionUnits-ths of the workload on unit i (index 0 = host) and the
+// unit counts are kept on the simplex by the neighbor move (shifting one
+// unit between two random processors).
+type Problem struct {
+	// Platform and Workload define the measurement.
+	Platform *Platform
+	Workload offload.Workload
+	// Value sets (Table I style).
+	HostThreads      []int
+	HostAffinities   []machine.Affinity
+	DeviceThreads    []int
+	DeviceAffinities []machine.Affinity
+	// FractionUnits is the simplex resolution; 40 yields the paper's
+	// 2.5% grid. Zero selects 40.
+	FractionUnits int
+	// Trial selects the measurement noise draw.
+	Trial int
+
+	err error
+}
+
+func (p *Problem) units() int {
+	if p.FractionUnits <= 0 {
+		return 40
+	}
+	return p.FractionUnits
+}
+
+// Validate checks the problem definition.
+func (p *Problem) Validate() error {
+	if p.Platform == nil {
+		return fmt.Errorf("multi: problem needs a platform")
+	}
+	if err := p.Workload.Validate(); err != nil {
+		return err
+	}
+	if len(p.HostThreads) == 0 || len(p.HostAffinities) == 0 ||
+		len(p.DeviceThreads) == 0 || len(p.DeviceAffinities) == 0 {
+		return fmt.Errorf("multi: empty value set in problem definition")
+	}
+	return nil
+}
+
+// layout helpers.
+func (p *Problem) numDevices() int { return p.Platform.NumDevices() }
+func (p *Problem) unitBase() int   { return 2 + 2*p.numDevices() }
+
+// Dim implements anneal.Problem.
+func (p *Problem) Dim() int { return p.unitBase() + p.numDevices() + 1 }
+
+// Initial implements anneal.Problem: random parameters and a random
+// composition of the fraction units.
+func (p *Problem) Initial(dst []int, rng *rand.Rand) {
+	dst[0] = rng.Intn(len(p.HostThreads))
+	dst[1] = rng.Intn(len(p.HostAffinities))
+	for d := 0; d < p.numDevices(); d++ {
+		dst[2+2*d] = rng.Intn(len(p.DeviceThreads))
+		dst[3+2*d] = rng.Intn(len(p.DeviceAffinities))
+	}
+	// Random composition: drop each unit into a uniformly random bin.
+	base := p.unitBase()
+	for i := 0; i <= p.numDevices(); i++ {
+		dst[base+i] = 0
+	}
+	for u := 0; u < p.units(); u++ {
+		dst[base+rng.Intn(p.numDevices()+1)]++
+	}
+}
+
+// Neighbor implements anneal.Problem: half the moves perturb one
+// thread/affinity parameter, half shift one fraction unit between two
+// processors.
+func (p *Problem) Neighbor(dst, src []int, rng *rand.Rand) {
+	copy(dst, src)
+	base := p.unitBase()
+	if rng.Intn(2) == 0 {
+		// Parameter move.
+		which := rng.Intn(base)
+		var levels int
+		switch {
+		case which == 0:
+			levels = len(p.HostThreads)
+		case which == 1:
+			levels = len(p.HostAffinities)
+		case (which-2)%2 == 0:
+			levels = len(p.DeviceThreads)
+		default:
+			levels = len(p.DeviceAffinities)
+		}
+		if levels > 1 {
+			nv := rng.Intn(levels - 1)
+			if nv >= dst[which] {
+				nv++
+			}
+			dst[which] = nv
+		}
+		return
+	}
+	// Fraction move: one unit from a non-empty bin to another bin.
+	n := p.numDevices() + 1
+	from := rng.Intn(n)
+	for tries := 0; dst[base+from] == 0 && tries < 2*n; tries++ {
+		from = rng.Intn(n)
+	}
+	if dst[base+from] == 0 {
+		return
+	}
+	to := rng.Intn(n - 1)
+	if to >= from {
+		to++
+	}
+	dst[base+from]--
+	dst[base+to]++
+}
+
+// Decode converts a state vector into a typed Config.
+func (p *Problem) Decode(state []int) (Config, error) {
+	if len(state) != p.Dim() {
+		return Config{}, fmt.Errorf("multi: state has %d entries, want %d", len(state), p.Dim())
+	}
+	base := p.unitBase()
+	unitPct := 100 / float64(p.units())
+	cfg := Config{
+		Host: Assignment{
+			Threads:     p.HostThreads[state[0]],
+			Affinity:    p.HostAffinities[state[1]],
+			FractionPct: float64(state[base]) * unitPct,
+		},
+	}
+	for d := 0; d < p.numDevices(); d++ {
+		cfg.Devices = append(cfg.Devices, Assignment{
+			Threads:     p.DeviceThreads[state[2+2*d]],
+			Affinity:    p.DeviceAffinities[state[3+2*d]],
+			FractionPct: float64(state[base+1+d]) * unitPct,
+		})
+	}
+	return cfg, nil
+}
+
+// Energy implements anneal.Problem by measuring the decoded
+// configuration.
+func (p *Problem) Energy(state []int) float64 {
+	if p.err != nil {
+		return math.Inf(1)
+	}
+	cfg, err := p.Decode(state)
+	if err != nil {
+		p.err = err
+		return math.Inf(1)
+	}
+	t, err := p.Platform.Measure(p.Workload, cfg, p.Trial)
+	if err != nil {
+		p.err = err
+		return math.Inf(1)
+	}
+	return t.E()
+}
+
+// Result is the outcome of a multi-device tuning run.
+type Result struct {
+	Config Config
+	Times  Times
+	// Iterations actually performed.
+	Iterations int
+}
+
+// Tune runs simulated annealing over the multi-device space and returns
+// the best configuration with its measurement.
+func Tune(p *Problem, iterations int, seed int64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if iterations <= 0 {
+		iterations = 2000
+	}
+	res, err := anneal.Minimize(p, anneal.Options{
+		InitialTemp: 5,
+		StopTemp:    5e-4,
+		MaxIters:    iterations,
+		Seed:        seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if p.err != nil {
+		return Result{}, p.err
+	}
+	cfg, err := p.Decode(res.Best)
+	if err != nil {
+		return Result{}, err
+	}
+	times, err := p.Platform.Measure(p.Workload, cfg, p.Trial)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Config: cfg, Times: times, Iterations: res.Iterations}, nil
+}
+
+// PaperProblem builds the multi-device tuning problem over the paper's
+// Table I value sets for a platform with n Phi cards.
+func PaperProblem(n int, w offload.Workload) (*Problem, error) {
+	platform, err := PaperWithPhis(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{
+		Platform:         platform,
+		Workload:         w,
+		HostThreads:      []int{2, 6, 12, 24, 36, 48},
+		HostAffinities:   []machine.Affinity{machine.AffinityNone, machine.AffinityScatter, machine.AffinityCompact},
+		DeviceThreads:    []int{2, 4, 8, 16, 30, 60, 120, 180, 240},
+		DeviceAffinities: []machine.Affinity{machine.AffinityBalanced, machine.AffinityScatter, machine.AffinityCompact},
+	}, nil
+}

@@ -1,0 +1,228 @@
+// Package offload is the heterogeneous offload runtime of the
+// reproduction: it takes a system configuration (space.Config), splits a
+// divisible workload between the host CPUs and the accelerator according
+// to the configured fraction, and reports per-side execution times with
+// the paper's objective E = max(T_host, T_device) (Equation 2). The
+// offloaded share runs concurrently with the host share, mirroring the
+// paper's use of the Intel offload programming model with overlapped
+// host/device execution.
+//
+// Two paths are provided:
+//
+//   - Measure: the "testbed" path. Execution time comes from the
+//     calibrated perf.Model (see DESIGN.md on hardware substitution), so
+//     paper-scale multi-gigabyte runs are evaluated in microseconds.
+//
+//   - Execute: the real-computation path. The DNA matching engine
+//     (internal/parem) actually processes the input bytes for both
+//     shares — the device share on a simulated executor that runs the
+//     identical code on local CPU threads — and the report combines real
+//     match counts with modeled times.
+package offload
+
+import (
+	"fmt"
+	"math"
+
+	"hetopt/internal/automata"
+	"hetopt/internal/dna"
+	"hetopt/internal/machine"
+	"hetopt/internal/parem"
+	"hetopt/internal/perf"
+	"hetopt/internal/space"
+)
+
+// Times holds the per-side execution times of one run, in seconds.
+type Times struct {
+	Host, Device float64
+}
+
+// E is the paper's objective function (Equation 2):
+// E = max(T_host, T_device).
+func (t Times) E() float64 {
+	return math.Max(t.Host, t.Device)
+}
+
+// Workload identifies a divisible input.
+type Workload struct {
+	// Name keys measurement noise and reports.
+	Name string
+	// SizeMB is the total input size in megabytes.
+	SizeMB float64
+	// Complexity is the matching-cost multiplier (1.0 = human genome).
+	Complexity float64
+}
+
+// GenomeWorkload converts a dna.Genome into a Workload.
+func GenomeWorkload(g dna.Genome) Workload {
+	return Workload{Name: g.Name, SizeMB: g.SizeMB, Complexity: g.Complexity}
+}
+
+// Scaled returns a copy of the workload with the size replaced; used to
+// evaluate motivational scenarios such as the paper's 190 MB experiment.
+func (w Workload) Scaled(sizeMB float64) Workload {
+	w.SizeMB = sizeMB
+	return w
+}
+
+// traits converts the workload to the perf model's view.
+func (w Workload) traits() perf.Traits {
+	return perf.Traits{Name: w.Name, Complexity: w.Complexity}
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("offload: workload needs a name")
+	}
+	if w.SizeMB <= 0 {
+		return fmt.Errorf("offload: workload %q size %g must be positive", w.Name, w.SizeMB)
+	}
+	return nil
+}
+
+// Platform couples the host/device performance model with validation
+// logic. The zero value is not usable; construct with NewPlatform.
+type Platform struct {
+	model *perf.Model
+}
+
+// NewPlatform returns the paper's platform (2x Xeon E5 + Xeon Phi 7120P)
+// with default calibration.
+func NewPlatform() *Platform {
+	return &Platform{model: perf.NewModel()}
+}
+
+// NewPlatformWithModel wraps a custom performance model (used by tests and
+// by the custom-machine example).
+func NewPlatformWithModel(m *perf.Model) *Platform {
+	return &Platform{model: m}
+}
+
+// Model exposes the underlying performance model (calibration knobs).
+func (p *Platform) Model() *perf.Model { return p.model }
+
+// Host and Device expose the processor descriptions.
+func (p *Platform) Host() *machine.Processor   { return p.model.Host }
+func (p *Platform) Device() *machine.Processor { return p.model.Device }
+
+// split returns the host and device share sizes in MB.
+func split(w Workload, cfg space.Config) (hostMB, devMB float64, err error) {
+	if cfg.HostFraction < 0 || cfg.HostFraction > 100 {
+		return 0, 0, fmt.Errorf("offload: host fraction %g outside [0,100]", cfg.HostFraction)
+	}
+	hostMB = w.SizeMB * cfg.HostFraction / 100
+	devMB = w.SizeMB - hostMB
+	return hostMB, devMB, nil
+}
+
+// Measure returns the modeled execution times of running workload w under
+// configuration cfg. trial selects the measurement-noise draw; repeated
+// measurements with equal trial reproduce identical values (a stable
+// testbed), different trials model re-runs.
+func (p *Platform) Measure(w Workload, cfg space.Config, trial int) (Times, error) {
+	if err := w.Validate(); err != nil {
+		return Times{}, err
+	}
+	hostMB, devMB, err := split(w, cfg)
+	if err != nil {
+		return Times{}, err
+	}
+	var t Times
+	if hostMB > 0 {
+		t.Host, err = p.model.HostTime(perf.Assignment{
+			SizeMB:   hostMB,
+			Threads:  cfg.HostThreads,
+			Affinity: cfg.HostAffinity,
+		}, w.traits(), trial)
+		if err != nil {
+			return Times{}, err
+		}
+	}
+	if devMB > 0 {
+		t.Device, err = p.model.DeviceTime(perf.Assignment{
+			SizeMB:   devMB,
+			Threads:  cfg.DeviceThreads,
+			Affinity: cfg.DeviceAffinity,
+		}, w.traits(), trial)
+		if err != nil {
+			return Times{}, err
+		}
+	}
+	return t, nil
+}
+
+// ExecutionReport combines real matching results with modeled times.
+type ExecutionReport struct {
+	// Times are the modeled execution times for the actual input size.
+	Times Times
+	// HostMatches and DeviceMatches are the real match counts of each
+	// share; Matches is their sum.
+	HostMatches, DeviceMatches, Matches uint64
+	// HostBytes and DeviceBytes record the byte split.
+	HostBytes, DeviceBytes int64
+	// HostRun and DeviceRun describe the parallel-matching execution.
+	HostRun, DeviceRun parem.Result
+}
+
+// Execute really runs the matching engine over total bytes from src,
+// split according to cfg: the host share on cfg.HostThreads workers and
+// the device share on a device-simulating executor with
+// cfg.DeviceThreads workers. Reported times come from the performance
+// model applied to the actual share sizes; match counts are real and
+// chunking-independent.
+func (p *Platform) Execute(w Workload, cfg space.Config, d *automata.DFA, src parem.Source, total int64, trial int) (ExecutionReport, error) {
+	if err := w.Validate(); err != nil {
+		return ExecutionReport{}, err
+	}
+	if total < 0 {
+		return ExecutionReport{}, fmt.Errorf("offload: negative input size %d", total)
+	}
+	if total == 0 {
+		return ExecutionReport{}, nil // nothing to do: empty report
+	}
+	hostBytes := int64(float64(total) * cfg.HostFraction / 100)
+	if cfg.HostFraction < 0 || cfg.HostFraction > 100 {
+		return ExecutionReport{}, fmt.Errorf("offload: host fraction %g outside [0,100]", cfg.HostFraction)
+	}
+	devBytes := total - hostBytes
+
+	report := ExecutionReport{HostBytes: hostBytes, DeviceBytes: devBytes}
+
+	// Model the times for the actual byte sizes.
+	times, err := p.Measure(w.Scaled(float64(total)/(1<<20)), cfg, trial)
+	if err != nil {
+		return ExecutionReport{}, err
+	}
+	report.Times = times
+
+	// Real matching. The "device" executor runs the same engine: the
+	// substitution for unavailable Xeon Phi hardware (DESIGN.md). The
+	// device share resumes from the host share's final automaton state so
+	// matches straddling the distribution boundary are counted exactly
+	// once; the total therefore equals a sequential pass over the whole
+	// input.
+	boundary := d.Start
+	if hostBytes > 0 {
+		res, err := parem.CountSource(d, src, hostBytes, parem.Options{Workers: cfg.HostThreads})
+		if err != nil {
+			return ExecutionReport{}, fmt.Errorf("offload: host share: %w", err)
+		}
+		report.HostRun = res
+		report.HostMatches = res.Matches
+		boundary = res.Final
+	}
+	if devBytes > 0 {
+		res, err := parem.CountSource(d, parem.Section(src, hostBytes), devBytes, parem.Options{
+			Workers:    cfg.DeviceThreads,
+			StartState: &boundary,
+		})
+		if err != nil {
+			return ExecutionReport{}, fmt.Errorf("offload: device share: %w", err)
+		}
+		report.DeviceRun = res
+		report.DeviceMatches = res.Matches
+	}
+	report.Matches = report.HostMatches + report.DeviceMatches
+	return report, nil
+}

@@ -1,0 +1,116 @@
+package parem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetopt/internal/automata"
+	"hetopt/internal/dna"
+)
+
+func TestCountInterleavedMatchesSequential(t *testing.T) {
+	d := compileDefault(t)
+	text := genText(41, 1<<19)
+	want := d.CountMatches(text)
+	for _, lanes := range []int{1, 2, 4, 8, 16} {
+		got, err := CountInterleaved(d, text, lanes)
+		if err != nil {
+			t.Fatalf("%d lanes: %v", lanes, err)
+		}
+		if got != want {
+			t.Fatalf("%d lanes: %d != %d", lanes, got, want)
+		}
+	}
+}
+
+func TestCountInterleavedValidation(t *testing.T) {
+	d := compileDefault(t)
+	if _, err := CountInterleaved(d, []byte("ACGT"), 0); err == nil {
+		t.Error("zero lanes should fail")
+	}
+	if _, err := CountInterleaved(d, []byte("ACGT"), 17); err == nil {
+		t.Error("17 lanes should fail")
+	}
+	unbounded, err := automata.CompilePattern("(AC)+G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CountInterleaved(unbounded, []byte("ACGT"), 4); err == nil {
+		t.Error("unbounded context with >1 lane should fail")
+	}
+	if _, err := CountInterleaved(unbounded, []byte("ACACG"), 1); err != nil {
+		t.Errorf("single lane works for any automaton: %v", err)
+	}
+	if _, err := CountInterleaved(&automata.DFA{}, []byte("ACGT"), 2); err == nil {
+		t.Error("invalid DFA should fail")
+	}
+}
+
+func TestCountInterleavedTinyInput(t *testing.T) {
+	// Inputs smaller than lanes*(ctx+1) fall back to sequential.
+	d := compileDefault(t)
+	text := []byte("GAATTC")
+	got, err := CountInterleaved(d, text, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d.CountMatches(text) {
+		t.Fatal("tiny-input fallback broken")
+	}
+}
+
+func TestCountInterleavedWithSeparators(t *testing.T) {
+	d := compileDefault(t)
+	text := genText(42, 1<<16)
+	for i := 0; i < len(text); i += 997 {
+		text[i] = 'N'
+	}
+	want := d.CountMatches(text)
+	got, err := CountInterleaved(d, text, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("separators: %d != %d", got, want)
+	}
+}
+
+// Property: interleaved counting is exact for any lane count and input
+// size.
+func TestCountInterleavedProperty(t *testing.T) {
+	d := compileDefault(t)
+	f := func(seed uint64, lanesRaw, sizeKB uint8) bool {
+		lanes := int(lanesRaw)%16 + 1
+		text := genText(seed, (int(sizeKB)%64+1)*1024)
+		got, err := CountInterleaved(d, text, lanes)
+		if err != nil {
+			return false
+		}
+		return got == d.CountMatches(text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCountInterleaved(b *testing.B) {
+	d, err := automata.CompileMotifs(dna.DefaultMotifs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := dna.NewGenerator(dna.Human, 9).Generate(4 << 20)
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(lanesName(lanes), func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			for i := 0; i < b.N; i++ {
+				if _, err := CountInterleaved(d, text, lanes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func lanesName(n int) string {
+	return map[int]string{1: "1lane", 2: "2lanes", 4: "4lanes", 8: "8lanes"}[n]
+}

@@ -1,0 +1,261 @@
+package parem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetopt/internal/automata"
+	"hetopt/internal/dna"
+)
+
+func compileDefault(t *testing.T) *automata.DFA {
+	t.Helper()
+	d, err := automata.CompileMotifs(dna.DefaultMotifs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func genText(seed uint64, n int) []byte {
+	g, err := dna.NewGenerator(dna.Human, seed).WithPlantedMotif("GAATTC", 200)
+	if err != nil {
+		panic(err)
+	}
+	return g.Generate(n)
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		Auto: "auto", Sequential: "sequential", WarmUp: "warmup", Enumerative: "enumerative",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+	if got := Strategy(42).String(); got != "strategy(42)" {
+		t.Errorf("unknown strategy string = %q", got)
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	d := compileDefault(t)
+	text := genText(1, 1<<20)
+	want := d.CountMatches(text)
+	if want == 0 {
+		t.Fatal("test input should contain matches")
+	}
+	for _, s := range []Strategy{Sequential, WarmUp, Enumerative} {
+		res, err := Count(d, text, Options{Strategy: s, Workers: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Matches != want {
+			t.Errorf("%v: matches = %d, want %d", s, res.Matches, want)
+		}
+		if res.Strategy != s {
+			t.Errorf("%v: reported strategy %v", s, res.Strategy)
+		}
+	}
+}
+
+func TestAutoSelectsWarmUpForBoundedContext(t *testing.T) {
+	d := compileDefault(t)
+	text := genText(2, 1<<20)
+	res, err := Count(d, text, Options{Strategy: Auto, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != WarmUp {
+		t.Fatalf("auto picked %v, want warmup for AC automaton", res.Strategy)
+	}
+}
+
+func TestAutoSelectsEnumerativeForUnboundedContext(t *testing.T) {
+	d, err := automata.CompilePattern("(AC)+G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ContextLen != 0 {
+		t.Fatalf("pattern should have unbounded context, got %d", d.ContextLen)
+	}
+	text := genText(3, 1<<20)
+	res, err := Count(d, text, Options{Strategy: Auto, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != Enumerative {
+		t.Fatalf("auto picked %v, want enumerative", res.Strategy)
+	}
+	seq, _ := Count(d, text, Options{Strategy: Sequential})
+	if res.Matches != seq.Matches {
+		t.Fatalf("enumerative %d != sequential %d", res.Matches, seq.Matches)
+	}
+}
+
+func TestAutoSelectsSequentialForSmallInputs(t *testing.T) {
+	d := compileDefault(t)
+	res, err := Count(d, genText(4, 1024), Options{Strategy: Auto, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != Sequential {
+		t.Fatalf("auto picked %v for tiny input, want sequential", res.Strategy)
+	}
+}
+
+func TestWarmUpRequiresBoundedContext(t *testing.T) {
+	d, err := automata.CompilePattern("(AC)+G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Count(d, genText(5, 4096), Options{Strategy: WarmUp, Workers: 2}); err == nil {
+		t.Fatal("warm-up on unbounded automaton must fail")
+	}
+}
+
+func TestNegativeTotalRejected(t *testing.T) {
+	d := compileDefault(t)
+	if _, err := CountSource(d, Bytes(nil), -1, Options{}); err == nil {
+		t.Fatal("negative total should fail")
+	}
+}
+
+func TestInvalidDFARejected(t *testing.T) {
+	if _, err := Count(&automata.DFA{}, []byte("ACGT"), Options{}); err == nil {
+		t.Fatal("invalid DFA should fail")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	d := compileDefault(t)
+	for _, s := range []Strategy{Sequential, WarmUp, Enumerative} {
+		res, err := Count(d, nil, Options{Strategy: s, Workers: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Matches != 0 {
+			t.Fatalf("%v: empty input matched %d times", s, res.Matches)
+		}
+	}
+}
+
+func TestSeparatorsAcrossChunks(t *testing.T) {
+	// Separators near chunk boundaries must not change counts.
+	d := compileDefault(t)
+	text := genText(6, 1<<18)
+	// Sprinkle N separators deterministically.
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		text[rng.Intn(len(text))] = 'N'
+	}
+	want, _ := Count(d, text, Options{Strategy: Sequential})
+	for _, s := range []Strategy{WarmUp, Enumerative} {
+		got, err := Count(d, text, Options{Strategy: s, Workers: 7, ChunksPerWorker: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Matches != want.Matches {
+			t.Fatalf("%v with separators: %d != %d", s, got.Matches, want.Matches)
+		}
+	}
+}
+
+func TestCountSourceStreamsGenerator(t *testing.T) {
+	// Virtual input: never materialized as a whole.
+	g, err := dna.NewGenerator(dna.Mouse, 8).WithPlantedMotif("TATAAA", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := automata.CompileMotifs([]dna.Motif{{Name: "tata", Pattern: "TATAAA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(4 << 20)
+	res, err := CountSource(d, g, total, Options{Strategy: WarmUp, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches < uint64(g.PlantedCount(int(total))) {
+		t.Fatalf("matches %d below planted %d", res.Matches, g.PlantedCount(int(total)))
+	}
+	seq, err := CountSource(d, g, total, Options{Strategy: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != seq.Matches {
+		t.Fatalf("parallel %d != sequential %d", res.Matches, seq.Matches)
+	}
+}
+
+func TestPlantedLowerBoundHolds(t *testing.T) {
+	g, err := dna.NewGenerator(dna.Cat, 21).WithPlantedMotif("GCGGCCGC", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := automata.CompileMotifs([]dna.Motif{{Name: "NotI", Pattern: "GCGGCCGC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 19
+	res, err := CountSource(d, g, int64(n), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches < uint64(g.PlantedCount(n)) {
+		t.Fatalf("matches %d < planted %d", res.Matches, g.PlantedCount(n))
+	}
+}
+
+// Property: every strategy returns the same count for random inputs,
+// worker counts, and chunk granularities.
+func TestStrategyEquivalenceProperty(t *testing.T) {
+	d := compileDefault(t)
+	f := func(seed uint64, workers, chunksPer uint8, sizeKB uint16) bool {
+		n := (int(sizeKB)%512 + 1) * 1024
+		text := genText(seed, n)
+		w := int(workers)%16 + 1
+		cp := int(chunksPer)%8 + 1
+		seq, err := Count(d, text, Options{Strategy: Sequential})
+		if err != nil {
+			return false
+		}
+		wu, err := Count(d, text, Options{Strategy: WarmUp, Workers: w, ChunksPerWorker: cp})
+		if err != nil {
+			return false
+		}
+		en, err := Count(d, text, Options{Strategy: Enumerative, Workers: w, ChunksPerWorker: cp})
+		if err != nil {
+			return false
+		}
+		return seq.Matches == wu.Matches && seq.Matches == en.Matches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: enumerative equals sequential for unbounded-context automata.
+func TestEnumerativeUnboundedProperty(t *testing.T) {
+	d, err := automata.CompilePattern("(A|T)+C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, workers uint8, sizeKB uint16) bool {
+		n := (int(sizeKB)%256 + 1) * 1024
+		text := genText(seed, n)
+		seq, err := Count(d, text, Options{Strategy: Sequential})
+		if err != nil {
+			return false
+		}
+		en, err := Count(d, text, Options{Strategy: Enumerative, Workers: int(workers)%8 + 1})
+		if err != nil {
+			return false
+		}
+		return seq.Matches == en.Matches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package parem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetopt/internal/automata"
+	"hetopt/internal/dna"
+)
+
+func TestSectionView(t *testing.T) {
+	base := Bytes([]byte("ACGTACGTAC"))
+	sec := Section(base, 4)
+	got := make([]byte, 3)
+	sec.FillAt(0, got)
+	if string(got) != "ACG" {
+		t.Fatalf("section read %q, want ACG", got)
+	}
+	sec.FillAt(2, got[:2])
+	if string(got[:2]) != "GT" {
+		t.Fatalf("section offset read %q, want GT", got[:2])
+	}
+}
+
+func TestFinalStateChaining(t *testing.T) {
+	// Counting a text in two sections, chaining Final -> StartState, must
+	// equal one pass — even when a match straddles the cut.
+	d, err := automata.CompileMotifs([]dna.Motif{{Name: "m", Pattern: "ACGT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("TTACGTTTACGTT")
+	whole, err := Count(d, text, Options{Strategy: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(text); cut++ {
+		first, err := Count(d, text[:cut], Options{Strategy: Sequential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Count(d, text[cut:], Options{Strategy: Sequential, StartState: &first.Final})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Matches+second.Matches != whole.Matches {
+			t.Fatalf("cut %d: %d + %d != %d", cut, first.Matches, second.Matches, whole.Matches)
+		}
+	}
+}
+
+func TestFinalStateConsistentAcrossStrategies(t *testing.T) {
+	d, err := automata.CompileMotifs(dna.DefaultMotifs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := dna.NewGenerator(dna.Human, 31).Generate(1 << 19)
+	seq, err := Count(d, text, Options{Strategy: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{WarmUp, Enumerative} {
+		res, err := Count(d, text, Options{Strategy: s, Workers: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Final != seq.Final {
+			t.Errorf("%v final state %d != sequential %d", s, res.Final, seq.Final)
+		}
+	}
+}
+
+func TestStartStateValidation(t *testing.T) {
+	d, err := automata.CompileMotifs([]dna.Motif{{Name: "m", Pattern: "ACGT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := int32(d.NumStates())
+	if _, err := Count(d, []byte("ACGT"), Options{StartState: &bad}); err == nil {
+		t.Fatal("out-of-range start state should fail")
+	}
+	neg := int32(-1)
+	if _, err := Count(d, []byte("ACGT"), Options{StartState: &neg}); err == nil {
+		t.Fatal("negative start state should fail")
+	}
+}
+
+// Property: for any cut position and any strategy pair, section chaining
+// preserves total counts and final states.
+func TestSectionChainingProperty(t *testing.T) {
+	d, err := automata.CompileMotifs(dna.DefaultMotifs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := dna.NewGenerator(dna.Mouse, 17)
+	text := gen.Generate(1 << 16)
+	whole, err := Count(d, text, Options{Strategy: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []Strategy{Sequential, WarmUp, Enumerative}
+	f := func(cutRaw uint16, s1, s2 uint8) bool {
+		cut := int(cutRaw) % (len(text) + 1)
+		first, err := Count(d, text[:cut], Options{Strategy: strategies[int(s1)%3], Workers: 5})
+		if err != nil {
+			return false
+		}
+		second, err := Count(d, text[cut:], Options{Strategy: strategies[int(s2)%3], Workers: 3, StartState: &first.Final})
+		if err != nil {
+			return false
+		}
+		return first.Matches+second.Matches == whole.Matches && second.Final == whole.Final
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

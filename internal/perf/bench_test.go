@@ -1,0 +1,39 @@
+package perf
+
+import (
+	"testing"
+
+	"hetopt/internal/machine"
+)
+
+func BenchmarkHostTime(b *testing.B) {
+	m := NewModel()
+	a := Assignment{SizeMB: 1948, Threads: 48, Affinity: machine.AffinityScatter}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.HostTime(a, human, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeviceTime(b *testing.B) {
+	m := NewModel()
+	a := Assignment{SizeMB: 1298, Threads: 240, Affinity: machine.AffinityBalanced}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.DeviceTime(a, human, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThroughputPlacement(b *testing.B) {
+	m := NewModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.HostThroughputMBs(36, machine.AffinityCompact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

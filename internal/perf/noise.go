@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// noise returns the deterministic multiplicative perturbation
+// 1 + sigma*z, with z a standard-normal draw keyed by (role, workload,
+// assignment, trial) and clamped to +-3. sigma <= 0 disables noise.
+func (m *Model) noise(role, workload string, a Assignment, trial int, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	z := normalFromKey(m.Cal.NoiseSeed, role, workload, a, trial)
+	if z > 3 {
+		z = 3
+	} else if z < -3 {
+		z = -3
+	}
+	f := 1 + sigma*z
+	if f < 0.01 {
+		f = 0.01
+	}
+	return f
+}
+
+// normalFromKey derives a standard-normal variate from the measurement key
+// via FNV-1a hashing and the Box-Muller transform. The derivation is pure:
+// equal keys always produce equal draws.
+func normalFromKey(seed uint64, role, workload string, a Assignment, trial int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	h.Write(buf[:])
+	h.Write([]byte(role))
+	h.Write([]byte{0})
+	h.Write([]byte(workload))
+	h.Write([]byte{0})
+	// Quantize size to 1 KB so float formatting cannot perturb the key.
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(a.SizeMB*1024)))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(a.Threads)))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(a.Affinity)))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(trial)))
+	h.Write(buf[:])
+	x := h.Sum64()
+
+	// Two decorrelated 64-bit streams via splitmix64 finalizers.
+	u1 := toUnit(splitmix64(x))
+	u2 := toUnit(splitmix64(x ^ 0xD1B54A32D192ED03))
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it decorrelates
+// consecutive hash values into high-quality 64-bit mixes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// toUnit maps a uint64 onto (0,1).
+func toUnit(x uint64) float64 {
+	return (float64(x>>11) + 0.5) / (1 << 53)
+}

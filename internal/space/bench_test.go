@@ -1,0 +1,42 @@
+package space
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkForEachPaperSpace(b *testing.B) {
+	sc := PaperSchema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		err := sc.Space().ForEach(func(idx []int) error {
+			count++
+			return nil
+		})
+		if err != nil || count != 19926 {
+			b.Fatalf("count = %d, err = %v", count, err)
+		}
+	}
+}
+
+func BenchmarkConfigDecode(b *testing.B) {
+	sc := PaperSchema()
+	idx := []int{3, 1, 8, 0, 24}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Config(idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighbor(b *testing.B) {
+	sc := PaperSchema()
+	rng := rand.New(rand.NewSource(1))
+	idx := sc.Space().Random(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Space().Neighbor(idx, idx, rng, StepMove)
+	}
+}

@@ -1,0 +1,226 @@
+package space
+
+import (
+	"fmt"
+
+	"hetopt/internal/machine"
+)
+
+// Parameter positions inside the heterogeneous schema's index vectors.
+const (
+	ParamHostThreads = iota
+	ParamHostAffinity
+	ParamDeviceThreads
+	ParamDeviceAffinity
+	ParamHostFraction
+	numParams
+)
+
+// Config is the typed view of one system configuration: the decision
+// variables of the paper's optimization problem.
+type Config struct {
+	// HostThreads and DeviceThreads are the software thread counts.
+	HostThreads, DeviceThreads int
+	// HostAffinity and DeviceAffinity are the pinning strategies.
+	HostAffinity, DeviceAffinity machine.Affinity
+	// HostFraction is the percentage of the workload mapped to the host
+	// (0-100); the device receives 100 - HostFraction.
+	HostFraction float64
+}
+
+// DeviceFraction returns the percentage of work mapped to the device.
+func (c Config) DeviceFraction() float64 { return 100 - c.HostFraction }
+
+// String renders the configuration the way the paper writes distribution
+// ratios, e.g. "60/40 host(24T,scatter) device(120T,balanced)".
+func (c Config) String() string {
+	return fmt.Sprintf("%g/%g host(%dT,%s) device(%dT,%s)",
+		c.HostFraction, c.DeviceFraction(),
+		c.HostThreads, c.HostAffinity, c.DeviceThreads, c.DeviceAffinity)
+}
+
+// Schema binds the generic Space to the heterogeneous Config view.
+type Schema struct {
+	space       *Space
+	hostThreads []int
+	hostAff     []machine.Affinity
+	devThreads  []int
+	devAff      []machine.Affinity
+	fractions   []float64
+}
+
+// SchemaSpec lists the value sets of a heterogeneous schema.
+type SchemaSpec struct {
+	HostThreads      []int
+	HostAffinities   []machine.Affinity
+	DeviceThreads    []int
+	DeviceAffinities []machine.Affinity
+	// Fractions holds the host workload percentages (0-100).
+	Fractions []float64
+}
+
+// NewSchema builds a Schema from explicit value sets.
+func NewSchema(spec SchemaSpec) (*Schema, error) {
+	if len(spec.HostThreads) == 0 || len(spec.DeviceThreads) == 0 ||
+		len(spec.HostAffinities) == 0 || len(spec.DeviceAffinities) == 0 ||
+		len(spec.Fractions) == 0 {
+		return nil, fmt.Errorf("space: schema spec has an empty value set")
+	}
+	for _, f := range spec.Fractions {
+		if f < 0 || f > 100 {
+			return nil, fmt.Errorf("space: fraction %g outside [0,100]", f)
+		}
+	}
+	toF := func(xs []int) []float64 {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = float64(x)
+		}
+		return out
+	}
+	affParam := func(name string, affs []machine.Affinity) Param {
+		vals := make([]float64, len(affs))
+		labels := make([]string, len(affs))
+		for i, a := range affs {
+			vals[i] = float64(a)
+			labels[i] = a.String()
+		}
+		return Param{Name: name, Kind: Categorical, Values: vals, Labels: labels}
+	}
+	sp, err := New(
+		Param{Name: "host-threads", Kind: Ordered, Values: toF(spec.HostThreads)},
+		affParam("host-affinity", spec.HostAffinities),
+		Param{Name: "device-threads", Kind: Ordered, Values: toF(spec.DeviceThreads)},
+		affParam("device-affinity", spec.DeviceAffinities),
+		Param{Name: "host-fraction", Kind: Ordered, Values: append([]float64(nil), spec.Fractions...)},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{
+		space:       sp,
+		hostThreads: append([]int(nil), spec.HostThreads...),
+		hostAff:     append([]machine.Affinity(nil), spec.HostAffinities...),
+		devThreads:  append([]int(nil), spec.DeviceThreads...),
+		devAff:      append([]machine.Affinity(nil), spec.DeviceAffinities...),
+		fractions:   append([]float64(nil), spec.Fractions...),
+	}, nil
+}
+
+// PaperSpec returns the evaluation configuration space of Section IV-A:
+// host threads {2,6,12,24,36,48}, device threads
+// {2,4,8,16,30,60,120,180,240}, the three affinities per side, and the
+// DNA-fraction grid in 2.5% steps (41 values, 0-100). Its size is
+// 6*3*9*3*41 = 19,926, matching the paper's enumeration experiment count.
+func PaperSpec() SchemaSpec {
+	fractions := make([]float64, 0, 41)
+	for f := 0.0; f <= 100; f += 2.5 {
+		fractions = append(fractions, f)
+	}
+	return SchemaSpec{
+		HostThreads:      []int{2, 6, 12, 24, 36, 48},
+		HostAffinities:   []machine.Affinity{machine.AffinityNone, machine.AffinityScatter, machine.AffinityCompact},
+		DeviceThreads:    []int{2, 4, 8, 16, 30, 60, 120, 180, 240},
+		DeviceAffinities: []machine.Affinity{machine.AffinityBalanced, machine.AffinityScatter, machine.AffinityCompact},
+		Fractions:        fractions,
+	}
+}
+
+// Table1Spec returns the full Table I space, whose host thread set also
+// includes 4 and whose fraction grid is every integer percentage 0-100.
+func Table1Spec() SchemaSpec {
+	fractions := make([]float64, 101)
+	for i := range fractions {
+		fractions[i] = float64(i)
+	}
+	spec := PaperSpec()
+	spec.HostThreads = []int{2, 4, 6, 12, 24, 36, 48}
+	spec.Fractions = fractions
+	return spec
+}
+
+// PaperSchema returns the schema for PaperSpec; it panics only on
+// programmer error (the spec is statically valid).
+func PaperSchema() *Schema {
+	sc, err := NewSchema(PaperSpec())
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// Space exposes the underlying generic space.
+func (sc *Schema) Space() *Space { return sc.space }
+
+// Size returns the number of configurations.
+func (sc *Schema) Size() int { return sc.space.Size() }
+
+// Config decodes an index vector into the typed view.
+func (sc *Schema) Config(idx []int) (Config, error) {
+	if err := sc.space.ValidateIndex(idx); err != nil {
+		return Config{}, err
+	}
+	return Config{
+		HostThreads:    sc.hostThreads[idx[ParamHostThreads]],
+		HostAffinity:   sc.hostAff[idx[ParamHostAffinity]],
+		DeviceThreads:  sc.devThreads[idx[ParamDeviceThreads]],
+		DeviceAffinity: sc.devAff[idx[ParamDeviceAffinity]],
+		HostFraction:   sc.fractions[idx[ParamHostFraction]],
+	}, nil
+}
+
+// Index encodes a typed configuration back into an index vector. Every
+// field must be one of the schema's levels.
+func (sc *Schema) Index(cfg Config) ([]int, error) {
+	idx := make([]int, numParams)
+	find := func(name string, want float64, values []float64) (int, error) {
+		for i, v := range values {
+			if v == want {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("space: %s value %g not in schema", name, want)
+	}
+	var err error
+	if idx[ParamHostThreads], err = find("host-threads", float64(cfg.HostThreads), sc.space.Params[ParamHostThreads].Values); err != nil {
+		return nil, err
+	}
+	if idx[ParamHostAffinity], err = find("host-affinity", float64(cfg.HostAffinity), sc.space.Params[ParamHostAffinity].Values); err != nil {
+		return nil, err
+	}
+	if idx[ParamDeviceThreads], err = find("device-threads", float64(cfg.DeviceThreads), sc.space.Params[ParamDeviceThreads].Values); err != nil {
+		return nil, err
+	}
+	if idx[ParamDeviceAffinity], err = find("device-affinity", float64(cfg.DeviceAffinity), sc.space.Params[ParamDeviceAffinity].Values); err != nil {
+		return nil, err
+	}
+	if idx[ParamHostFraction], err = find("host-fraction", cfg.HostFraction, sc.space.Params[ParamHostFraction].Values); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// HostThreadValues returns the host thread levels (copy).
+func (sc *Schema) HostThreadValues() []int {
+	return append([]int(nil), sc.hostThreads...)
+}
+
+// DeviceThreadValues returns the device thread levels (copy).
+func (sc *Schema) DeviceThreadValues() []int {
+	return append([]int(nil), sc.devThreads...)
+}
+
+// HostAffinityValues returns the host affinity levels (copy).
+func (sc *Schema) HostAffinityValues() []machine.Affinity {
+	return append([]machine.Affinity(nil), sc.hostAff...)
+}
+
+// DeviceAffinityValues returns the device affinity levels (copy).
+func (sc *Schema) DeviceAffinityValues() []machine.Affinity {
+	return append([]machine.Affinity(nil), sc.devAff...)
+}
+
+// FractionValues returns the fraction grid (copy).
+func (sc *Schema) FractionValues() []float64 {
+	return append([]float64(nil), sc.fractions...)
+}

@@ -1,0 +1,240 @@
+// Package space models the discrete system-configuration space of the
+// paper's Table I: the number of host and device threads, the host and
+// device thread affinities, and the workload fraction assigned to the
+// host (the device receives the remainder). It provides the generic
+// machinery the optimization methods need — exhaustive enumeration
+// (Equation 1: the space size is the product of the parameter value
+// ranges), uniform random sampling, and neighborhood moves for simulated
+// annealing — together with a typed view of a point in the space.
+package space
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind distinguishes parameter semantics for neighborhood moves.
+type Kind int
+
+const (
+	// Ordered parameters have a meaningful value ordering (thread counts,
+	// fractions); neighbor moves step to adjacent levels.
+	Ordered Kind = iota
+	// Categorical parameters have unordered values (affinities); neighbor
+	// moves resample uniformly among the other values.
+	Categorical
+)
+
+// Param is one discrete parameter with a fixed set of levels.
+type Param struct {
+	// Name identifies the parameter in reports.
+	Name string
+	// Kind selects neighborhood semantics.
+	Kind Kind
+	// Values holds the numeric levels in presentation order (for
+	// categorical parameters these are arbitrary distinct codes).
+	Values []float64
+	// Labels optionally names each level (used by categorical
+	// parameters).
+	Labels []string
+}
+
+// Levels returns the number of values the parameter can take.
+func (p *Param) Levels() int { return len(p.Values) }
+
+// Label returns the human-readable form of level i.
+func (p *Param) Label(i int) string {
+	if len(p.Labels) == len(p.Values) {
+		return p.Labels[i]
+	}
+	return fmt.Sprintf("%g", p.Values[i])
+}
+
+// Validate checks structural sanity.
+func (p *Param) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("space: parameter with empty name")
+	}
+	if len(p.Values) == 0 {
+		return fmt.Errorf("space: parameter %q has no values", p.Name)
+	}
+	if p.Labels != nil && len(p.Labels) != len(p.Values) {
+		return fmt.Errorf("space: parameter %q has %d labels for %d values", p.Name, len(p.Labels), len(p.Values))
+	}
+	seen := map[float64]bool{}
+	for _, v := range p.Values {
+		if seen[v] {
+			return fmt.Errorf("space: parameter %q has duplicate value %g", p.Name, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Space is an ordered list of parameters; a point in the space is an
+// index vector with one level index per parameter.
+type Space struct {
+	Params []Param
+}
+
+// New validates the parameters and assembles a Space.
+func New(params ...Param) (*Space, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("space: no parameters")
+	}
+	for i := range params {
+		if err := params[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Space{Params: params}, nil
+}
+
+// Dim returns the number of parameters.
+func (s *Space) Dim() int { return len(s.Params) }
+
+// Size returns the total number of configurations, the product of the
+// per-parameter ranges (Equation 1 of the paper).
+func (s *Space) Size() int {
+	n := 1
+	for i := range s.Params {
+		n *= s.Params[i].Levels()
+	}
+	return n
+}
+
+// ValidateIndex checks that idx addresses a point inside the space.
+func (s *Space) ValidateIndex(idx []int) error {
+	if len(idx) != s.Dim() {
+		return fmt.Errorf("space: index has %d entries for %d parameters", len(idx), s.Dim())
+	}
+	for i, v := range idx {
+		if v < 0 || v >= s.Params[i].Levels() {
+			return fmt.Errorf("space: parameter %q index %d out of range [0,%d)", s.Params[i].Name, v, s.Params[i].Levels())
+		}
+	}
+	return nil
+}
+
+// Flatten maps an index vector to a unique ordinal in [0, Size()).
+func (s *Space) Flatten(idx []int) (int, error) {
+	if err := s.ValidateIndex(idx); err != nil {
+		return 0, err
+	}
+	ord := 0
+	for i, v := range idx {
+		ord = ord*s.Params[i].Levels() + v
+	}
+	return ord, nil
+}
+
+// Unflatten is the inverse of Flatten.
+func (s *Space) Unflatten(ord int) ([]int, error) {
+	if ord < 0 || ord >= s.Size() {
+		return nil, fmt.Errorf("space: ordinal %d out of range [0,%d)", ord, s.Size())
+	}
+	idx := make([]int, s.Dim())
+	for i := s.Dim() - 1; i >= 0; i-- {
+		l := s.Params[i].Levels()
+		idx[i] = ord % l
+		ord /= l
+	}
+	return idx, nil
+}
+
+// ForEach enumerates every configuration in lexicographic order, calling
+// fn with an index vector that is reused between calls (copy it to
+// retain). A non-nil error from fn aborts the enumeration and is
+// returned.
+func (s *Space) ForEach(fn func(idx []int) error) error {
+	idx := make([]int, s.Dim())
+	for {
+		if err := fn(idx); err != nil {
+			return err
+		}
+		// Odometer increment.
+		i := s.Dim() - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < s.Params[i].Levels() {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// Random fills a uniformly random configuration.
+func (s *Space) Random(rng *rand.Rand) []int {
+	idx := make([]int, s.Dim())
+	for i := range idx {
+		idx[i] = rng.Intn(s.Params[i].Levels())
+	}
+	return idx
+}
+
+// NeighborMode selects the neighborhood structure used by Neighbor.
+type NeighborMode int
+
+const (
+	// StepMove perturbs one parameter: ordered parameters step +-1 level,
+	// categorical ones resample. This is the default and matches how SA
+	// walks smooth landscapes.
+	StepMove NeighborMode = iota
+	// ResampleMove resamples one parameter uniformly (ordered or not);
+	// used by the neighborhood ablation.
+	ResampleMove
+)
+
+// Neighbor writes into dst a neighbor of src according to mode: exactly
+// one randomly chosen parameter changes. dst and src may alias. Parameters
+// with a single level are skipped; if every parameter has one level,
+// Neighbor copies src.
+func (s *Space) Neighbor(dst, src []int, rng *rand.Rand, mode NeighborMode) {
+	copy(dst, src)
+	// Collect movable parameters once per call.
+	movable := 0
+	for i := range s.Params {
+		if s.Params[i].Levels() > 1 {
+			movable++
+		}
+	}
+	if movable == 0 {
+		return
+	}
+	pick := rng.Intn(movable)
+	pi := -1
+	for i := range s.Params {
+		if s.Params[i].Levels() > 1 {
+			if pick == 0 {
+				pi = i
+				break
+			}
+			pick--
+		}
+	}
+	p := &s.Params[pi]
+	cur := src[pi]
+	if mode == StepMove && p.Kind == Ordered {
+		// Step +-1, reflecting at the boundaries.
+		if cur == 0 {
+			dst[pi] = 1
+		} else if cur == p.Levels()-1 {
+			dst[pi] = cur - 1
+		} else if rng.Intn(2) == 0 {
+			dst[pi] = cur - 1
+		} else {
+			dst[pi] = cur + 1
+		}
+		return
+	}
+	// Uniform resample among the other levels.
+	nv := rng.Intn(p.Levels() - 1)
+	if nv >= cur {
+		nv++
+	}
+	dst[pi] = nv
+}

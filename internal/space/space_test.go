@@ -1,0 +1,242 @@
+package space
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := New(
+		Param{Name: "a", Kind: Ordered, Values: []float64{1, 2, 3}},
+		Param{Name: "b", Kind: Categorical, Values: []float64{0, 1}, Labels: []string{"x", "y"}},
+		Param{Name: "c", Kind: Ordered, Values: []float64{10, 20, 30, 40}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty space should fail")
+	}
+	if _, err := New(Param{Name: "", Values: []float64{1}}); err == nil {
+		t.Error("unnamed parameter should fail")
+	}
+	if _, err := New(Param{Name: "a"}); err == nil {
+		t.Error("no values should fail")
+	}
+	if _, err := New(Param{Name: "a", Values: []float64{1, 1}}); err == nil {
+		t.Error("duplicate values should fail")
+	}
+	if _, err := New(Param{Name: "a", Values: []float64{1, 2}, Labels: []string{"x"}}); err == nil {
+		t.Error("label/value mismatch should fail")
+	}
+}
+
+func TestSizeIsProductOfRanges(t *testing.T) {
+	s := smallSpace(t)
+	if got := s.Size(); got != 3*2*4 {
+		t.Fatalf("Size = %d, want 24 (Equation 1)", got)
+	}
+}
+
+func TestParamLabel(t *testing.T) {
+	s := smallSpace(t)
+	if got := s.Params[1].Label(1); got != "y" {
+		t.Errorf("categorical label = %q, want y", got)
+	}
+	if got := s.Params[0].Label(2); got != "3" {
+		t.Errorf("numeric label = %q, want 3", got)
+	}
+}
+
+func TestValidateIndex(t *testing.T) {
+	s := smallSpace(t)
+	if err := s.ValidateIndex([]int{0, 1, 3}); err != nil {
+		t.Errorf("valid index rejected: %v", err)
+	}
+	if err := s.ValidateIndex([]int{0, 1}); err == nil {
+		t.Error("short index should fail")
+	}
+	if err := s.ValidateIndex([]int{0, 2, 0}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if err := s.ValidateIndex([]int{-1, 0, 0}); err == nil {
+		t.Error("negative index should fail")
+	}
+}
+
+func TestForEachCoversSpaceExactlyOnce(t *testing.T) {
+	s := smallSpace(t)
+	seen := map[int]bool{}
+	err := s.ForEach(func(idx []int) error {
+		ord, err := s.Flatten(idx)
+		if err != nil {
+			return err
+		}
+		if seen[ord] {
+			t.Fatalf("ordinal %d visited twice", ord)
+		}
+		seen[ord] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != s.Size() {
+		t.Fatalf("visited %d of %d configurations", len(seen), s.Size())
+	}
+}
+
+func TestForEachAbortsOnError(t *testing.T) {
+	s := smallSpace(t)
+	calls := 0
+	err := s.ForEach(func(idx []int) error {
+		calls++
+		if calls == 5 {
+			return errSentinel
+		}
+		return nil
+	})
+	if err != errSentinel || calls != 5 {
+		t.Fatalf("err = %v after %d calls", err, calls)
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	s := smallSpace(t)
+	for ord := 0; ord < s.Size(); ord++ {
+		idx, err := s.Unflatten(ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := s.Flatten(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != ord {
+			t.Fatalf("round trip %d -> %v -> %d", ord, idx, back)
+		}
+	}
+	if _, err := s.Unflatten(-1); err == nil {
+		t.Error("negative ordinal should fail")
+	}
+	if _, err := s.Unflatten(s.Size()); err == nil {
+		t.Error("overflow ordinal should fail")
+	}
+}
+
+func TestRandomStaysInBounds(t *testing.T) {
+	s := smallSpace(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		if err := s.ValidateIndex(s.Random(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNeighborChangesExactlyOneParameter(t *testing.T) {
+	s := smallSpace(t)
+	rng := rand.New(rand.NewSource(2))
+	src := s.Random(rng)
+	dst := make([]int, s.Dim())
+	for trial := 0; trial < 300; trial++ {
+		for _, mode := range []NeighborMode{StepMove, ResampleMove} {
+			s.Neighbor(dst, src, rng, mode)
+			if err := s.ValidateIndex(dst); err != nil {
+				t.Fatal(err)
+			}
+			diff := 0
+			for i := range dst {
+				if dst[i] != src[i] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("mode %d: %d parameters changed, want 1", mode, diff)
+			}
+		}
+	}
+}
+
+func TestNeighborStepMovesAreAdjacent(t *testing.T) {
+	s := smallSpace(t)
+	rng := rand.New(rand.NewSource(3))
+	src := []int{1, 0, 2}
+	dst := make([]int, 3)
+	for trial := 0; trial < 200; trial++ {
+		s.Neighbor(dst, src, rng, StepMove)
+		for i := range dst {
+			if dst[i] == src[i] {
+				continue
+			}
+			if s.Params[i].Kind == Ordered {
+				d := dst[i] - src[i]
+				if d != 1 && d != -1 {
+					t.Fatalf("ordered parameter %d jumped %d levels", i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborSingleLevelSpace(t *testing.T) {
+	s, err := New(Param{Name: "only", Values: []float64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	dst := []int{0}
+	s.Neighbor(dst, []int{0}, rng, StepMove)
+	if dst[0] != 0 {
+		t.Fatal("single-level space should stay put")
+	}
+}
+
+func TestNeighborAliasingAllowed(t *testing.T) {
+	s := smallSpace(t)
+	rng := rand.New(rand.NewSource(5))
+	idx := s.Random(rng)
+	for i := 0; i < 100; i++ {
+		s.Neighbor(idx, idx, rng, StepMove)
+		if err := s.ValidateIndex(idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: Flatten is a bijection onto [0, Size).
+func TestFlattenBijectionProperty(t *testing.T) {
+	s := smallSpace(t)
+	f := func(a, b, c uint8) bool {
+		idx := []int{int(a) % 3, int(b) % 2, int(c) % 4}
+		ord, err := s.Flatten(idx)
+		if err != nil || ord < 0 || ord >= s.Size() {
+			return false
+		}
+		back, err := s.Unflatten(ord)
+		if err != nil {
+			return false
+		}
+		for i := range idx {
+			if back[i] != idx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

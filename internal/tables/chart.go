@@ -1,0 +1,130 @@
+package tables
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders labeled horizontal bars scaled to width characters,
+// used for the paper's histogram figures (Figures 7 and 8).
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	if len(labels) != len(values) || len(values) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	maxV := values[0]
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if maxV > 0 {
+			bar = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%s | %s %.4g\n", pad(labels[i], maxLabel), strings.Repeat("#", bar), v)
+	}
+	return sb.String()
+}
+
+// Series is one line of a LineChart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// seriesMarks are the plotting symbols assigned to series in order.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// LineChart renders multiple series as a character scatter plot with a
+// shared axis range, standing in for the paper's line figures (Figures 2,
+// 5, 6 and 9). Points that collide keep the first series' mark.
+func LineChart(title string, series []Series, width, height int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 18
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if grid[r][c] == ' ' {
+				grid[r][c] = mark
+			}
+		}
+	}
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.3g", minY)
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", label, row)
+	}
+	gap := width - 16
+	if gap < 0 {
+		gap = 0
+	}
+	fmt.Fprintf(&sb, "%8s  %-8.3g%s%8.3g\n", "", minX, strings.Repeat(" ", gap), maxX)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s", seriesMarks[si%len(seriesMarks)], s.Name)
+		if si != len(series)-1 {
+			sb.WriteString("   ")
+		}
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
