@@ -6,7 +6,9 @@ package hetopt
 // suite; model training happens outside the timed region.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -83,6 +85,85 @@ func BenchmarkTable1Enumeration(b *testing.B) {
 		if res.SearchEvaluations != 19926 {
 			b.Fatal("enumeration incomplete")
 		}
+	}
+}
+
+// BenchmarkEnumerationParallel compares sequential and sharded EM
+// enumeration of the full 19,926-configuration space: identical results,
+// wall-clock scaling with workers (see DESIGN.md, "The search layer").
+func BenchmarkEnumerationParallel(b *testing.B) {
+	s := suiteForBench(b)
+	w := offload.GenomeWorkload(dna.Human)
+	inst := &core.Instance{Schema: s.Schema, Measurer: core.NewMeasurer(s.Platform, w)}
+	for _, p := range []int{1, 2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.EM, inst, core.Options{Parallelism: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.SearchEvaluations != 19926 {
+					b.Fatal("enumeration incomplete")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSAMMultiChain compares sequential and concurrent execution of
+// 4 independent SAM annealing chains sharing the evaluation cache; the
+// winner is identical at every parallelism level.
+func BenchmarkSAMMultiChain(b *testing.B) {
+	s := suiteForBench(b)
+	w := offload.GenomeWorkload(dna.Human)
+	inst := &core.Instance{Schema: s.Schema, Measurer: core.NewMeasurer(s.Platform, w)}
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.SAM, inst, core.Options{
+					Iterations:  2000,
+					Seed:        1,
+					Restarts:    4,
+					Parallelism: p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.SearchEvaluations != 4*2001 {
+					b.Fatal("chain budget mismatch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSAMLMultiChain is the prediction-driven variant: 4 SAML
+// chains over the shared memoized predictor.
+func BenchmarkSAMLMultiChain(b *testing.B) {
+	s := suiteForBench(b)
+	w := offload.GenomeWorkload(dna.Human)
+	models, err := s.Models()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := core.NewPredictor(models, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := &core.Instance{Schema: s.Schema, Measurer: core.NewMeasurer(s.Platform, w), Predictor: pred}
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(core.SAML, inst, core.Options{
+					Iterations:  2000,
+					Seed:        1,
+					Restarts:    4,
+					Parallelism: p,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"hetopt/internal/experiments"
@@ -26,16 +27,20 @@ func main() {
 		repeats  = flag.Int("repeats", 7, "SA seeds averaged per table cell")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		jsonMode = flag.Bool("json", false, "emit the machine-readable JSON report instead of text")
+		parallel = flag.Int("parallel", 0, "search worker count (0 = all CPUs); the report is identical at any level")
 	)
 	flag.Parse()
 
-	if err := run(*out, *ablate, *repeats, *seed, *jsonMode); err != nil {
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if err := run(*out, *ablate, *repeats, *seed, *jsonMode, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, ablate bool, repeats int, seed int64, jsonMode bool) error {
+func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parallel int) error {
 	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -49,6 +54,7 @@ func run(out string, ablate bool, repeats int, seed int64, jsonMode bool) error 
 	suite := experiments.NewSuite()
 	suite.Repeats = repeats
 	suite.Seed = seed
+	suite.Parallelism = parallel
 
 	if jsonMode {
 		return suite.WriteJSON(w)

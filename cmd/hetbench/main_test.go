@@ -9,7 +9,7 @@ import (
 
 func TestRunWritesCompleteReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.txt")
-	if err := run(out, false, 1, 1, false); err != nil {
+	if err := run(out, false, 1, 1, false, 2); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -35,14 +35,14 @@ func TestRunWritesCompleteReport(t *testing.T) {
 }
 
 func TestRunRejectsBadPath(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing", "report.txt"), false, 1, 1, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing", "report.txt"), false, 1, 1, false, 1); err == nil {
 		t.Fatal("uncreatable output path should fail")
 	}
 }
 
 func TestRunJSONMode(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run(out, false, 1, 1, true); err != nil {
+	if err := run(out, false, 1, 1, true, 2); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hetopt"
 )
@@ -22,21 +23,26 @@ func main() {
 	var (
 		methodName = flag.String("method", "saml", "optimization method: em, eml, sam or saml")
 		genomeName = flag.String("genome", "human", "evaluation genome: human, mouse, cat or dog")
-		iterations = flag.Int("iterations", 1000, "simulated-annealing iteration budget")
+		iterations = flag.Int("iterations", 1000, "simulated-annealing iteration budget (per chain)")
 		seed       = flag.Int64("seed", 1, "random seed for simulated annealing")
 		sizeMB     = flag.Float64("size", 0, "override the workload size in MB (0 = genome size)")
 		compare    = flag.Bool("compare", false, "run all four methods and compare")
 		modelCache = flag.String("model-cache", "", "path for persisted prediction models (loaded if present, written after training)")
+		parallel   = flag.Int("parallel", 1, "search worker count (0 = all CPUs); results are identical at any level")
+		restarts   = flag.Int("restarts", 1, "independent annealing chains for sam/saml (best chain wins)")
 	)
 	flag.Parse()
 
-	if err := run(*methodName, *genomeName, *iterations, *seed, *sizeMB, *compare, *modelCache); err != nil {
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if err := run(*methodName, *genomeName, *iterations, *seed, *sizeMB, *compare, *modelCache, *parallel, *restarts); err != nil {
 		fmt.Fprintln(os.Stderr, "hetopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(methodName, genomeName string, iterations int, seed int64, sizeMB float64, compare bool, modelCache string) error {
+func run(methodName, genomeName string, iterations int, seed int64, sizeMB float64, compare bool, modelCache string, parallel, restarts int) error {
 	genome, err := hetopt.GenomeByName(genomeName)
 	if err != nil {
 		return err
@@ -89,7 +95,12 @@ func run(methodName, genomeName string, iterations int, seed int64, sizeMB float
 	}
 
 	for _, m := range methods {
-		res, err := tuner.Tune(workload, m, hetopt.Options{Iterations: iterations, Seed: seed})
+		res, err := tuner.Tune(workload, m, hetopt.Options{
+			Iterations:  iterations,
+			Seed:        seed,
+			Parallelism: parallel,
+			Restarts:    restarts,
+		})
 		if err != nil {
 			return err
 		}

@@ -11,7 +11,7 @@ func TestRunSingleMethod(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains full models")
 	}
-	if err := run("saml", "cat", 200, 1, 0, false, ""); err != nil {
+	if err := run("saml", "cat", 200, 1, 0, false, "", 2, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -22,14 +22,14 @@ func TestRunCustomSize(t *testing.T) {
 	}
 	// A small override size exercises the Scaled path; CPU-only should
 	// win, and the run must still succeed.
-	if err := run("sam", "human", 100, 1, 190, false, ""); err != nil {
+	if err := run("sam", "human", 100, 1, 190, false, "", 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
 	// Genome and method validation happen before the expensive training.
-	if err := run("saml", "unicorn", 10, 1, 0, false, ""); err == nil {
+	if err := run("saml", "unicorn", 10, 1, 0, false, "", 1, 1); err == nil {
 		t.Error("unknown genome should fail")
 	}
 }
@@ -40,7 +40,7 @@ func TestRunModelCache(t *testing.T) {
 	}
 	cache := filepath.Join(t.TempDir(), "models.gob")
 	// First run trains and writes the cache.
-	if err := run("saml", "dog", 100, 1, 0, false, cache); err != nil {
+	if err := run("saml", "dog", 100, 1, 0, false, cache, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(cache); err != nil {
@@ -48,7 +48,7 @@ func TestRunModelCache(t *testing.T) {
 	}
 	// Second run loads it (much faster; correctness checked by completing).
 	start := time.Now()
-	if err := run("saml", "dog", 100, 1, 0, false, cache); err != nil {
+	if err := run("saml", "dog", 100, 1, 0, false, cache, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) > 2*time.Second {

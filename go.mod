@@ -1,0 +1,3 @@
+module hetopt
+
+go 1.24

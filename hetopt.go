@@ -92,6 +92,9 @@ type (
 	MultiProblem  = multi.Problem
 	MultiConfig   = multi.Config
 	MultiResult   = multi.Result
+	// MultiTuneOptions configures a parallel multi-accelerator tuning run
+	// (chain count and worker pool).
+	MultiTuneOptions = multi.TuneOptions
 	// DynamicScheduler simulates CoreTsar-style dynamic self-scheduling,
 	// the related-work baseline.
 	DynamicScheduler = dynsched.Scheduler
@@ -212,6 +215,13 @@ func MultiPhiProblem(n int, w Workload) (*MultiProblem, error) {
 // TuneMulti runs simulated annealing over a multi-accelerator problem.
 func TuneMulti(p *MultiProblem, iterations int, seed int64) (MultiResult, error) {
 	return multi.Tune(p, iterations, seed)
+}
+
+// TuneMultiParallel runs one or more concurrent annealing chains over a
+// multi-accelerator problem; chains share an evaluation cache and the
+// result is identical at every parallelism level for a fixed seed.
+func TuneMultiParallel(p *MultiProblem, opt MultiTuneOptions) (MultiResult, error) {
+	return multi.TuneParallel(p, opt)
 }
 
 // NewDynamicScheduler returns the dynamic self-scheduling baseline on the

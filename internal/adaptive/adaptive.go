@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"hetopt/internal/core"
+	"hetopt/internal/search"
 	"hetopt/internal/space"
 )
 
@@ -27,6 +28,12 @@ type Options struct {
 	// MaxRounds caps hill-climbing rounds (each round scans the
 	// neighborhood of the incumbent). Zero selects 16.
 	MaxRounds int
+	// Parallelism is the worker count for scanning a round's neighborhood.
+	// A round is measured concurrently only when the remaining budget
+	// covers the whole neighborhood, so the measurements spent and the
+	// refined configuration are identical at every parallelism level.
+	// Zero or one measures sequentially.
+	Parallelism int
 }
 
 func (o Options) budget() int {
@@ -84,10 +91,9 @@ func Refine(inst *core.Instance, seed space.Config, opt Options) (Result, error)
 
 	budget := opt.budget()
 	used := 0
-	measure := func(candidate []int) (float64, error) {
-		if used >= budget {
-			return math.Inf(1), nil
-		}
+	// energy measures one candidate; measure additionally enforces the
+	// budget (the parallel round scan accounts for the budget itself).
+	energy := func(candidate []int) (float64, error) {
 		cfg, err := schema.Config(candidate)
 		if err != nil {
 			return 0, err
@@ -96,8 +102,18 @@ func Refine(inst *core.Instance, seed space.Config, opt Options) (Result, error)
 		if err != nil {
 			return 0, err
 		}
-		used++
 		return t.E(), nil
+	}
+	measure := func(candidate []int) (float64, error) {
+		if used >= budget {
+			return math.Inf(1), nil
+		}
+		e, err := energy(candidate)
+		if err != nil {
+			return 0, err
+		}
+		used++
+		return e, nil
 	}
 
 	curE, err := measure(idx)
@@ -108,39 +124,69 @@ func Refine(inst *core.Instance, seed space.Config, opt Options) (Result, error)
 
 	params := schema.Space().Params
 	cand := make([]int, len(idx))
+	workers := search.Workers(opt.Parallelism)
 	for round := 0; round < opt.rounds() && used < budget; round++ {
-		bestE := curE
-		bestParam, bestValue := -1, 0
+		// Gather the round's neighborhood: adjacent levels for ordered
+		// parameters, all alternatives for categorical ones.
+		type move struct{ param, value int }
+		var moves []move
 		for pi := range params {
 			p := &params[pi]
-			var candidates []int
 			if p.Kind == space.Ordered {
 				if idx[pi] > 0 {
-					candidates = append(candidates, idx[pi]-1)
+					moves = append(moves, move{pi, idx[pi] - 1})
 				}
 				if idx[pi] < p.Levels()-1 {
-					candidates = append(candidates, idx[pi]+1)
+					moves = append(moves, move{pi, idx[pi] + 1})
 				}
 			} else {
 				for v := 0; v < p.Levels(); v++ {
 					if v != idx[pi] {
-						candidates = append(candidates, v)
+						moves = append(moves, move{pi, v})
 					}
 				}
 			}
-			for _, v := range candidates {
+		}
+
+		bestE := curE
+		bestParam, bestValue := -1, 0
+		if workers > 1 && budget-used >= len(moves) {
+			// The whole neighborhood fits the budget: measure it
+			// concurrently and select exactly as the sequential scan would
+			// (lowest energy, earliest move among ties).
+			energies := make([]float64, len(moves))
+			err := search.ForEach(len(moves), workers, func(i int) error {
+				c := make([]int, len(idx))
+				copy(c, idx)
+				c[moves[i].param] = moves[i].value
+				var err error
+				energies[i], err = energy(c)
+				return err
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			used += len(moves)
+			for i, e := range energies {
+				if e < bestE {
+					bestE = e
+					bestParam, bestValue = moves[i].param, moves[i].value
+				}
+			}
+		} else {
+			for _, mv := range moves {
 				if used >= budget {
 					break
 				}
 				copy(cand, idx)
-				cand[pi] = v
+				cand[mv.param] = mv.value
 				e, err := measure(cand)
 				if err != nil {
 					return Result{}, err
 				}
 				if e < bestE {
 					bestE = e
-					bestParam, bestValue = pi, v
+					bestParam, bestValue = mv.param, mv.value
 				}
 			}
 		}

@@ -1,6 +1,9 @@
 package anneal
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func BenchmarkMinimize1000Iters(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -8,6 +11,28 @@ func BenchmarkMinimize1000Iters(b *testing.B) {
 		if _, err := Minimize(p, Options{MaxIters: 1000, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMinimizeMultiChains runs 8 chains of 1000 iterations at
+// increasing parallelism; the result is identical at every level, only
+// wall-clock changes.
+func BenchmarkMinimizeMultiChains(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := MinimizeMulti(func(int) Problem {
+					return &quadProblem{levels: 41, target: []int{20, 5, 33, 11, 40}}
+				}, MultiOptions{
+					Options:     Options{MaxIters: 1000, Seed: int64(i)},
+					Chains:      8,
+					Parallelism: p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,143 @@
+package anneal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MultiOptions configures a MinimizeMulti run.
+type MultiOptions struct {
+	// Options configures each chain. Seed is the base seed: chain i runs
+	// with ChainSeed(Seed, i), so chain 0 reproduces a plain Minimize run
+	// with the same options. OnStep, when set, observes chain 0 only.
+	Options
+	// Chains is the number of independent annealing chains K. Zero or one
+	// selects a single chain, reproducing Minimize exactly.
+	Chains int
+	// Parallelism caps the number of chains annealing concurrently. Zero
+	// or one runs chains sequentially. The outcome is identical at any
+	// parallelism level: chains are independent and the winner is chosen
+	// by (energy, chain index), never by completion order.
+	Parallelism int
+}
+
+func (o MultiOptions) chains() int {
+	if o.Chains <= 1 {
+		return 1
+	}
+	return o.Chains
+}
+
+// MultiResult is the outcome of a MinimizeMulti run.
+type MultiResult struct {
+	// Result is the winning chain's result (lowest best energy, ties
+	// broken by lowest chain index).
+	Result
+	// Chain is the index of the winning chain.
+	Chain int
+	// PerChain holds every chain's result, indexed by chain.
+	PerChain []Result
+}
+
+// TotalIterations sums the candidate evaluations across all chains.
+func (r MultiResult) TotalIterations() int {
+	total := 0
+	for _, c := range r.PerChain {
+		total += c.Iterations
+	}
+	return total
+}
+
+// ChainSeed derives the seed of chain i from the base seed. Chain 0 uses
+// the base seed unchanged (so K=1 reduces to Minimize); later chains get
+// decorrelated streams via a SplitMix64 finalizer.
+func ChainSeed(base int64, chain int) int64 {
+	if chain == 0 {
+		return base
+	}
+	return int64(splitmix64(uint64(base) + uint64(chain)*0x9E3779B97F4A7C15))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator (also used by
+// internal/perf for measurement noise): a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// MinimizeMulti runs K independent annealing chains and returns the best
+// outcome. newProblem(i) supplies the problem instance for chain i; it is
+// called once per chain on the calling goroutine before any chain starts,
+// so implementations carrying per-run state (evaluation counters, sticky
+// errors) can hand out one instance per chain while sharing read-only or
+// concurrency-safe parts (e.g. a shared evaluation cache).
+//
+// For a fixed (Options, Chains) the returned result is bit-identical at
+// every Parallelism level: chain seeds derive only from the base seed and
+// the chain index, and best-of selection orders by (energy, chain index).
+func MinimizeMulti(newProblem func(chain int) Problem, opt MultiOptions) (MultiResult, error) {
+	chains := opt.chains()
+	if newProblem == nil {
+		return MultiResult{}, fmt.Errorf("anneal: nil problem factory")
+	}
+	problems := make([]Problem, chains)
+	for i := range problems {
+		if problems[i] = newProblem(i); problems[i] == nil {
+			return MultiResult{}, fmt.Errorf("anneal: nil problem for chain %d", i)
+		}
+	}
+
+	results := make([]Result, chains)
+	errs := make([]error, chains)
+	runChain := func(i int) {
+		chainOpt := opt.Options
+		chainOpt.Seed = ChainSeed(opt.Seed, i)
+		if i != 0 {
+			chainOpt.OnStep = nil
+		}
+		results[i], errs[i] = Minimize(problems[i], chainOpt)
+	}
+
+	workers := opt.Parallelism
+	if workers > chains {
+		workers = chains
+	}
+	if workers <= 1 {
+		for i := 0; i < chains; i++ {
+			runChain(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runChain(i)
+				}
+			}()
+		}
+		for i := 0; i < chains; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return MultiResult{}, fmt.Errorf("anneal: chain %d: %w", i, err)
+		}
+	}
+	out := MultiResult{Result: results[0], Chain: 0, PerChain: results}
+	for i := 1; i < chains; i++ {
+		if results[i].BestEnergy < out.BestEnergy {
+			out.Result = results[i]
+			out.Chain = i
+		}
+	}
+	return out, nil
+}

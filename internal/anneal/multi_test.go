@@ -1,0 +1,143 @@
+package anneal
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestMinimizeMultiSingleChainMatchesMinimize(t *testing.T) {
+	opt := Options{InitialTemp: 50, StopTemp: 0.01, MaxIters: 400, Seed: 9}
+	single, err := Minimize(&quadProblem{levels: 12, target: []int{3, 7, 1}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := MinimizeMulti(func(int) Problem {
+		return &quadProblem{levels: 12, target: []int{3, 7, 1}}
+	}, MultiOptions{Options: opt, Chains: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(single, multi.Result) {
+		t.Fatalf("K=1 diverged from Minimize:\nsingle %+v\nmulti  %+v", single, multi.Result)
+	}
+	if multi.Chain != 0 || len(multi.PerChain) != 1 {
+		t.Fatalf("chain bookkeeping = %d/%d", multi.Chain, len(multi.PerChain))
+	}
+}
+
+func TestMinimizeMultiDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) MultiResult {
+		res, err := MinimizeMulti(func(int) Problem {
+			return &rugged{quadProblem{levels: 16, target: []int{5, 2, 9, 11}}}
+		}, MultiOptions{
+			Options:     Options{InitialTemp: 100, StopTemp: 0.01, MaxIters: 300, Seed: 4},
+			Chains:      6,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, p := range []int{4, 8} {
+		if got := run(p); !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism %d diverged:\nwant %+v\ngot  %+v", p, want, got)
+		}
+	}
+}
+
+func TestMinimizeMultiPicksBestChain(t *testing.T) {
+	res, err := MinimizeMulti(func(int) Problem {
+		return &rugged{quadProblem{levels: 16, target: []int{5, 2, 9, 11}}}
+	}, MultiOptions{
+		Options: Options{InitialTemp: 100, StopTemp: 0.01, MaxIters: 200, Seed: 11},
+		Chains:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerChain) != 5 {
+		t.Fatalf("got %d chain results, want 5", len(res.PerChain))
+	}
+	for i, c := range res.PerChain {
+		if c.BestEnergy < res.BestEnergy {
+			t.Fatalf("chain %d energy %g beats winner %g", i, c.BestEnergy, res.BestEnergy)
+		}
+	}
+	if res.PerChain[res.Chain].BestEnergy != res.BestEnergy {
+		t.Fatal("winner's energy does not match its chain result")
+	}
+	if res.TotalIterations() != 5*200 {
+		t.Fatalf("total iterations = %d, want %d", res.TotalIterations(), 5*200)
+	}
+}
+
+func TestMinimizeMultiChainsImproveOnRugged(t *testing.T) {
+	// On a deceptive landscape more chains can only help: the winner is a
+	// min over a superset of the single-chain outcome.
+	single, err := MinimizeMulti(func(int) Problem {
+		return &rugged{quadProblem{levels: 16, target: []int{5, 2, 9, 11}}}
+	}, MultiOptions{Options: Options{InitialTemp: 100, StopTemp: 0.01, MaxIters: 150, Seed: 3}, Chains: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := MinimizeMulti(func(int) Problem {
+		return &rugged{quadProblem{levels: 16, target: []int{5, 2, 9, 11}}}
+	}, MultiOptions{Options: Options{InitialTemp: 100, StopTemp: 0.01, MaxIters: 150, Seed: 3}, Chains: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.BestEnergy > single.BestEnergy {
+		t.Fatalf("8 chains (%g) worse than chain 0 alone (%g)", many.BestEnergy, single.BestEnergy)
+	}
+}
+
+func TestChainSeedDerivation(t *testing.T) {
+	if ChainSeed(123, 0) != 123 {
+		t.Fatal("chain 0 must use the base seed")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := ChainSeed(123, i)
+		if seen[s] {
+			t.Fatalf("duplicate chain seed at chain %d", i)
+		}
+		seen[s] = true
+	}
+	if ChainSeed(123, 1) == ChainSeed(124, 1) {
+		t.Fatal("different base seeds must derive different chain seeds")
+	}
+}
+
+func TestMinimizeMultiOnStepOnlyChainZero(t *testing.T) {
+	var steps int
+	opt := Options{InitialTemp: 50, StopTemp: 0.01, MaxIters: 100, Seed: 2,
+		OnStep: func(Step) { steps++ }}
+	_, err := MinimizeMulti(func(int) Problem {
+		return &quadProblem{levels: 8, target: []int{1, 2}}
+	}, MultiOptions{Options: opt, Chains: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 100 {
+		t.Fatalf("observer saw %d steps, want 100 (chain 0 only)", steps)
+	}
+}
+
+func TestMinimizeMultiPropagatesChainError(t *testing.T) {
+	_, err := MinimizeMulti(func(chain int) Problem {
+		if chain == 2 {
+			return nil
+		}
+		return &quadProblem{levels: 8, target: []int{1, 2}}
+	}, MultiOptions{Options: Options{MaxIters: 10, InitialTemp: 10, StopTemp: 1}, Chains: 4})
+	if err == nil {
+		t.Fatal("nil problem should fail")
+	}
+	if want := fmt.Sprintf("chain %d", 2); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name chain 2", err)
+	}
+}

@@ -266,8 +266,8 @@ func TestPredictorMemoizationAndValidation(t *testing.T) {
 	if a != b {
 		t.Fatal("memoized prediction changed")
 	}
-	if len(p.hostMemo) != 1 || len(p.devMemo) != 1 {
-		t.Fatalf("memo sizes = %d/%d, want 1/1", len(p.hostMemo), len(p.devMemo))
+	if p.hostMemo.Unique() != 1 || p.devMemo.Unique() != 1 {
+		t.Fatalf("memo sizes = %d/%d, want 1/1", p.hostMemo.Unique(), p.devMemo.Unique())
 	}
 	if _, err := p.Evaluate(space.Config{HostFraction: 200}); err == nil {
 		t.Error("bad fraction should fail")

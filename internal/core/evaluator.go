@@ -20,9 +20,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hetopt/internal/machine"
 	"hetopt/internal/offload"
+	"hetopt/internal/search"
 	"hetopt/internal/space"
 )
 
@@ -35,7 +37,10 @@ type Evaluator interface {
 
 // Measurer evaluates configurations by (simulated) measurement and counts
 // how many experiments were performed — the "effort" column of Table II.
-// It is not safe for concurrent use.
+// It is safe for concurrent use: measurement is a pure function of the
+// configuration and trial (see perf.Model) and the effort counter is
+// atomic, so sharded enumeration and concurrent annealing chains can
+// share one Measurer.
 type Measurer struct {
 	// Platform performs the measurements.
 	Platform *offload.Platform
@@ -44,7 +49,7 @@ type Measurer struct {
 	// Trial selects the measurement-noise draw (see perf.Model).
 	Trial int
 
-	count int
+	count atomic.Int64
 }
 
 // NewMeasurer builds a Measurer for the workload on the platform.
@@ -54,15 +59,15 @@ func NewMeasurer(p *offload.Platform, w offload.Workload) *Measurer {
 
 // Evaluate implements Evaluator by running one experiment.
 func (m *Measurer) Evaluate(cfg space.Config) (offload.Times, error) {
-	m.count++
+	m.count.Add(1)
 	return m.Platform.Measure(m.Workload, cfg, m.Trial)
 }
 
 // Count returns the number of experiments performed so far.
-func (m *Measurer) Count() int { return m.count }
+func (m *Measurer) Count() int { return int(m.count.Load()) }
 
 // ResetCount zeroes the experiment counter.
-func (m *Measurer) ResetCount() { m.count = 0 }
+func (m *Measurer) ResetCount() { m.count.Store(0) }
 
 // Feature layout shared by the host and device models: the paper trains on
 // the number of threads, the thread affinity and the input size
@@ -114,13 +119,15 @@ func sideFeatures(threads int, aff machine.Affinity, sizeMB float64, order []mac
 // models (the paper's Figure 4 predictive model). Predictions are
 // memoized: the deterministic mapping from configuration to features makes
 // caching exact, which matters when enumeration queries 19,926
-// configurations built from only ~1,800 distinct per-side inputs.
+// configurations built from only ~1,800 distinct per-side inputs. The
+// memo tables are concurrency-safe (single-flight), so one Predictor can
+// serve sharded enumeration and parallel annealing chains.
 type Predictor struct {
 	models   *Models
 	workload offload.Workload
 
-	hostMemo map[sideKey]float64
-	devMemo  map[sideKey]float64
+	hostMemo *search.Memo[sideKey, float64]
+	devMemo  *search.Memo[sideKey, float64]
 }
 
 type sideKey struct {
@@ -140,8 +147,8 @@ func NewPredictor(models *Models, w offload.Workload) (*Predictor, error) {
 	return &Predictor{
 		models:   models,
 		workload: w,
-		hostMemo: map[sideKey]float64{},
-		devMemo:  map[sideKey]float64{},
+		hostMemo: search.NewMemo[sideKey, float64](),
+		devMemo:  search.NewMemo[sideKey, float64](),
 	}, nil
 }
 
@@ -155,27 +162,21 @@ func (p *Predictor) Evaluate(cfg space.Config) (offload.Times, error) {
 	var t offload.Times
 	if hostMB > 0 {
 		key := sideKey{cfg.HostThreads, cfg.HostAffinity, hostMB}
-		v, ok := p.hostMemo[key]
-		if !ok {
-			var err error
-			v, err = p.models.PredictHost(cfg.HostThreads, cfg.HostAffinity, hostMB)
-			if err != nil {
-				return offload.Times{}, err
-			}
-			p.hostMemo[key] = v
+		v, err := p.hostMemo.Do(key, func() (float64, error) {
+			return p.models.PredictHost(cfg.HostThreads, cfg.HostAffinity, hostMB)
+		})
+		if err != nil {
+			return offload.Times{}, err
 		}
 		t.Host = v
 	}
 	if devMB > 0 {
 		key := sideKey{cfg.DeviceThreads, cfg.DeviceAffinity, devMB}
-		v, ok := p.devMemo[key]
-		if !ok {
-			var err error
-			v, err = p.models.PredictDevice(cfg.DeviceThreads, cfg.DeviceAffinity, devMB)
-			if err != nil {
-				return offload.Times{}, err
-			}
-			p.devMemo[key] = v
+		v, err := p.devMemo.Do(key, func() (float64, error) {
+			return p.models.PredictDevice(cfg.DeviceThreads, cfg.DeviceAffinity, devMB)
+		})
+		if err != nil {
+			return offload.Times{}, err
 		}
 		t.Device = v
 	}

@@ -34,7 +34,7 @@ func TestEnumerationPropagatesEvaluatorFailure(t *testing.T) {
 	// Wrap the real measurer through the enumerate helper directly: the
 	// injected failure must abort the run with the injected error.
 	faulty := &faultyEvaluator{inner: inst.Measurer, remaining: 7}
-	_, _, _, err := enumerate(inst.Schema, faulty)
+	_, _, _, err := enumerate(inst.Schema, faulty, 1)
 	if err == nil {
 		t.Fatal("enumeration should propagate evaluator failure")
 	}

@@ -8,6 +8,7 @@ import (
 
 	"hetopt/internal/anneal"
 	"hetopt/internal/offload"
+	"hetopt/internal/search"
 	"hetopt/internal/space"
 )
 
@@ -108,6 +109,20 @@ type Options struct {
 	InitialTemp float64
 	// NeighborMode selects the SA neighborhood structure.
 	NeighborMode space.NeighborMode
+	// Parallelism is the worker count of the concurrent search engine:
+	// EM/EML shard the enumeration into that many ordinal ranges, SAM/SAML
+	// anneal that many chains concurrently (capped at Restarts). Results
+	// are bit-identical at every parallelism level for a fixed Seed; zero
+	// or one runs sequentially.
+	Parallelism int
+	// Restarts is the number of independent annealing chains K for
+	// SAM/SAML (ignored by EM/EML). Each chain runs the full Iterations
+	// budget from a seed derived from (Seed, chain); the best chain wins,
+	// ties broken by the lowest chain index. Chains share a memoizing
+	// evaluation cache, so configurations visited by several chains cost
+	// one experiment. Zero or one reproduces the single-chain behavior
+	// exactly.
+	Restarts int
 }
 
 // DefaultInitialTemp is the SA starting temperature for seconds-scale
@@ -125,6 +140,13 @@ func (o Options) iterations() int {
 		return 1000
 	}
 	return o.Iterations
+}
+
+func (o Options) restarts() int {
+	if o.Restarts <= 1 {
+		return 1
+	}
+	return o.Restarts
 }
 
 // Result reports a completed optimization run.
@@ -170,7 +192,7 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 
 	switch m {
 	case EM, EML:
-		best, bestE, evals, runErr = enumerate(inst.Schema, evalSet)
+		best, bestE, evals, runErr = enumerate(inst.Schema, evalSet, opt.Parallelism)
 	case SAM, SAML:
 		best, bestE, evals, runErr = annealSearch(inst.Schema, evalSet, opt)
 	default:
@@ -198,31 +220,72 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 }
 
 // enumerate is exhaustive search (the paper's "enumeration, also known as
-// brute-force").
-func enumerate(schema *space.Schema, eval Evaluator) (space.Config, float64, int, error) {
-	bestE := math.Inf(1)
-	var best space.Config
-	evals := 0
-	err := schema.Space().ForEach(func(idx []int) error {
-		cfg, err := schema.Config(idx)
-		if err != nil {
-			return err
-		}
-		t, err := eval.Evaluate(cfg)
-		if err != nil {
-			return err
-		}
-		evals++
-		if e := t.E(); e < bestE {
-			bestE = e
-			best = cfg
-		}
-		return nil
+// brute-force"). parallelism > 1 shards the space into contiguous ordinal
+// ranges evaluated concurrently; every configuration is distinct, so the
+// winner — the lowest energy at the lowest ordinal — is identical to the
+// sequential scan at any worker count.
+func enumerate(schema *space.Schema, eval Evaluator, parallelism int) (space.Config, float64, int, error) {
+	size := schema.Space().Size()
+	workers := search.Workers(parallelism)
+	if workers > size {
+		workers = size
+	}
+	type shardBest struct {
+		e     float64
+		ord   int
+		evals int
+	}
+	scan := func(lo, hi int) (shardBest, error) {
+		sb := shardBest{e: math.Inf(1), ord: -1}
+		err := schema.Space().ForEachRange(lo, hi, func(ord int, idx []int) error {
+			cfg, err := schema.Config(idx)
+			if err != nil {
+				return err
+			}
+			t, err := eval.Evaluate(cfg)
+			if err != nil {
+				return err
+			}
+			sb.evals++
+			if e := t.E(); e < sb.e {
+				sb.e = e
+				sb.ord = ord
+			}
+			return nil
+		})
+		return sb, err
+	}
+
+	shards := search.Shards(size, workers)
+	bests := make([]shardBest, len(shards))
+	err := search.ForEach(len(shards), workers, func(si int) error {
+		var err error
+		bests[si], err = scan(shards[si][0], shards[si][1])
+		return err
 	})
 	if err != nil {
 		return space.Config{}, 0, 0, err
 	}
-	return best, bestE, evals, nil
+
+	total := shardBest{e: math.Inf(1), ord: -1}
+	for _, sb := range bests {
+		total.evals += sb.evals
+		// Shards are merged in ordinal order, so the first strict
+		// improvement reproduces the sequential (energy, ordinal) winner.
+		if sb.ord >= 0 && sb.e < total.e {
+			total.e = sb.e
+			total.ord = sb.ord
+		}
+	}
+	idx, err := schema.Space().Unflatten(total.ord)
+	if err != nil {
+		return space.Config{}, 0, 0, err
+	}
+	best, err := schema.Config(idx)
+	if err != nil {
+		return space.Config{}, 0, 0, err
+	}
+	return best, total.e, total.evals, nil
 }
 
 // saProblem adapts the schema + evaluator to the annealer.
@@ -264,30 +327,64 @@ func (p *saProblem) Energy(idx []int) float64 {
 
 // annealSearch runs the paper's SA (Figure 3) with the cooling rate tuned
 // so the temperature anneals from InitialTemp to the stop temperature over
-// exactly the iteration budget.
+// exactly the iteration budget. Restarts > 1 anneals K independent chains
+// (each with the full budget, from a seed derived from (Seed, chain))
+// that share a memoizing evaluation cache, so a configuration visited by
+// several chains costs one evaluation; the best chain wins, ties broken
+// by the lowest chain index.
 func annealSearch(schema *space.Schema, eval Evaluator, opt Options) (space.Config, float64, int, error) {
-	p := &saProblem{schema: schema, eval: eval, mode: opt.NeighborMode}
 	t0 := opt.InitialTemp
 	if t0 == 0 {
 		t0 = DefaultInitialTemp
 	}
-	res, err := anneal.Minimize(p, anneal.Options{
+	annealOpt := anneal.Options{
 		InitialTemp: t0,
 		StopTemp:    t0 / TempSpan,
 		MaxIters:    opt.iterations(),
 		Seed:        opt.Seed,
+	}
+	chains := opt.restarts()
+	if chains == 1 {
+		p := &saProblem{schema: schema, eval: eval, mode: opt.NeighborMode}
+		res, err := anneal.Minimize(p, annealOpt)
+		if err != nil {
+			return space.Config{}, 0, 0, err
+		}
+		if p.err != nil {
+			return space.Config{}, 0, 0, p.err
+		}
+		cfg, err := schema.Config(res.Best)
+		if err != nil {
+			return space.Config{}, 0, 0, err
+		}
+		return cfg, res.BestEnergy, p.evals, nil
+	}
+
+	shared := search.NewCache(eval)
+	problems := make([]*saProblem, chains)
+	res, err := anneal.MinimizeMulti(func(chain int) anneal.Problem {
+		problems[chain] = &saProblem{schema: schema, eval: shared, mode: opt.NeighborMode}
+		return problems[chain]
+	}, anneal.MultiOptions{
+		Options:     annealOpt,
+		Chains:      chains,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return space.Config{}, 0, 0, err
 	}
-	if p.err != nil {
-		return space.Config{}, 0, 0, p.err
+	evals := 0
+	for _, p := range problems {
+		if p.err != nil {
+			return space.Config{}, 0, 0, p.err
+		}
+		evals += p.evals
 	}
 	cfg, err := schema.Config(res.Best)
 	if err != nil {
 		return space.Config{}, 0, 0, err
 	}
-	return cfg, res.BestEnergy, p.evals, nil
+	return cfg, res.BestEnergy, evals, nil
 }
 
 // HostOnlyBaseline measures the paper's CPU-only baseline: all host

@@ -25,7 +25,7 @@ func (s *Suite) AblationCoolingRate(g dna.Genome, iterations int) (string, error
 	if err != nil {
 		return "", err
 	}
-	em, err := core.Run(core.EM, inst, core.Options{})
+	em, err := core.Run(core.EM, inst, s.coreOpts(0, 0))
 	if err != nil {
 		return "", err
 	}
@@ -35,11 +35,9 @@ func (s *Suite) AblationCoolingRate(g dna.Genome, iterations int) (string, error
 	for _, t0 := range []float64{0.05, 0.5, core.DefaultInitialTemp, 50, 10000} {
 		sum := 0.0
 		for r := 0; r < s.repeats(); r++ {
-			res, err := core.Run(core.SAML, inst, core.Options{
-				Iterations:  iterations,
-				Seed:        s.Seed + int64(r),
-				InitialTemp: t0,
-			})
+			opt := s.coreOpts(iterations, s.Seed+int64(r))
+			opt.InitialTemp = t0
+			res, err := core.Run(core.SAML, inst, opt)
 			if err != nil {
 				return "", err
 			}
@@ -58,7 +56,7 @@ func (s *Suite) AblationNeighborhood(g dna.Genome, iterations int) (string, erro
 	if err != nil {
 		return "", err
 	}
-	em, err := core.Run(core.EM, inst, core.Options{})
+	em, err := core.Run(core.EM, inst, s.coreOpts(0, 0))
 	if err != nil {
 		return "", err
 	}
@@ -71,11 +69,9 @@ func (s *Suite) AblationNeighborhood(g dna.Genome, iterations int) (string, erro
 	}{{"step +-1", space.StepMove}, {"resample", space.ResampleMove}} {
 		sum := 0.0
 		for r := 0; r < s.repeats(); r++ {
-			res, err := core.Run(core.SAML, inst, core.Options{
-				Iterations:   iterations,
-				Seed:         s.Seed + int64(r),
-				NeighborMode: mode.mode,
-			})
+			opt := s.coreOpts(iterations, s.Seed+int64(r))
+			opt.NeighborMode = mode.mode
+			res, err := core.Run(core.SAML, inst, opt)
 			if err != nil {
 				return "", err
 			}
@@ -101,7 +97,7 @@ func (s *Suite) AblationRegressors(g dna.Genome) (string, error) {
 	}
 	w := dnaWorkload(g)
 	meas := core.NewMeasurer(s.Platform, w)
-	em, err := core.Run(core.EM, &core.Instance{Schema: s.Schema, Measurer: meas}, core.Options{})
+	em, err := core.Run(core.EM, &core.Instance{Schema: s.Schema, Measurer: meas}, s.coreOpts(0, 0))
 	if err != nil {
 		return "", err
 	}
@@ -119,7 +115,7 @@ func (s *Suite) AblationRegressors(g dna.Genome) (string, error) {
 		inst := &core.Instance{Schema: s.Schema, Measurer: meas, Predictor: pred}
 		sum := 0.0
 		for r := 0; r < s.repeats(); r++ {
-			res, err := core.Run(core.SAML, inst, core.Options{Iterations: 1000, Seed: s.Seed + int64(r)})
+			res, err := core.Run(core.SAML, inst, s.coreOpts(1000, s.Seed+int64(r)))
 			if err != nil {
 				return "", err
 			}

@@ -33,7 +33,7 @@ func (s *Suite) ExtAdaptive(iterations, refineBudget int) ([]AdaptiveRow, error)
 		if err != nil {
 			return nil, err
 		}
-		em, err := core.Run(core.EM, inst, core.Options{})
+		em, err := core.Run(core.EM, inst, s.coreOpts(0, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -42,8 +42,8 @@ func (s *Suite) ExtAdaptive(iterations, refineBudget int) ([]AdaptiveRow, error)
 		for r := 0; r < s.repeats(); r++ {
 			inst.Measurer.ResetCount()
 			saml, refined, err := adaptive.TuneAndRefine(inst,
-				core.Options{Iterations: iterations, Seed: s.Seed + int64(r) + genomeSeed(g.Name)},
-				adaptive.Options{MeasureBudget: refineBudget})
+				s.coreOpts(iterations, s.Seed+int64(r)+genomeSeed(g.Name)),
+				adaptive.Options{MeasureBudget: refineBudget, Parallelism: s.Parallelism})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: adaptive on %s: %w", g.Name, err)
 			}
@@ -114,7 +114,7 @@ func (s *Suite) ExtSizeSweep(g dna.Genome, sizesMB []float64) ([]SizeSweepRow, e
 			Measurer:  core.NewMeasurer(s.Platform, w),
 			Predictor: pred,
 		}
-		res, err := core.Run(core.EML, inst, core.Options{})
+		res, err := core.Run(core.EML, inst, s.coreOpts(0, 0))
 		if err != nil {
 			return nil, err
 		}

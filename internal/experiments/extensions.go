@@ -38,7 +38,14 @@ func (s *Suite) ExtMultiDevice(g dna.Genome, maxDevices, iterations int) ([]Mult
 		best := multi.Result{}
 		bestE := 0.0
 		for r := 0; r < s.repeats(); r++ {
-			res, err := multi.Tune(problem, iterations, s.Seed+int64(r))
+			// Two chains per repeat exercise the shared-memo multi-chain
+			// path; Parallelism only spreads them across workers.
+			res, err := multi.TuneParallel(problem, multi.TuneOptions{
+				Iterations:  iterations,
+				Seed:        s.Seed + int64(r),
+				Restarts:    2,
+				Parallelism: s.Parallelism,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -81,7 +88,7 @@ func (s *Suite) ExtDynamicScheduling(g dna.Genome) ([]DynamicRow, float64, error
 	if err != nil {
 		return nil, 0, err
 	}
-	em, err := core.Run(core.EM, inst, core.Options{})
+	em, err := core.Run(core.EM, inst, s.coreOpts(0, 0))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -61,7 +61,7 @@ func (s *Suite) HeuristicComparison(g dna.Genome, budget int) ([]HeuristicResult
 	if err != nil {
 		return nil, 0, err
 	}
-	em, err := core.Run(core.EM, inst, core.Options{})
+	em, err := core.Run(core.EM, inst, s.coreOpts(0, 0))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -87,7 +87,7 @@ func (s *Suite) HeuristicComparison(g dna.Genome, budget int) ([]HeuristicResult
 	}
 	searchers := []searcher{
 		{"simulated-annealing", func(seed int64) ([]int, error) {
-			res, err := core.Run(core.SAML, inst, core.Options{Iterations: budget, Seed: seed})
+			res, err := core.Run(core.SAML, inst, s.coreOpts(budget, seed))
 			if err != nil {
 				return nil, err
 			}

@@ -42,14 +42,14 @@ func (s *Suite) MethodComparisonFor(g dna.Genome) (MethodComparison, error) {
 	}
 	mc := MethodComparison{Genome: g.Name, Iterations: PaperIterations()}
 
-	em, err := core.Run(core.EM, inst, core.Options{})
+	em, err := core.Run(core.EM, inst, s.coreOpts(0, 0))
 	if err != nil {
 		return MethodComparison{}, fmt.Errorf("experiments: EM on %s: %w", g.Name, err)
 	}
 	mc.EM = em.MeasuredE()
 	mc.EMExperiments = em.SearchEvaluations
 
-	eml, err := core.Run(core.EML, inst, core.Options{})
+	eml, err := core.Run(core.EML, inst, s.coreOpts(0, 0))
 	if err != nil {
 		return MethodComparison{}, fmt.Errorf("experiments: EML on %s: %w", g.Name, err)
 	}
@@ -73,12 +73,12 @@ func (s *Suite) MethodComparisonFor(g dna.Genome) (MethodComparison, error) {
 			// column) so the iteration-count effect is not drowned in
 			// between-run variance.
 			seed := s.Seed + int64(r) + genomeSeed(g.Name)
-			saml, err := core.Run(core.SAML, inst, core.Options{Iterations: iters, Seed: seed})
+			saml, err := core.Run(core.SAML, inst, s.coreOpts(iters, seed))
 			if err != nil {
 				return MethodComparison{}, fmt.Errorf("experiments: SAML on %s: %w", g.Name, err)
 			}
 			samlSum += saml.MeasuredE()
-			sam, err := core.Run(core.SAM, inst, core.Options{Iterations: iters, Seed: seed})
+			sam, err := core.Run(core.SAM, inst, s.coreOpts(iters, seed))
 			if err != nil {
 				return MethodComparison{}, fmt.Errorf("experiments: SAM on %s: %w", g.Name, err)
 			}

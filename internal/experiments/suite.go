@@ -33,6 +33,11 @@ type Suite struct {
 	// runs; averaging a few seeds recovers the trend its tables show
 	// without the jitter of one trajectory.
 	Repeats int
+	// Parallelism is the worker count handed to every optimization run:
+	// enumerations shard over it and annealing chains fan out across it.
+	// Results are identical at any level (the engine is deterministic);
+	// only wall-clock time changes. Zero or one runs sequentially.
+	Parallelism int
 
 	models *core.Models
 }
@@ -47,6 +52,11 @@ func NewSuite() *Suite {
 		Seed:     1,
 		Repeats:  7,
 	}
+}
+
+// coreOpts assembles method-run options carrying the suite's parallelism.
+func (s *Suite) coreOpts(iters int, seed int64) core.Options {
+	return core.Options{Iterations: iters, Seed: seed, Parallelism: s.Parallelism}
 }
 
 // Models trains (once) and returns the performance-prediction models.

@@ -10,6 +10,7 @@
 package multi
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 	"hetopt/internal/machine"
 	"hetopt/internal/offload"
 	"hetopt/internal/perf"
+	"hetopt/internal/search"
 )
 
 // Platform is a host plus K accelerators, each with its own performance
@@ -198,7 +200,27 @@ type Problem struct {
 	// Trial selects the measurement noise draw.
 	Trial int
 
-	err error
+	err  error
+	memo *search.Memo[string, Times]
+}
+
+// clone returns a per-chain copy of the problem: value sets and platform
+// are shared read-only, the sticky error is chain-local, and the memo —
+// when installed by TuneParallel — is shared so chains deduplicate
+// repeated state evaluations.
+func (p *Problem) clone() *Problem {
+	c := *p
+	c.err = nil
+	return &c
+}
+
+// stateKey encodes a state vector as a compact memo key.
+func stateKey(state []int) string {
+	buf := make([]byte, 0, 2*len(state))
+	for _, v := range state {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return string(buf)
 }
 
 func (p *Problem) units() int {
@@ -320,17 +342,12 @@ func (p *Problem) Decode(state []int) (Config, error) {
 }
 
 // Energy implements anneal.Problem by measuring the decoded
-// configuration.
+// configuration (through the shared memo when chains run in parallel).
 func (p *Problem) Energy(state []int) float64 {
 	if p.err != nil {
 		return math.Inf(1)
 	}
-	cfg, err := p.Decode(state)
-	if err != nil {
-		p.err = err
-		return math.Inf(1)
-	}
-	t, err := p.Platform.Measure(p.Workload, cfg, p.Trial)
+	t, err := p.measureState(state)
 	if err != nil {
 		p.err = err
 		return math.Inf(1)
@@ -338,34 +355,98 @@ func (p *Problem) Energy(state []int) float64 {
 	return t.E()
 }
 
+// measureState decodes and measures a state, deduplicating through the
+// shared memo when one is installed. Measurement is a pure function of
+// the state and trial, so memoization never changes a value.
+func (p *Problem) measureState(state []int) (Times, error) {
+	measure := func() (Times, error) {
+		cfg, err := p.Decode(state)
+		if err != nil {
+			return Times{}, err
+		}
+		return p.Platform.Measure(p.Workload, cfg, p.Trial)
+	}
+	if p.memo == nil {
+		return measure()
+	}
+	return p.memo.Do(stateKey(state), measure)
+}
+
 // Result is the outcome of a multi-device tuning run.
 type Result struct {
 	Config Config
 	Times  Times
-	// Iterations actually performed.
+	// Iterations actually performed (summed over chains when several ran).
 	Iterations int
+	// Chain is the index of the winning annealing chain (0 for
+	// single-chain runs).
+	Chain int
+}
+
+// TuneOptions configures a TuneParallel run.
+type TuneOptions struct {
+	// Iterations is the per-chain candidate budget. Zero selects 2000.
+	Iterations int
+	// Seed is the base seed; chain i derives anneal.ChainSeed(Seed, i).
+	Seed int64
+	// Restarts is the number of independent annealing chains. Zero or one
+	// runs a single chain, reproducing Tune exactly.
+	Restarts int
+	// Parallelism caps the number of chains annealing concurrently. The
+	// result is identical at any parallelism level.
+	Parallelism int
 }
 
 // Tune runs simulated annealing over the multi-device space and returns
 // the best configuration with its measurement.
 func Tune(p *Problem, iterations int, seed int64) (Result, error) {
+	return TuneParallel(p, TuneOptions{Iterations: iterations, Seed: seed})
+}
+
+// TuneParallel runs one or more simulated-annealing chains over the
+// multi-device space and returns the best configuration with its
+// measurement. Chains share a memoizing evaluation cache, so states
+// visited by several chains are measured once. For fixed (Seed, Restarts)
+// the result is bit-identical at every Parallelism level.
+func TuneParallel(p *Problem, opt TuneOptions) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
+	iterations := opt.Iterations
 	if iterations <= 0 {
 		iterations = 2000
 	}
-	res, err := anneal.Minimize(p, anneal.Options{
-		InitialTemp: 5,
-		StopTemp:    5e-4,
-		MaxIters:    iterations,
-		Seed:        seed,
+	chains := opt.Restarts
+	if chains < 1 {
+		chains = 1
+	}
+	problems := make([]*Problem, chains)
+	var memo *search.Memo[string, Times]
+	if chains > 1 {
+		memo = search.NewMemo[string, Times]()
+	}
+	res, err := anneal.MinimizeMulti(func(chain int) anneal.Problem {
+		c := p.clone()
+		c.memo = memo
+		problems[chain] = c
+		return c
+	}, anneal.MultiOptions{
+		Options: anneal.Options{
+			InitialTemp: 5,
+			StopTemp:    5e-4,
+			MaxIters:    iterations,
+			Seed:        opt.Seed,
+		},
+		Chains:      chains,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	if p.err != nil {
-		return Result{}, p.err
+	for _, c := range problems {
+		if c.err != nil {
+			return Result{}, c.err
+		}
 	}
 	cfg, err := p.Decode(res.Best)
 	if err != nil {
@@ -375,7 +456,7 @@ func Tune(p *Problem, iterations int, seed int64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Config: cfg, Times: times, Iterations: res.Iterations}, nil
+	return Result{Config: cfg, Times: times, Iterations: res.TotalIterations(), Chain: res.Chain}, nil
 }
 
 // PaperProblem builds the multi-device tuning problem over the paper's

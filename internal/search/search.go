@@ -1,0 +1,194 @@
+// Package search is the concurrent optimization substrate shared by every
+// tuning path: a concurrency-safe memoizing evaluation cache (deduplicating
+// repeated configuration evaluations across annealing chains and restarts)
+// and a deterministic worker-pool runner (sharding enumeration and fanning
+// out independent chains). See DESIGN.md, "The search layer".
+//
+// Determinism is the package's design constraint: every helper is written
+// so that results depend only on the inputs, never on goroutine
+// scheduling. Evaluations in this codebase are pure functions of the
+// configuration (measurement noise is hash-keyed, predictions are
+// deterministic), so caching and sharding cannot change any value — only
+// how many times it is computed and on how many goroutines.
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hetopt/internal/offload"
+	"hetopt/internal/space"
+)
+
+// Evaluator estimates the per-side execution times of a configuration.
+// It is structurally identical to core.Evaluator, so *core.Measurer and
+// *core.Predictor satisfy it without an import cycle.
+type Evaluator interface {
+	Evaluate(cfg space.Config) (offload.Times, error)
+}
+
+// memoEntry holds one memoized computation; once guards the single flight.
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Memo is a concurrency-safe, single-flight memo table: concurrent Do
+// calls with the same key perform the computation exactly once and share
+// the result (including the error). The zero value is not usable;
+// construct with NewMemo.
+type Memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+
+	lookups atomic.Int64
+	unique  atomic.Int64
+}
+
+// NewMemo returns an empty memo table.
+func NewMemo[K comparable, V any]() *Memo[K, V] {
+	return &Memo[K, V]{entries: map[K]*memoEntry[V]{}}
+}
+
+// Do returns the memoized result for key, computing it with fn on the
+// first call. Concurrent first calls block until the single computation
+// finishes.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	m.lookups.Add(1)
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		m.unique.Add(1)
+		e.val, e.err = fn()
+	})
+	return e.val, e.err
+}
+
+// Lookups returns the number of Do calls so far.
+func (m *Memo[K, V]) Lookups() int { return int(m.lookups.Load()) }
+
+// Unique returns the number of distinct keys computed (cache misses).
+func (m *Memo[K, V]) Unique() int { return int(m.unique.Load()) }
+
+// Hits returns the number of Do calls served from the memo.
+func (m *Memo[K, V]) Hits() int { return m.Lookups() - m.Unique() }
+
+// Cache is a concurrency-safe memoizing Evaluator: repeated evaluations
+// of the same configuration — across annealing chains, restarts or
+// refinement rounds — hit the memo instead of the underlying evaluator.
+// Because evaluations are deterministic, wrapping an evaluator in a Cache
+// never changes any returned value, only the effort spent.
+type Cache struct {
+	eval Evaluator
+	memo *Memo[space.Config, offload.Times]
+}
+
+// NewCache wraps an evaluator in a fresh cache.
+func NewCache(eval Evaluator) *Cache {
+	return &Cache{eval: eval, memo: NewMemo[space.Config, offload.Times]()}
+}
+
+// Evaluate implements Evaluator with single-flight memoization.
+func (c *Cache) Evaluate(cfg space.Config) (offload.Times, error) {
+	return c.memo.Do(cfg, func() (offload.Times, error) {
+		return c.eval.Evaluate(cfg)
+	})
+}
+
+// Lookups returns the number of Evaluate calls observed.
+func (c *Cache) Lookups() int { return c.memo.Lookups() }
+
+// Unique returns the number of distinct configurations evaluated.
+func (c *Cache) Unique() int { return c.memo.Unique() }
+
+// Hits returns the number of Evaluate calls served from the cache.
+func (c *Cache) Hits() int { return c.memo.Hits() }
+
+// Workers normalizes a requested parallelism: zero or negative requests
+// select 1 (sequential).
+func Workers(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n
+}
+
+// Shards splits the range [0, n) into at most k contiguous, near-equal
+// subranges [lo, hi). It returns fewer shards when n < k and nil when
+// n <= 0.
+func Shards(n, k int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	shards := make([][2]int, 0, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		shards = append(shards, [2]int{lo, hi})
+		lo = hi
+	}
+	return shards
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most workers
+// concurrent goroutines. All indices run even if some fail; the error
+// with the lowest index is returned unmodified, making both the reported
+// failure and its message independent of goroutine scheduling. workers
+// <= 1 runs sequentially on the calling goroutine (stopping at the first
+// error, which is then also the lowest-index one).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hetopt/internal/machine"
+	"hetopt/internal/offload"
+	"hetopt/internal/space"
+)
+
+func TestMemoSingleFlight(t *testing.T) {
+	m := NewMemo[int, int]()
+	var calls atomic.Int64
+	const goroutines = 16
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			v, err := m.Do(7, func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("computation ran %d times, want 1", got)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d saw %d, want 42", g, v)
+		}
+	}
+	if m.Lookups() != goroutines || m.Unique() != 1 || m.Hits() != goroutines-1 {
+		t.Fatalf("accounting = %d/%d/%d, want %d/1/%d", m.Lookups(), m.Unique(), m.Hits(), goroutines, goroutines-1)
+	}
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	m := NewMemo[string, int]()
+	calls := 0
+	fail := func() (int, error) { calls++; return 0, fmt.Errorf("boom") }
+	if _, err := m.Do("k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := m.Do("k", fail); err == nil {
+		t.Fatal("want cached error")
+	}
+	if calls != 1 {
+		t.Fatalf("failed computation ran %d times, want 1", calls)
+	}
+}
+
+// countingEvaluator returns a deterministic time per configuration and
+// counts invocations.
+type countingEvaluator struct {
+	calls atomic.Int64
+}
+
+func (e *countingEvaluator) Evaluate(cfg space.Config) (offload.Times, error) {
+	e.calls.Add(1)
+	return offload.Times{Host: cfg.HostFraction, Device: float64(cfg.DeviceThreads)}, nil
+}
+
+func TestCacheDeduplicates(t *testing.T) {
+	under := &countingEvaluator{}
+	c := NewCache(under)
+	cfg := space.Config{HostThreads: 4, DeviceThreads: 8, HostAffinity: machine.AffinityScatter, HostFraction: 50}
+	other := cfg
+	other.HostFraction = 75
+
+	for i := 0; i < 5; i++ {
+		if _, err := c.Evaluate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Evaluate(other); err != nil {
+		t.Fatal(err)
+	}
+	if got := under.calls.Load(); got != 2 {
+		t.Fatalf("underlying evaluator saw %d calls, want 2", got)
+	}
+	if c.Lookups() != 6 || c.Unique() != 2 || c.Hits() != 4 {
+		t.Fatalf("cache accounting = %d/%d/%d, want 6/2/4", c.Lookups(), c.Unique(), c.Hits())
+	}
+	a, _ := c.Evaluate(cfg)
+	b, _ := under.Evaluate(cfg)
+	if a != b {
+		t.Fatal("cached value differs from direct evaluation")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	for _, tc := range [][2]int{{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {64, 64}} {
+		if got := Workers(tc[0]); got != tc[1] {
+			t.Errorf("Workers(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+}
+
+func TestShardsCoverRangeExactly(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{10, 3}, {1, 1}, {5, 8}, {19926, 8}, {7, 7}, {100, 1},
+	} {
+		shards := Shards(tc.n, tc.k)
+		if len(shards) > tc.k || len(shards) == 0 {
+			t.Fatalf("Shards(%d,%d) produced %d shards", tc.n, tc.k, len(shards))
+		}
+		next := 0
+		for _, sh := range shards {
+			if sh[0] != next || sh[1] <= sh[0] {
+				t.Fatalf("Shards(%d,%d) = %v not contiguous", tc.n, tc.k, shards)
+			}
+			next = sh[1]
+		}
+		if next != tc.n {
+			t.Fatalf("Shards(%d,%d) covers [0,%d), want [0,%d)", tc.n, tc.k, next, tc.n)
+		}
+	}
+	if Shards(0, 4) != nil {
+		t.Error("Shards(0, k) should be nil")
+	}
+}
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		seen := make([]atomic.Int64, n)
+		err := ForEach(n, workers, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(50, workers, func(i int) error {
+			if i == 13 || i == 37 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		if err.Error() != "fail-13" {
+			t.Fatalf("workers=%d: got %q, want the lowest-index error unmodified", workers, err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package space
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func rangeSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := New(
+		Param{Name: "a", Kind: Ordered, Values: []float64{0, 1, 2}},
+		Param{Name: "b", Kind: Categorical, Values: []float64{0, 1}},
+		Param{Name: "c", Kind: Ordered, Values: []float64{0, 1, 2, 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestForEachRangeMatchesForEach(t *testing.T) {
+	s := rangeSpace(t)
+	var full [][]int
+	if err := s.ForEach(func(idx []int) error {
+		full = append(full, append([]int(nil), idx...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != s.Size() {
+		t.Fatalf("ForEach visited %d points, want %d", len(full), s.Size())
+	}
+	// Stitching any sharding of [0, Size()) back together must reproduce
+	// the full enumeration, with ordinals matching Flatten.
+	for _, bounds := range [][]int{
+		{0, s.Size()},
+		{0, 7, s.Size()},
+		{0, 1, 2, 3, s.Size()},
+		{0, 0, 5, 5, s.Size()},
+	} {
+		var got [][]int
+		for i := 0; i+1 < len(bounds); i++ {
+			err := s.ForEachRange(bounds[i], bounds[i+1], func(ord int, idx []int) error {
+				want, err := s.Flatten(idx)
+				if err != nil {
+					return err
+				}
+				if ord != want {
+					return fmt.Errorf("ordinal %d for index %v, want %d", ord, idx, want)
+				}
+				got = append(got, append([]int(nil), idx...))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(full, got) {
+			t.Fatalf("sharding %v diverged from ForEach", bounds)
+		}
+	}
+}
+
+func TestForEachRangeValidation(t *testing.T) {
+	s := rangeSpace(t)
+	for _, bad := range [][2]int{{-1, 5}, {0, s.Size() + 1}, {5, 4}} {
+		if err := s.ForEachRange(bad[0], bad[1], func(int, []int) error { return nil }); err == nil {
+			t.Errorf("range %v should fail", bad)
+		}
+	}
+	if err := s.ForEachRange(3, 3, func(int, []int) error {
+		t.Error("empty range must not call fn")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachRangeAbortsOnError(t *testing.T) {
+	s := rangeSpace(t)
+	calls := 0
+	err := s.ForEachRange(0, s.Size(), func(ord int, _ []int) error {
+		calls++
+		if ord == 4 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil || calls != 5 {
+		t.Fatalf("err=%v calls=%d, want error after 5 calls", err, calls)
+	}
+}

@@ -147,22 +147,42 @@ func (s *Space) Unflatten(ord int) ([]int, error) {
 // retain). A non-nil error from fn aborts the enumeration and is
 // returned.
 func (s *Space) ForEach(fn func(idx []int) error) error {
-	idx := make([]int, s.Dim())
-	for {
-		if err := fn(idx); err != nil {
+	return s.ForEachRange(0, s.Size(), func(_ int, idx []int) error {
+		return fn(idx)
+	})
+}
+
+// ForEachRange enumerates the configurations with ordinals in [start, end)
+// in lexicographic order, calling fn with the ordinal and an index vector
+// that is reused between calls (copy it to retain). Lexicographic order
+// coincides with ordinal (Flatten) order, so contiguous ordinal ranges
+// shard the space for parallel enumeration. A non-nil error from fn
+// aborts the enumeration and is returned.
+func (s *Space) ForEachRange(start, end int, fn func(ord int, idx []int) error) error {
+	if start < 0 || end > s.Size() || start > end {
+		return fmt.Errorf("space: range [%d,%d) outside [0,%d]", start, end, s.Size())
+	}
+	if start == end {
+		return nil
+	}
+	idx, err := s.Unflatten(start)
+	if err != nil {
+		return err
+	}
+	for ord := start; ; {
+		if err := fn(ord, idx); err != nil {
 			return err
 		}
+		if ord++; ord >= end {
+			return nil
+		}
 		// Odometer increment.
-		i := s.Dim() - 1
-		for ; i >= 0; i-- {
+		for i := s.Dim() - 1; i >= 0; i-- {
 			idx[i]++
 			if idx[i] < s.Params[i].Levels() {
 				break
 			}
 			idx[i] = 0
-		}
-		if i < 0 {
-			return nil
 		}
 	}
 }
