@@ -146,7 +146,7 @@ func BenchmarkSAMLMultiChain(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pred, err := core.NewPredictor(models, w)
+	pred, err := core.NewPredictor(models, w, s.Platform.Model())
 	if err != nil {
 		b.Fatal(err)
 	}

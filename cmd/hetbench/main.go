@@ -31,6 +31,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validate(*repeats, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
@@ -40,7 +45,22 @@ func main() {
 	}
 }
 
+// validate rejects out-of-range flags before any work, so the user gets
+// a usage error instead of a silently clamped report.
+func validate(repeats, parallel int) error {
+	if repeats < 1 {
+		return fmt.Errorf("-repeats must be >= 1, got %d", repeats)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", parallel)
+	}
+	return nil
+}
+
 func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parallel int) error {
+	if err := validate(repeats, parallel); err != nil {
+		return err
+	}
 	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)

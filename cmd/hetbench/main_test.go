@@ -22,6 +22,7 @@ func TestRunWritesCompleteReport(t *testing.T) {
 		"Figure 2", "Figure 5", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
 		"Table IV", "Table V", "Table VI", "Table VII", "Table VIII", "Table IX",
 		"Result 1/2", "Result 3", "Result 5",
+		"Bi-objective", "energy",
 		"report generated in",
 	} {
 		if !strings.Contains(report, want) {
@@ -37,6 +38,21 @@ func TestRunWritesCompleteReport(t *testing.T) {
 func TestRunRejectsBadPath(t *testing.T) {
 	if err := run(filepath.Join(t.TempDir(), "missing", "report.txt"), false, 1, 1, false, 1); err == nil {
 		t.Fatal("uncreatable output path should fail")
+	}
+}
+
+// TestRunRejectsBadFlags checks the flag-layer validation: out-of-range
+// values fail fast with an error naming the flag instead of being
+// silently clamped by the search engine.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run("", false, 0, 1, false, 1); err == nil || !strings.Contains(err.Error(), "-repeats") {
+		t.Errorf("repeats=0 should fail naming -repeats, got %v", err)
+	}
+	if err := run("", false, -3, 1, false, 1); err == nil || !strings.Contains(err.Error(), "-repeats") {
+		t.Errorf("negative repeats should fail naming -repeats, got %v", err)
+	}
+	if err := run("", false, 1, 1, false, -4); err == nil || !strings.Contains(err.Error(), "-parallel") {
+		t.Errorf("negative parallel should fail naming -parallel, got %v", err)
 	}
 }
 

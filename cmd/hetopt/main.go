@@ -8,6 +8,9 @@
 //	hetopt -method saml -genome human -iterations 1000
 //	hetopt -method em -genome cat
 //	hetopt -compare -genome mouse
+//	hetopt -objective energy                 # minimize joules, not seconds
+//	hetopt -objective weighted -alpha 0.5    # trade time against energy
+//	hetopt -objective bounded -slack 0.10    # min energy within 110% of T_best
 package main
 
 import (
@@ -19,44 +22,96 @@ import (
 	"hetopt"
 )
 
+// params collects the validated CLI inputs of one run.
+type params struct {
+	method     string
+	genome     string
+	iterations int
+	seed       int64
+	sizeMB     float64
+	compare    bool
+	modelCache string
+	parallel   int
+	restarts   int
+	objective  string
+	alpha      float64
+	slack      float64
+}
+
+// validate rejects flag combinations before any expensive work, so the
+// user gets a usage error instead of a silently clamped run.
+func (p *params) validate() error {
+	if p.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", p.parallel)
+	}
+	if p.restarts < 0 {
+		return fmt.Errorf("-restarts must be >= 0, got %d", p.restarts)
+	}
+	if p.iterations < 0 {
+		return fmt.Errorf("-iterations must be >= 0, got %d", p.iterations)
+	}
+	if p.alpha < 0 || p.alpha > 1 {
+		return fmt.Errorf("-alpha must be in [0,1], got %g", p.alpha)
+	}
+	if p.slack < 0 {
+		return fmt.Errorf("-slack must be >= 0, got %g", p.slack)
+	}
+	switch p.objective {
+	case "time", "energy", "weighted", "bounded", "":
+	default:
+		return fmt.Errorf("-objective must be time, energy, weighted or bounded, got %q", p.objective)
+	}
+	return nil
+}
+
 func main() {
-	var (
-		methodName = flag.String("method", "saml", "optimization method: em, eml, sam or saml")
-		genomeName = flag.String("genome", "human", "evaluation genome: human, mouse, cat or dog")
-		iterations = flag.Int("iterations", 1000, "simulated-annealing iteration budget (per chain)")
-		seed       = flag.Int64("seed", 1, "random seed for simulated annealing")
-		sizeMB     = flag.Float64("size", 0, "override the workload size in MB (0 = genome size)")
-		compare    = flag.Bool("compare", false, "run all four methods and compare")
-		modelCache = flag.String("model-cache", "", "path for persisted prediction models (loaded if present, written after training)")
-		parallel   = flag.Int("parallel", 1, "search worker count (0 = all CPUs); results are identical at any level")
-		restarts   = flag.Int("restarts", 1, "independent annealing chains for sam/saml (best chain wins)")
-	)
+	var p params
+	flag.StringVar(&p.method, "method", "saml", "optimization method: em, eml, sam or saml")
+	flag.StringVar(&p.genome, "genome", "human", "evaluation genome: human, mouse, cat or dog")
+	flag.IntVar(&p.iterations, "iterations", 1000, "simulated-annealing iteration budget (per chain)")
+	flag.Int64Var(&p.seed, "seed", 1, "random seed for simulated annealing")
+	flag.Float64Var(&p.sizeMB, "size", 0, "override the workload size in MB (0 = genome size)")
+	flag.BoolVar(&p.compare, "compare", false, "run all four methods and compare")
+	flag.StringVar(&p.modelCache, "model-cache", "", "path for persisted prediction models (loaded if present, written after training)")
+	flag.IntVar(&p.parallel, "parallel", 1, "search worker count (0 = all CPUs); results are identical at any level")
+	flag.IntVar(&p.restarts, "restarts", 1, "independent annealing chains for sam/saml (best chain wins)")
+	flag.StringVar(&p.objective, "objective", "time", "search objective: time, energy, weighted or bounded")
+	flag.Float64Var(&p.alpha, "alpha", 0.5, "time weight in [0,1] for -objective weighted")
+	flag.Float64Var(&p.slack, "slack", 0.10, "makespan slack over the time optimum for -objective bounded")
 	flag.Parse()
 
-	if *parallel == 0 {
-		*parallel = runtime.GOMAXPROCS(0)
+	if err := p.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "hetopt:", err)
+		flag.Usage()
+		os.Exit(2)
 	}
-	if err := run(*methodName, *genomeName, *iterations, *seed, *sizeMB, *compare, *modelCache, *parallel, *restarts); err != nil {
+	if p.parallel == 0 {
+		p.parallel = runtime.GOMAXPROCS(0)
+	}
+	if err := run(p); err != nil {
 		fmt.Fprintln(os.Stderr, "hetopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(methodName, genomeName string, iterations int, seed int64, sizeMB float64, compare bool, modelCache string, parallel, restarts int) error {
-	genome, err := hetopt.GenomeByName(genomeName)
+func run(p params) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	genome, err := hetopt.GenomeByName(p.genome)
 	if err != nil {
 		return err
 	}
 	workload := hetopt.GenomeWorkload(genome)
-	if sizeMB > 0 {
-		workload = workload.Scaled(sizeMB)
+	if p.sizeMB > 0 {
+		workload = workload.Scaled(p.sizeMB)
 	}
 
 	tuner := hetopt.NewTuner()
-	if modelCache != "" {
-		if models, err := hetopt.LoadModelsFile(modelCache); err == nil {
+	if p.modelCache != "" {
+		if models, err := hetopt.LoadModelsFile(p.modelCache); err == nil {
 			tuner.Models = models
-			fmt.Printf("loaded prediction models from %s\n", modelCache)
+			fmt.Printf("loaded prediction models from %s\n", p.modelCache)
 		}
 	}
 	if tuner.Models == nil {
@@ -65,11 +120,11 @@ func run(methodName, genomeName string, iterations int, seed int64, sizeMB float
 		if err := tuner.Train(); err != nil {
 			return err
 		}
-		if modelCache != "" {
-			if err := hetopt.SaveModelsFile(tuner.Models, modelCache); err != nil {
+		if p.modelCache != "" {
+			if err := hetopt.SaveModelsFile(tuner.Models, p.modelCache); err != nil {
 				return err
 			}
-			fmt.Printf("saved prediction models to %s\n", modelCache)
+			fmt.Printf("saved prediction models to %s\n", p.modelCache)
 		}
 	}
 	fmt.Printf("  host model:   %.3f%% mean percent error\n", tuner.Models.HostReport.Eval.MeanPercentError)
@@ -79,36 +134,55 @@ func run(methodName, genomeName string, iterations int, seed int64, sizeMB float
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload: %s (%.0f MB)\n", workload.Name, workload.SizeMB)
-	fmt.Printf("host-only   (48T):  %.4f s\n", hostOnly.MeasuredE())
-	fmt.Printf("device-only (240T): %.4f s\n\n", deviceOnly.MeasuredE())
+	fmt.Printf("workload: %s (%.0f MB), objective: %s\n", workload.Name, workload.SizeMB, p.objective)
+	fmt.Printf("host-only   (48T):  %.4f s, %.1f J\n", hostOnly.MeasuredE(), hostOnly.MeasuredJ())
+	fmt.Printf("device-only (240T): %.4f s, %.1f J\n\n", deviceOnly.MeasuredE(), deviceOnly.MeasuredJ())
 
 	methods := []hetopt.Method{}
-	if compare {
+	if p.compare {
 		methods = append(methods, hetopt.EM, hetopt.EML, hetopt.SAM, hetopt.SAML)
 	} else {
-		m, err := hetopt.ParseMethod(methodName)
+		m, err := hetopt.ParseMethod(p.method)
 		if err != nil {
 			return err
 		}
 		methods = append(methods, m)
 	}
 
+	opt := hetopt.Options{
+		Iterations:  p.iterations,
+		Seed:        p.seed,
+		Parallelism: p.parallel,
+		Restarts:    p.restarts,
+	}
 	for _, m := range methods {
-		res, err := tuner.Tune(workload, m, hetopt.Options{
-			Iterations:  iterations,
-			Seed:        seed,
-			Parallelism: parallel,
-			Restarts:    restarts,
-		})
-		if err != nil {
-			return err
+		var res hetopt.Result
+		if p.objective == "bounded" {
+			timeRes, ecoRes, err := tuner.TuneWithTimeSlack(workload, m, opt, p.slack)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-4s time-opt:  %v (T=%.4f s, %.1f J)\n", m, timeRes.Config, timeRes.MeasuredE(), timeRes.MeasuredJ())
+			res = ecoRes
+		} else {
+			obj, err := hetopt.ParseObjective(p.objective, p.alpha)
+			if err != nil {
+				return err
+			}
+			opt.Objective = obj
+			res, err = tuner.Tune(workload, m, opt)
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Printf("%-4s suggested: %v\n", m, res.Config)
 		fmt.Printf("     measured: T_host=%.4f s, T_device=%.4f s, E=%.4f s\n",
 			res.Measured.Host, res.Measured.Device, res.MeasuredE())
-		fmt.Printf("     speedup:  %.2fx vs host-only, %.2fx vs device-only\n",
-			hostOnly.MeasuredE()/res.MeasuredE(), deviceOnly.MeasuredE()/res.MeasuredE())
+		fmt.Printf("     energy:   J_host=%.1f, J_device=%.1f, total=%.1f J (%s objective value %.4f)\n",
+			res.MeasuredEnergy.Host, res.MeasuredEnergy.Device, res.MeasuredJ(), res.Objective, res.MeasuredObjective)
+		fmt.Printf("     speedup:  %.2fx vs host-only, %.2fx vs device-only; energy: %.2fx vs host-only, %.2fx vs device-only\n",
+			hostOnly.MeasuredE()/res.MeasuredE(), deviceOnly.MeasuredE()/res.MeasuredE(),
+			hostOnly.MeasuredJ()/res.MeasuredJ(), deviceOnly.MeasuredJ()/res.MeasuredJ())
 		fmt.Printf("     effort:   %d search evaluations, %d experiments\n\n",
 			res.SearchEvaluations, res.Experiments)
 	}

@@ -3,15 +3,29 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
+
+// base returns the default parameters of one CLI run, mirroring the flag
+// defaults.
+func base() params {
+	return params{
+		method: "saml", genome: "human", iterations: 1000, seed: 1,
+		parallel: 1, restarts: 1, objective: "time", alpha: 0.5, slack: 0.10,
+	}
+}
 
 func TestRunSingleMethod(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains full models")
 	}
-	if err := run("saml", "cat", 200, 1, 0, false, "", 2, 2); err != nil {
+	p := base()
+	p.genome = "cat"
+	p.iterations = 200
+	p.parallel, p.restarts = 2, 2
+	if err := run(p); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -22,15 +36,61 @@ func TestRunCustomSize(t *testing.T) {
 	}
 	// A small override size exercises the Scaled path; CPU-only should
 	// win, and the run must still succeed.
-	if err := run("sam", "human", 100, 1, 190, false, "", 1, 1); err != nil {
+	p := base()
+	p.method, p.iterations, p.sizeMB = "sam", 100, 190
+	if err := run(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEnergyObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains full models")
+	}
+	p := base()
+	p.method, p.iterations, p.objective = "sam", 300, "energy"
+	if err := run(p); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
 	// Genome and method validation happen before the expensive training.
-	if err := run("saml", "unicorn", 10, 1, 0, false, "", 1, 1); err == nil {
+	p := base()
+	p.genome = "unicorn"
+	if err := run(p); err == nil {
 		t.Error("unknown genome should fail")
+	}
+}
+
+// TestRunRejectsBadFlags checks that out-of-range flags fail fast with a
+// clear error instead of being clamped deep inside the search engine.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*params)
+		want string
+	}{
+		{"negative parallel", func(p *params) { p.parallel = -2 }, "-parallel"},
+		{"negative restarts", func(p *params) { p.restarts = -1 }, "-restarts"},
+		{"negative iterations", func(p *params) { p.iterations = -5 }, "-iterations"},
+		{"unknown objective", func(p *params) { p.objective = "carbon" }, "-objective"},
+		{"alpha above one", func(p *params) { p.alpha = 1.5 }, "-alpha"},
+		{"negative alpha", func(p *params) { p.alpha = -0.1 }, "-alpha"},
+		{"negative slack", func(p *params) { p.slack = -0.2 }, "-slack"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base()
+			tc.mut(&p)
+			err := run(p)
+			if err == nil {
+				t.Fatal("invalid flags should fail")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offending flag %s", err, tc.want)
+			}
+		})
 	}
 }
 
@@ -40,7 +100,9 @@ func TestRunModelCache(t *testing.T) {
 	}
 	cache := filepath.Join(t.TempDir(), "models.gob")
 	// First run trains and writes the cache.
-	if err := run("saml", "dog", 100, 1, 0, false, cache, 1, 1); err != nil {
+	p := base()
+	p.genome, p.iterations, p.modelCache = "dog", 100, cache
+	if err := run(p); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(cache); err != nil {
@@ -48,7 +110,7 @@ func TestRunModelCache(t *testing.T) {
 	}
 	// Second run loads it (much faster; correctness checked by completing).
 	start := time.Now()
-	if err := run("saml", "dog", 100, 1, 0, false, cache, 1, 1); err != nil {
+	if err := run(p); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) > 2*time.Second {

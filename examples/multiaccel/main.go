@@ -33,7 +33,8 @@ func main() {
 			oneCard = e
 		}
 		fmt.Printf("%d Phi card(s): E = %.4f s (%.2fx vs 1 card)\n", n, e, oneCard/e)
-		fmt.Printf("  distribution: %v\n", res.Config)
+		fmt.Printf("  distribution: %s\n", problem.Platform.FormatConfig(res.Config))
+		fmt.Printf("  energy: %.1f J\n", res.Energy.Total())
 		fmt.Printf("  per-unit times: host %.4f s", res.Times.Host)
 		for i, d := range res.Times.Devices {
 			fmt.Printf(", %s %.4f s", problem.Platform.DeviceName(i), d)

@@ -7,7 +7,9 @@
 // fraction — for divisible workloads on heterogeneous platforms, by
 // combining simulated annealing over the discrete configuration space
 // with boosted-decision-tree regression models that predict per-side
-// execution times. The objective is E = max(T_host, T_device).
+// execution times. The default objective is the paper's
+// E = max(T_host, T_device); a calibrated power model extends it to
+// energy-aware bi-objective tuning.
 //
 // Quick start:
 //
@@ -15,6 +17,24 @@
 //	if err := tuner.Train(); err != nil { ... }
 //	res, err := tuner.TuneGenome(hetopt.Human, hetopt.SAML, hetopt.Options{Iterations: 1000})
 //	fmt.Println(res.Config, res.MeasuredE())
+//
+// Energy-aware tuning selects a different point on the time/energy
+// front — on the paper platform the energy optimum keeps the work on
+// the host and powers the accelerator down, trading ~1.6x the makespan
+// for ~36% less energy (cmd/hetopt exposes the same choice as
+// "-objective energy" or "-objective weighted -alpha 0.5"):
+//
+//	res, err = tuner.TuneGenome(hetopt.Human, hetopt.SAML, hetopt.Options{
+//		Iterations: 1000,
+//		Objective:  hetopt.EnergyObjective{},
+//	})
+//	fmt.Println(res.Config, res.MeasuredJ(), "J")
+//
+// The constrained mode minimizes energy while staying within a makespan
+// slack of the time optimum:
+//
+//	timeRes, ecoRes, err := tuner.TuneWithTimeSlack(
+//		hetopt.GenomeWorkload(hetopt.Human), hetopt.SAML, hetopt.Options{}, 0.10)
 //
 // The package re-exports the building blocks for advanced use: the
 // configuration space (Schema), the platform simulator (Platform), the
@@ -61,6 +81,22 @@ type (
 	// Times reports per-side execution times; Times.E() is the paper's
 	// objective.
 	Times = offload.Times
+	// Energy reports per-side energy in joules; Energy.Total() is the
+	// energy objective.
+	Energy = offload.Energy
+	// Measurement couples times and energy from one evaluation.
+	Measurement = offload.Measurement
+	// Objective selects what a search minimizes (time, energy, or a
+	// trade-off); see TimeObjective and friends.
+	Objective = core.Objective
+	// TimeObjective is the paper's makespan objective (the default).
+	TimeObjective = core.TimeObjective
+	// EnergyObjective minimizes total joules across engaged units.
+	EnergyObjective = core.EnergyObjective
+	// WeightedSumObjective minimizes alpha*T + (1-alpha)*E/PowerScaleW.
+	WeightedSumObjective = core.WeightedSumObjective
+	// TimeBoundedObjective minimizes energy subject to a makespan bound.
+	TimeBoundedObjective = core.TimeBoundedObjective
 	// Method is one of the four optimization methods.
 	Method = core.Method
 	// Options tunes an optimization run.
@@ -206,6 +242,14 @@ func LoadModelsFile(path string) (*Models, error) { return core.LoadModelsFile(p
 // ParseMethod converts a method name into a Method.
 func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
 
+// ParseObjective converts an objective name ("time", "energy",
+// "weighted") into an Objective; alpha is the time weight consulted by
+// "weighted". The constrained minimum-energy mode is built from a
+// time-optimal run instead — see Tuner.TuneWithTimeSlack.
+func ParseObjective(name string, alpha float64) (Objective, error) {
+	return core.ParseObjective(name, alpha)
+}
+
 // MultiPhiProblem builds the multi-accelerator tuning problem for the
 // paper's host with n Xeon Phi cards over the Table I value sets.
 func MultiPhiProblem(n int, w Workload) (*MultiProblem, error) {
@@ -287,7 +331,7 @@ func (t *Tuner) instance(w Workload, needML bool) (*core.Instance, error) {
 		Measurer: core.NewMeasurer(t.Platform, w),
 	}
 	if t.Models != nil {
-		pred, err := core.NewPredictor(t.Models, w)
+		pred, err := core.NewPredictor(t.Models, w, t.Platform.Model())
 		if err != nil {
 			return nil, err
 		}
@@ -311,6 +355,19 @@ func (t *Tuner) Tune(w Workload, m Method, opt Options) (Result, error) {
 // TuneGenome is Tune for one of the evaluation genomes.
 func (t *Tuner) TuneGenome(g Genome, m Method, opt Options) (Result, error) {
 	return t.Tune(GenomeWorkload(g), m, opt)
+}
+
+// TuneWithTimeSlack is the constrained bi-objective pipeline: it first
+// finds the time-optimal configuration with method m, then minimizes
+// energy subject to the makespan staying within (1+slack) of that
+// optimum. It returns the time-optimal reference and the energy-minimal
+// result within the slack.
+func (t *Tuner) TuneWithTimeSlack(w Workload, m Method, opt Options, slack float64) (timeRes, energyRes Result, err error) {
+	inst, err := t.instance(w, m.UsesML())
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	return core.RunWithTimeSlack(m, inst, opt, slack)
 }
 
 // TuneAndRefine runs the adaptive pipeline (paper future work): SAML

@@ -34,6 +34,10 @@ type Options struct {
 	// refined configuration are identical at every parallelism level.
 	// Zero or one measures sequentially.
 	Parallelism int
+	// Objective selects what refinement minimizes (nil = the paper's
+	// makespan). Use the same objective as the seeding search so the
+	// hill-climb improves the quantity the search optimized.
+	Objective core.Objective
 }
 
 func (o Options) budget() int {
@@ -50,7 +54,8 @@ func (o Options) rounds() int {
 	return o.MaxRounds
 }
 
-// Result reports a refinement run.
+// Result reports a refinement run. The E fields are values of the
+// objective the refinement ran under (the makespan by default).
 type Result struct {
 	// Start and StartE are the seed configuration and its measured
 	// objective.
@@ -91,8 +96,13 @@ func Refine(inst *core.Instance, seed space.Config, opt Options) (Result, error)
 
 	budget := opt.budget()
 	used := 0
-	// energy measures one candidate; measure additionally enforces the
-	// budget (the parallel round scan accounts for the budget itself).
+	obj := opt.Objective
+	if obj == nil {
+		obj = core.TimeObjective{}
+	}
+	// energy measures one candidate and scores it under the objective;
+	// measure additionally enforces the budget (the parallel round scan
+	// accounts for the budget itself).
 	energy := func(candidate []int) (float64, error) {
 		cfg, err := schema.Config(candidate)
 		if err != nil {
@@ -102,7 +112,7 @@ func Refine(inst *core.Instance, seed space.Config, opt Options) (Result, error)
 		if err != nil {
 			return 0, err
 		}
-		return t.E(), nil
+		return obj.Value(t.E(), t.Joules()), nil
 	}
 	measure := func(candidate []int) (float64, error) {
 		if used >= budget {
@@ -211,11 +221,16 @@ func Refine(inst *core.Instance, seed space.Config, opt Options) (Result, error)
 // TuneAndRefine is the adaptive workload-aware pipeline: SAML proposes a
 // configuration from predictions (one real experiment), then Refine
 // spends the measurement budget improving it. The total experiment count
-// stays two orders of magnitude below enumeration.
+// stays two orders of magnitude below enumeration. When refineOpt leaves
+// Objective nil, refinement inherits the objective of the SAML search so
+// both stages minimize the same quantity.
 func TuneAndRefine(inst *core.Instance, samlOpt core.Options, refineOpt Options) (core.Result, Result, error) {
 	saml, err := core.Run(core.SAML, inst, samlOpt)
 	if err != nil {
 		return core.Result{}, Result{}, err
+	}
+	if refineOpt.Objective == nil {
+		refineOpt.Objective = samlOpt.Objective
 	}
 	refined, err := Refine(inst, saml.Config, refineOpt)
 	if err != nil {

@@ -24,7 +24,7 @@ func fixture(t *testing.T, g dna.Genome) *core.Instance {
 		t.Fatal(err)
 	}
 	w := offload.GenomeWorkload(g)
-	pred, err := core.NewPredictor(models, w)
+	pred, err := core.NewPredictor(models, w, platform.Model())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -244,13 +244,13 @@ func TestPredictorMemoizationAndValidation(t *testing.T) {
 	platform := offload.NewPlatform()
 	models := testModels(t, platform)
 	w := offload.GenomeWorkload(dna.Human)
-	if _, err := NewPredictor(nil, w); err == nil {
+	if _, err := NewPredictor(nil, w, platform.Model()); err == nil {
 		t.Error("nil models should fail")
 	}
-	if _, err := NewPredictor(models, offload.Workload{}); err == nil {
+	if _, err := NewPredictor(models, offload.Workload{}, platform.Model()); err == nil {
 		t.Error("invalid workload should fail")
 	}
-	p, err := NewPredictor(models, w)
+	p, err := NewPredictor(models, w, platform.Model())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func instance(t *testing.T, g dna.Genome) (*Instance, *offload.Platform) {
 	platform := offload.NewPlatform()
 	models := testModels(t, platform)
 	w := offload.GenomeWorkload(g)
-	pred, err := NewPredictor(models, w)
+	pred, err := NewPredictor(models, w, platform.Model())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,15 +24,18 @@ import (
 
 	"hetopt/internal/machine"
 	"hetopt/internal/offload"
+	"hetopt/internal/perf"
 	"hetopt/internal/search"
 	"hetopt/internal/space"
 )
 
-// Evaluator estimates the per-side execution times of a configuration.
-// Implementations: *Measurer (testbed measurements) and *Predictor
-// (machine-learning predictions).
+// Evaluator estimates the per-side execution times and energy of a
+// configuration. Implementations: *Measurer (testbed measurements) and
+// *Predictor (machine-learning predictions composed with the analytic
+// power model). Both sides of the measurement come from one evaluation,
+// so caches keyed on the configuration serve every objective.
 type Evaluator interface {
-	Evaluate(cfg space.Config) (offload.Times, error)
+	Evaluate(cfg space.Config) (offload.Measurement, error)
 }
 
 // Measurer evaluates configurations by (simulated) measurement and counts
@@ -58,9 +61,9 @@ func NewMeasurer(p *offload.Platform, w offload.Workload) *Measurer {
 }
 
 // Evaluate implements Evaluator by running one experiment.
-func (m *Measurer) Evaluate(cfg space.Config) (offload.Times, error) {
+func (m *Measurer) Evaluate(cfg space.Config) (offload.Measurement, error) {
 	m.count.Add(1)
-	return m.Platform.Measure(m.Workload, cfg, m.Trial)
+	return m.Platform.MeasureFull(m.Workload, cfg, m.Trial)
 }
 
 // Count returns the number of experiments performed so far.
@@ -122,9 +125,15 @@ func sideFeatures(threads int, aff machine.Affinity, sizeMB float64, order []mac
 // configurations built from only ~1,800 distinct per-side inputs. The
 // memo tables are concurrency-safe (single-flight), so one Predictor can
 // serve sharded enumeration and parallel annealing chains.
+//
+// The energy side of an evaluation is not learned: predicted times are
+// composed with the analytic power model (noise-free active/static power
+// per unit), following the paper's split between measured behaviour and
+// modeled structure.
 type Predictor struct {
 	models   *Models
 	workload offload.Workload
+	power    *perf.Model
 
 	hostMemo *search.Memo[sideKey, float64]
 	devMemo  *search.Memo[sideKey, float64]
@@ -136,10 +145,15 @@ type sideKey struct {
 	sizeMB  float64
 }
 
-// NewPredictor binds trained models to a workload.
-func NewPredictor(models *Models, w offload.Workload) (*Predictor, error) {
+// NewPredictor binds trained models to a workload. power is the analytic
+// model whose power constants price the predicted times into joules; use
+// the platform the models were trained on (Platform.Model()).
+func NewPredictor(models *Models, w offload.Workload, power *perf.Model) (*Predictor, error) {
 	if models == nil || models.Host == nil || models.Device == nil {
 		return nil, fmt.Errorf("core: predictor needs trained host and device models")
+	}
+	if power == nil {
+		return nil, fmt.Errorf("core: predictor needs a performance model for energy composition")
 	}
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -147,28 +161,30 @@ func NewPredictor(models *Models, w offload.Workload) (*Predictor, error) {
 	return &Predictor{
 		models:   models,
 		workload: w,
+		power:    power,
 		hostMemo: search.NewMemo[sideKey, float64](),
 		devMemo:  search.NewMemo[sideKey, float64](),
 	}, nil
 }
 
-// Evaluate implements Evaluator by predicting T_host and T_device.
-func (p *Predictor) Evaluate(cfg space.Config) (offload.Times, error) {
+// Evaluate implements Evaluator by predicting T_host and T_device and
+// pricing them into energy with the power model.
+func (p *Predictor) Evaluate(cfg space.Config) (offload.Measurement, error) {
 	if cfg.HostFraction < 0 || cfg.HostFraction > 100 {
-		return offload.Times{}, fmt.Errorf("core: host fraction %g outside [0,100]", cfg.HostFraction)
+		return offload.Measurement{}, fmt.Errorf("core: host fraction %g outside [0,100]", cfg.HostFraction)
 	}
 	hostMB := p.workload.SizeMB * cfg.HostFraction / 100
 	devMB := p.workload.SizeMB - hostMB
-	var t offload.Times
+	var m offload.Measurement
 	if hostMB > 0 {
 		key := sideKey{cfg.HostThreads, cfg.HostAffinity, hostMB}
 		v, err := p.hostMemo.Do(key, func() (float64, error) {
 			return p.models.PredictHost(cfg.HostThreads, cfg.HostAffinity, hostMB)
 		})
 		if err != nil {
-			return offload.Times{}, err
+			return offload.Measurement{}, err
 		}
-		t.Host = v
+		m.Times.Host = v
 	}
 	if devMB > 0 {
 		key := sideKey{cfg.DeviceThreads, cfg.DeviceAffinity, devMB}
@@ -176,9 +192,24 @@ func (p *Predictor) Evaluate(cfg space.Config) (offload.Times, error) {
 			return p.models.PredictDevice(cfg.DeviceThreads, cfg.DeviceAffinity, devMB)
 		})
 		if err != nil {
-			return offload.Times{}, err
+			return offload.Measurement{}, err
 		}
-		t.Device = v
+		m.Times.Device = v
 	}
-	return t, nil
+	makespan := m.Times.E()
+	if hostMB > 0 {
+		e, err := p.power.HostModeledEnergy(cfg.HostThreads, cfg.HostAffinity, m.Times.Host, makespan)
+		if err != nil {
+			return offload.Measurement{}, err
+		}
+		m.Energy.Host = e
+	}
+	if devMB > 0 {
+		e, err := p.power.DeviceModeledEnergy(cfg.DeviceThreads, cfg.DeviceAffinity, m.Times.Device, makespan)
+		if err != nil {
+			return offload.Measurement{}, err
+		}
+		m.Energy.Device = e
+	}
+	return m, nil
 }

@@ -16,9 +16,9 @@ type faultyEvaluator struct {
 	remaining int
 }
 
-func (f *faultyEvaluator) Evaluate(cfg space.Config) (offload.Times, error) {
+func (f *faultyEvaluator) Evaluate(cfg space.Config) (offload.Measurement, error) {
 	if f.remaining <= 0 {
-		return offload.Times{}, fmt.Errorf("injected evaluator failure")
+		return offload.Measurement{}, fmt.Errorf("injected evaluator failure")
 	}
 	f.remaining--
 	return f.inner.Evaluate(cfg)
@@ -34,7 +34,7 @@ func TestEnumerationPropagatesEvaluatorFailure(t *testing.T) {
 	// Wrap the real measurer through the enumerate helper directly: the
 	// injected failure must abort the run with the injected error.
 	faulty := &faultyEvaluator{inner: inst.Measurer, remaining: 7}
-	_, _, _, err := enumerate(inst.Schema, faulty, 1)
+	_, _, _, err := enumerate(inst.Schema, faulty, 1, TimeObjective{})
 	if err == nil {
 		t.Fatal("enumeration should propagate evaluator failure")
 	}

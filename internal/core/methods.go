@@ -123,6 +123,12 @@ type Options struct {
 	// one experiment. Zero or one reproduces the single-chain behavior
 	// exactly.
 	Restarts int
+	// Objective selects what the search minimizes: the paper's makespan
+	// (nil or TimeObjective), total joules (EnergyObjective), a weighted
+	// sum, or energy under a time bound. Every method evaluates a
+	// configuration once and scores times and energy from that single
+	// evaluation, so the determinism contract holds for every objective.
+	Objective Objective
 }
 
 // DefaultInitialTemp is the SA starting temperature for seconds-scale
@@ -149,6 +155,13 @@ func (o Options) restarts() int {
 	return o.Restarts
 }
 
+func (o Options) objective() Objective {
+	if o.Objective == nil {
+		return TimeObjective{}
+	}
+	return o.Objective
+}
+
 // Result reports a completed optimization run.
 type Result struct {
 	// Method that produced the result.
@@ -159,8 +172,15 @@ type Result struct {
 	// search used (measurements for EM/SAM, predictions for EML/SAML).
 	SearchE float64
 	// Measured holds the fair-comparison measurement of Config and
-	// MeasuredE its objective (Equation 2).
+	// MeasuredE its time objective (Equation 2).
 	Measured offload.Times
+	// MeasuredEnergy is the per-side energy of the fair-comparison
+	// measurement; MeasuredJ is its total.
+	MeasuredEnergy offload.Energy
+	// Objective names the objective the search minimized and
+	// MeasuredObjective is its value on the fair-comparison measurement.
+	Objective         string
+	MeasuredObjective float64
 	// SearchEvaluations counts evaluator calls during the search.
 	SearchEvaluations int
 	// Experiments counts physical measurements consumed, including the
@@ -168,8 +188,13 @@ type Result struct {
 	Experiments int
 }
 
-// MeasuredE is the measured objective of the suggested configuration.
+// MeasuredE is the measured time objective (makespan) of the suggested
+// configuration.
 func (r Result) MeasuredE() float64 { return r.Measured.E() }
+
+// MeasuredJ is the measured energy in joules of the suggested
+// configuration.
+func (r Result) MeasuredJ() float64 { return r.MeasuredEnergy.Total() }
 
 // Run executes one optimization method on the instance.
 func Run(m Method, inst *Instance, opt Options) (Result, error) {
@@ -190,9 +215,10 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 		evalSet = inst.Measurer
 	}
 
+	obj := opt.objective()
 	switch m {
 	case EM, EML:
-		best, bestE, evals, runErr = enumerate(inst.Schema, evalSet, opt.Parallelism)
+		best, bestE, evals, runErr = enumerate(inst.Schema, evalSet, opt.Parallelism, obj)
 	case SAM, SAML:
 		best, bestE, evals, runErr = annealSearch(inst.Schema, evalSet, opt)
 	default:
@@ -213,7 +239,10 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 		Method:            m,
 		Config:            best,
 		SearchE:           bestE,
-		Measured:          measured,
+		Measured:          measured.Times,
+		MeasuredEnergy:    measured.Energy,
+		Objective:         obj.Name(),
+		MeasuredObjective: objectiveValue(obj, measured),
 		SearchEvaluations: evals,
 		Experiments:       inst.Measurer.Count() - startCount,
 	}, nil
@@ -222,9 +251,9 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 // enumerate is exhaustive search (the paper's "enumeration, also known as
 // brute-force"). parallelism > 1 shards the space into contiguous ordinal
 // ranges evaluated concurrently; every configuration is distinct, so the
-// winner — the lowest energy at the lowest ordinal — is identical to the
-// sequential scan at any worker count.
-func enumerate(schema *space.Schema, eval Evaluator, parallelism int) (space.Config, float64, int, error) {
+// winner — the lowest objective value at the lowest ordinal — is
+// identical to the sequential scan at any worker count.
+func enumerate(schema *space.Schema, eval Evaluator, parallelism int, obj Objective) (space.Config, float64, int, error) {
 	size := schema.Space().Size()
 	workers := search.Workers(parallelism)
 	if workers > size {
@@ -247,7 +276,7 @@ func enumerate(schema *space.Schema, eval Evaluator, parallelism int) (space.Con
 				return err
 			}
 			sb.evals++
-			if e := t.E(); e < sb.e {
+			if e := objectiveValue(obj, t); e < sb.e {
 				sb.e = e
 				sb.ord = ord
 			}
@@ -293,6 +322,7 @@ type saProblem struct {
 	schema *space.Schema
 	eval   Evaluator
 	mode   space.NeighborMode
+	obj    Objective
 	evals  int
 	err    error
 }
@@ -322,7 +352,7 @@ func (p *saProblem) Energy(idx []int) float64 {
 		return math.Inf(1)
 	}
 	p.evals++
-	return t.E()
+	return objectiveValue(p.obj, t)
 }
 
 // annealSearch runs the paper's SA (Figure 3) with the cooling rate tuned
@@ -345,7 +375,7 @@ func annealSearch(schema *space.Schema, eval Evaluator, opt Options) (space.Conf
 	}
 	chains := opt.restarts()
 	if chains == 1 {
-		p := &saProblem{schema: schema, eval: eval, mode: opt.NeighborMode}
+		p := &saProblem{schema: schema, eval: eval, mode: opt.NeighborMode, obj: opt.objective()}
 		res, err := anneal.Minimize(p, annealOpt)
 		if err != nil {
 			return space.Config{}, 0, 0, err
@@ -363,7 +393,7 @@ func annealSearch(schema *space.Schema, eval Evaluator, opt Options) (space.Conf
 	shared := search.NewCache(eval)
 	problems := make([]*saProblem, chains)
 	res, err := anneal.MinimizeMulti(func(chain int) anneal.Problem {
-		problems[chain] = &saProblem{schema: schema, eval: shared, mode: opt.NeighborMode}
+		problems[chain] = &saProblem{schema: schema, eval: shared, mode: opt.NeighborMode, obj: opt.objective()}
 		return problems[chain]
 	}, anneal.MultiOptions{
 		Options:     annealOpt,
@@ -397,7 +427,7 @@ func HostOnlyBaseline(inst *Instance) (Result, error) {
 	threads := maxInt(inst.Schema.HostThreadValues())
 	bestE := math.Inf(1)
 	var best space.Config
-	var bestT offload.Times
+	var bestT offload.Measurement
 	for _, aff := range inst.Schema.HostAffinityValues() {
 		cfg := space.Config{
 			HostThreads: threads, HostAffinity: aff,
@@ -413,7 +443,9 @@ func HostOnlyBaseline(inst *Instance) (Result, error) {
 			bestE, best, bestT = t.E(), cfg, t
 		}
 	}
-	return Result{Method: EM, Config: best, SearchE: bestE, Measured: bestT,
+	return Result{Method: EM, Config: best, SearchE: bestE,
+		Measured: bestT.Times, MeasuredEnergy: bestT.Energy,
+		Objective: TimeObjective{}.Name(), MeasuredObjective: bestE,
 		SearchEvaluations: len(inst.Schema.HostAffinityValues()),
 		Experiments:       len(inst.Schema.HostAffinityValues())}, nil
 }
@@ -427,7 +459,7 @@ func DeviceOnlyBaseline(inst *Instance) (Result, error) {
 	threads := maxInt(inst.Schema.DeviceThreadValues())
 	bestE := math.Inf(1)
 	var best space.Config
-	var bestT offload.Times
+	var bestT offload.Measurement
 	for _, aff := range inst.Schema.DeviceAffinityValues() {
 		cfg := space.Config{
 			HostThreads:   maxInt(inst.Schema.HostThreadValues()),
@@ -443,7 +475,9 @@ func DeviceOnlyBaseline(inst *Instance) (Result, error) {
 			bestE, best, bestT = t.E(), cfg, t
 		}
 	}
-	return Result{Method: EM, Config: best, SearchE: bestE, Measured: bestT,
+	return Result{Method: EM, Config: best, SearchE: bestE,
+		Measured: bestT.Times, MeasuredEnergy: bestT.Energy,
+		Objective: TimeObjective{}.Name(), MeasuredObjective: bestE,
 		SearchEvaluations: len(inst.Schema.DeviceAffinityValues()),
 		Experiments:       len(inst.Schema.DeviceAffinityValues())}, nil
 }

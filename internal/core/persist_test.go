@@ -76,7 +76,7 @@ func TestLoadedModelsDriveOptimization(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := offload.GenomeWorkload(dna.Cat)
-	pred, err := NewPredictor(loaded, w)
+	pred, err := NewPredictor(loaded, w, platform.Model())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -108,7 +108,7 @@ func (s *Suite) AblationRegressors(g dna.Genome) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		pred, err := core.NewPredictor(models, w)
+		pred, err := core.NewPredictor(models, w, s.Platform.Model())
 		if err != nil {
 			return "", err
 		}

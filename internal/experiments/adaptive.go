@@ -105,7 +105,7 @@ func (s *Suite) ExtSizeSweep(g dna.Genome, sizesMB []float64) ([]SizeSweepRow, e
 	var rows []SizeSweepRow
 	for _, size := range sizesMB {
 		w := offload.GenomeWorkload(g).Scaled(size)
-		pred, err := core.NewPredictor(models, w)
+		pred, err := core.NewPredictor(models, w, s.Platform.Model())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetopt/internal/dna"
+)
+
+func TestBiObjective(t *testing.T) {
+	s := NewSuite()
+	s.Parallelism = 4
+	rows, err := s.BiObjective(dna.Human, 0.5, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (time, energy, weighted, bounded)", len(rows))
+	}
+	ref := rows[0]
+	if ref.Objective != "time" {
+		t.Fatalf("first row must be the time-optimal reference, got %q", ref.Objective)
+	}
+	var energy, weighted, bounded *BiObjectiveRow
+	for i := range rows[1:] {
+		r := &rows[1+i]
+		switch {
+		case r.Objective == "energy":
+			energy = r
+		case strings.HasPrefix(r.Objective, "weighted"):
+			weighted = r
+		case strings.HasPrefix(r.Objective, "bounded"):
+			bounded = r
+		}
+	}
+	if energy == nil || weighted == nil || bounded == nil {
+		t.Fatalf("missing objectives in rows: %+v", rows)
+	}
+	// The acceptance shape of the bi-objective extension: the energy- and
+	// weighted-optimal distributions differ from the time-optimal one and
+	// consume less energy.
+	if energy.Config == ref.Config || weighted.Config == ref.Config {
+		t.Fatalf("energy/weighted optima must differ from the time optimum %v", ref.Config)
+	}
+	if energy.EnergyJ >= ref.EnergyJ {
+		t.Fatalf("energy optimum %g J not below time optimum %g J", energy.EnergyJ, ref.EnergyJ)
+	}
+	if bounded.TimeSec > 1.1*ref.TimeSec {
+		t.Fatalf("bounded row %g s violates the 10%% slack over %g s", bounded.TimeSec, ref.TimeSec)
+	}
+
+	text := RenderBiObjective(rows, dna.Human)
+	for _, want := range []string{"Bi-objective", "time", "energy", "weighted", "bounded", "dT vs time-opt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -14,11 +14,14 @@ import (
 )
 
 // MultiDeviceResult is one row of the multi-accelerator extension: the
-// tuned execution time on a platform with n Phi cards.
+// tuned execution time on a platform with n Phi cards. Distribution is
+// the platform-rendered configuration (device entries labeled with
+// their names).
 type MultiDeviceResult struct {
-	Devices int
-	Config  multi.Config
-	E       float64
+	Devices      int
+	Config       multi.Config
+	Distribution string
+	E            float64
 }
 
 // ExtMultiDevice tunes the workload on platforms with 1..maxDevices Phi
@@ -53,7 +56,12 @@ func (s *Suite) ExtMultiDevice(g dna.Genome, maxDevices, iterations int) ([]Mult
 				best, bestE = res, res.Times.E()
 			}
 		}
-		out = append(out, MultiDeviceResult{Devices: n, Config: best.Config, E: bestE})
+		out = append(out, MultiDeviceResult{
+			Devices:      n,
+			Config:       best.Config,
+			Distribution: problem.Platform.FormatConfig(best.Config),
+			E:            bestE,
+		})
 	}
 	return out, nil
 }
@@ -67,7 +75,11 @@ func RenderMultiDevice(rows []MultiDeviceResult, g dna.Genome) string {
 	}
 	base := rows[0].E
 	for _, r := range rows {
-		tb.AddRow(fmt.Sprint(r.Devices), tables.F(r.E, 4), tables.F(base/r.E, 2), r.Config.String())
+		dist := r.Distribution
+		if dist == "" {
+			dist = r.Config.String()
+		}
+		tb.AddRow(fmt.Sprint(r.Devices), tables.F(r.E, 4), tables.F(base/r.E, 2), dist)
 	}
 	return tb.String()
 }

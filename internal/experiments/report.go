@@ -12,7 +12,8 @@ func dnaHuman() dna.Genome { return dna.Human }
 
 // RunAll regenerates every paper artifact and writes the full report to
 // w: Tables I-IX and Figures 2, 5-9, followed by the Result 1-5
-// summaries and (when ablate is true) the ablation studies.
+// summaries, the bi-objective time/energy comparison, and (when ablate
+// is true) the ablation studies.
 func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 	section := func(text string) error {
 		_, err := io.WriteString(w, text+"\n")
@@ -138,6 +139,14 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		r3.SAMLIterations, r3.Fraction, r3.EMExperiments, r3.AvgPercentDiff,
 		t8.MaxSpeedup(1000), t9.MaxSpeedup(1000),
 	)); err != nil {
+		return err
+	}
+
+	bi, err := s.BiObjective(dnaHuman(), 0.5, 0.10)
+	if err != nil {
+		return err
+	}
+	if err := section(RenderBiObjective(bi, dnaHuman())); err != nil {
 		return err
 	}
 

@@ -79,7 +79,7 @@ func (s *Suite) instance(g dna.Genome) (*core.Instance, error) {
 		return nil, err
 	}
 	w := offload.GenomeWorkload(g)
-	pred, err := core.NewPredictor(models, w)
+	pred, err := core.NewPredictor(models, w, s.Platform.Model())
 	if err != nil {
 		return nil, err
 	}

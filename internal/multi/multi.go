@@ -4,9 +4,10 @@
 // Tianhe-2 nodes carry three Phis), and the configuration-space
 // formulation (Equation 1) already generalizes: this package adds the
 // multi-device workload split — a fraction vector over host + K devices
-// summing to 100% — the generalized objective E = max over all
-// processing units, and a simulated-annealing tuner over the extended
-// space.
+// summing to 100% — the generalized objectives (time = max over all
+// processing units, energy = joules summed over engaged units, plus the
+// weighted and time-bounded trade-offs from internal/core), and a
+// simulated-annealing tuner over the extended space.
 package multi
 
 import (
@@ -14,8 +15,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"hetopt/internal/anneal"
+	"hetopt/internal/core"
 	"hetopt/internal/machine"
 	"hetopt/internal/offload"
 	"hetopt/internal/perf"
@@ -92,7 +95,10 @@ type Config struct {
 	Devices []Assignment
 }
 
-// Validate checks the fraction simplex and unit counts.
+// Validate checks the fraction simplex and unit counts. The simplex
+// tolerance scales with the number of units: each fraction derived from
+// float arithmetic (e.g. thirds) contributes its own rounding error, so a
+// fixed epsilon would start rejecting valid configurations as K grows.
 func (c Config) Validate(numDevices int) error {
 	if len(c.Devices) != numDevices {
 		return fmt.Errorf("multi: config has %d device assignments for %d devices", len(c.Devices), numDevices)
@@ -107,14 +113,17 @@ func (c Config) Validate(numDevices int) error {
 		}
 		total += d.FractionPct
 	}
-	if math.Abs(total-100) > 1e-9 {
+	tol := 1e-9 * float64(1+len(c.Devices))
+	if math.Abs(total-100) > tol {
 		return fmt.Errorf("multi: fractions sum to %g, want 100", total)
 	}
 	return nil
 }
 
-// String renders the distribution, e.g. "host 40% (48T,scatter) | phi0
-// 30% (240T,balanced) | phi1 30% (240T,balanced)".
+// String renders the distribution without device names (a bare Config
+// does not know which platform it belongs to), e.g.
+// "host 40% (48T,scatter) | 30% (240T,balanced) | 30% (240T,balanced)".
+// Use Platform.FormatConfig to label each device entry with its name.
 func (c Config) String() string {
 	s := fmt.Sprintf("host %g%% (%dT,%s)", c.Host.FractionPct, c.Host.Threads, c.Host.Affinity)
 	for _, d := range c.Devices {
@@ -123,13 +132,32 @@ func (c Config) String() string {
 	return s
 }
 
+// FormatConfig renders the distribution with each device entry labeled
+// by its platform name, e.g. "host 40% (48T,scatter) | phi0 30%
+// (240T,balanced) | phi1 30% (240T,balanced)". Extra device entries
+// beyond the platform's count keep an index-based label rather than
+// panicking.
+func (p *Platform) FormatConfig(c Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "host %g%% (%dT,%s)", c.Host.FractionPct, c.Host.Threads, c.Host.Affinity)
+	for i, d := range c.Devices {
+		name := fmt.Sprintf("dev%d", i)
+		if i < len(p.names) {
+			name = p.names[i]
+		}
+		fmt.Fprintf(&sb, " | %s %g%% (%dT,%s)", name, d.FractionPct, d.Threads, d.Affinity)
+	}
+	return sb.String()
+}
+
 // Times holds per-unit execution times.
 type Times struct {
 	Host    float64
 	Devices []float64
 }
 
-// E is the generalized objective: the maximum over all processing units.
+// E is the generalized time objective: the maximum over all processing
+// units.
 func (t Times) E() float64 {
 	e := t.Host
 	for _, d := range t.Devices {
@@ -140,40 +168,101 @@ func (t Times) E() float64 {
 	return e
 }
 
-// Measure evaluates a configuration on the platform.
+// Energy holds per-unit energy in joules; units with no work are
+// disengaged and consume nothing.
+type Energy struct {
+	Host    float64
+	Devices []float64
+}
+
+// Total is the generalized energy objective: joules summed over all
+// engaged processing units.
+func (e Energy) Total() float64 {
+	total := e.Host
+	for _, d := range e.Devices {
+		total += d
+	}
+	return total
+}
+
+// Measurement is one evaluated configuration: per-unit times and
+// energies from a single experiment, so any objective can be scored from
+// one cached evaluation.
+type Measurement struct {
+	Times  Times
+	Energy Energy
+}
+
+// E is the time objective of the measurement.
+func (m Measurement) E() float64 { return m.Times.E() }
+
+// Joules is the energy objective of the measurement.
+func (m Measurement) Joules() float64 { return m.Energy.Total() }
+
+// Measure evaluates a configuration on the platform and reports per-unit
+// times.
 func (p *Platform) Measure(w offload.Workload, cfg Config, trial int) (Times, error) {
+	m, err := p.MeasureFull(w, cfg, trial)
+	return m.Times, err
+}
+
+// MeasureFull evaluates a configuration and reports both per-unit times
+// and per-unit energy. Each engaged unit draws active power while its
+// share runs and static power while waiting for the slowest unit.
+func (p *Platform) MeasureFull(w offload.Workload, cfg Config, trial int) (Measurement, error) {
 	if err := w.Validate(); err != nil {
-		return Times{}, err
+		return Measurement{}, err
 	}
 	if err := cfg.Validate(p.NumDevices()); err != nil {
-		return Times{}, err
+		return Measurement{}, err
 	}
 	traits := perf.Traits{Name: w.Name, Complexity: w.Complexity}
-	out := Times{Devices: make([]float64, p.NumDevices())}
-	if cfg.Host.FractionPct > 0 {
-		t, err := p.host.HostTime(perf.Assignment{
-			SizeMB:   w.SizeMB * cfg.Host.FractionPct / 100,
-			Threads:  cfg.Host.Threads,
-			Affinity: cfg.Host.Affinity,
-		}, traits, trial)
-		if err != nil {
-			return Times{}, err
-		}
-		out.Host = t
+	hostA := perf.Assignment{
+		SizeMB:   w.SizeMB * cfg.Host.FractionPct / 100,
+		Threads:  cfg.Host.Threads,
+		Affinity: cfg.Host.Affinity,
 	}
-	for i, d := range cfg.Devices {
-		if d.FractionPct == 0 {
-			continue
+	out := Measurement{
+		Times:  Times{Devices: make([]float64, p.NumDevices())},
+		Energy: Energy{Devices: make([]float64, p.NumDevices())},
+	}
+	if cfg.Host.FractionPct > 0 {
+		t, err := p.host.HostTime(hostA, traits, trial)
+		if err != nil {
+			return Measurement{}, err
 		}
-		t, err := p.devices[i].DeviceTime(perf.Assignment{
+		out.Times.Host = t
+	}
+	devA := make([]perf.Assignment, len(cfg.Devices))
+	devTraits := make([]perf.Traits, len(cfg.Devices))
+	for i, d := range cfg.Devices {
+		devA[i] = perf.Assignment{
 			SizeMB:   w.SizeMB * d.FractionPct / 100,
 			Threads:  d.Threads,
 			Affinity: d.Affinity,
-		}, perf.Traits{Name: w.Name + ":" + p.names[i], Complexity: w.Complexity}, trial)
-		if err != nil {
-			return Times{}, err
 		}
-		out.Devices[i] = t
+		devTraits[i] = perf.Traits{Name: w.Name + ":" + p.names[i], Complexity: w.Complexity}
+		if d.FractionPct == 0 {
+			continue
+		}
+		t, err := p.devices[i].DeviceTime(devA[i], devTraits[i], trial)
+		if err != nil {
+			return Measurement{}, err
+		}
+		out.Times.Devices[i] = t
+	}
+	makespan := out.Times.E()
+	e, err := p.host.HostEnergy(hostA, traits, trial, out.Times.Host, makespan)
+	if err != nil {
+		return Measurement{}, err
+	}
+	out.Energy.Host = e
+	for i := range cfg.Devices {
+		e, err := p.devices[i].DeviceEnergy(devA[i], devTraits[i], trial, out.Times.Devices[i], makespan)
+		if err != nil {
+			return Measurement{}, err
+		}
+		out.Energy.Devices[i] = e
 	}
 	return out, nil
 }
@@ -199,9 +288,14 @@ type Problem struct {
 	FractionUnits int
 	// Trial selects the measurement noise draw.
 	Trial int
+	// Objective selects what tuning minimizes: nil or core.TimeObjective
+	// is the generalized makespan (max over units), core.EnergyObjective
+	// the total joules over engaged units, and the weighted/bounded
+	// objectives trade the two.
+	Objective core.Objective
 
 	err  error
-	memo *search.Memo[string, Times]
+	memo *search.Memo[string, Measurement]
 }
 
 // clone returns a per-chain copy of the problem: value sets and platform
@@ -341,8 +435,18 @@ func (p *Problem) Decode(state []int) (Config, error) {
 	return cfg, nil
 }
 
+// objective returns the problem's objective, defaulting to the
+// generalized makespan.
+func (p *Problem) objective() core.Objective {
+	if p.Objective == nil {
+		return core.TimeObjective{}
+	}
+	return p.Objective
+}
+
 // Energy implements anneal.Problem by measuring the decoded
-// configuration (through the shared memo when chains run in parallel).
+// configuration (through the shared memo when chains run in parallel)
+// and scoring it under the problem's objective.
 func (p *Problem) Energy(state []int) float64 {
 	if p.err != nil {
 		return math.Inf(1)
@@ -352,19 +456,21 @@ func (p *Problem) Energy(state []int) float64 {
 		p.err = err
 		return math.Inf(1)
 	}
-	return t.E()
+	return p.objective().Value(t.E(), t.Joules())
 }
 
 // measureState decodes and measures a state, deduplicating through the
-// shared memo when one is installed. Measurement is a pure function of
+// shared memo when one is installed. The memo is keyed on the state
+// alone and stores the full measurement (times and energy), so one
+// evaluation serves every objective; measurement is a pure function of
 // the state and trial, so memoization never changes a value.
-func (p *Problem) measureState(state []int) (Times, error) {
-	measure := func() (Times, error) {
+func (p *Problem) measureState(state []int) (Measurement, error) {
+	measure := func() (Measurement, error) {
 		cfg, err := p.Decode(state)
 		if err != nil {
-			return Times{}, err
+			return Measurement{}, err
 		}
-		return p.Platform.Measure(p.Workload, cfg, p.Trial)
+		return p.Platform.MeasureFull(p.Workload, cfg, p.Trial)
 	}
 	if p.memo == nil {
 		return measure()
@@ -376,6 +482,12 @@ func (p *Problem) measureState(state []int) (Times, error) {
 type Result struct {
 	Config Config
 	Times  Times
+	// Energy is the per-unit energy of the final measurement.
+	Energy Energy
+	// Objective names the objective tuning minimized and ObjectiveValue
+	// is its value on the final measurement.
+	Objective      string
+	ObjectiveValue float64
 	// Iterations actually performed (summed over chains when several ran).
 	Iterations int
 	// Chain is the index of the winning annealing chain (0 for
@@ -421,9 +533,9 @@ func TuneParallel(p *Problem, opt TuneOptions) (Result, error) {
 		chains = 1
 	}
 	problems := make([]*Problem, chains)
-	var memo *search.Memo[string, Times]
+	var memo *search.Memo[string, Measurement]
 	if chains > 1 {
-		memo = search.NewMemo[string, Times]()
+		memo = search.NewMemo[string, Measurement]()
 	}
 	res, err := anneal.MinimizeMulti(func(chain int) anneal.Problem {
 		c := p.clone()
@@ -452,11 +564,20 @@ func TuneParallel(p *Problem, opt TuneOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	times, err := p.Platform.Measure(p.Workload, cfg, p.Trial)
+	meas, err := p.Platform.MeasureFull(p.Workload, cfg, p.Trial)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Config: cfg, Times: times, Iterations: res.TotalIterations(), Chain: res.Chain}, nil
+	obj := p.objective()
+	return Result{
+		Config:         cfg,
+		Times:          meas.Times,
+		Energy:         meas.Energy,
+		Objective:      obj.Name(),
+		ObjectiveValue: obj.Value(meas.E(), meas.Joules()),
+		Iterations:     res.TotalIterations(),
+		Chain:          res.Chain,
+	}, nil
 }
 
 // PaperProblem builds the multi-device tuning problem over the paper's

@@ -1,0 +1,122 @@
+package offload
+
+import (
+	"testing"
+
+	"hetopt/internal/machine"
+	"hetopt/internal/space"
+)
+
+func TestEnergyTotal(t *testing.T) {
+	if got := (Energy{Host: 10, Device: 5}).Total(); got != 15 {
+		t.Errorf("total = %g, want 15", got)
+	}
+	m := Measurement{Times: Times{Host: 2, Device: 3}, Energy: Energy{Host: 10, Device: 5}}
+	if m.E() != 3 || m.Joules() != 15 {
+		t.Errorf("measurement accessors = %g/%g, want 3/15", m.E(), m.Joules())
+	}
+}
+
+func TestMeasureFullComposesTimesAndEnergy(t *testing.T) {
+	p := NewPlatform()
+	w := Workload{Name: "human", SizeMB: 2000}
+	cfg := space.Config{
+		HostThreads: 48, HostAffinity: machine.AffinityScatter,
+		DeviceThreads: 240, DeviceAffinity: machine.AffinityBalanced,
+		HostFraction: 60,
+	}
+	full, err := p.MeasureFull(w, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The times side must be identical to the times-only path: one
+	// evaluation serves both objectives.
+	times, err := p.Measure(w, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Times != times {
+		t.Fatalf("MeasureFull times %+v differ from Measure %+v", full.Times, times)
+	}
+	if full.Energy.Host <= 0 || full.Energy.Device <= 0 {
+		t.Fatalf("both engaged sides must consume energy, got %+v", full.Energy)
+	}
+	// Determinism: equal trial reproduces the identical measurement.
+	again, err := p.MeasureFull(w, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != full {
+		t.Fatal("repeated measurement with equal trial diverged")
+	}
+	other, err := p.MeasureFull(w, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == full {
+		t.Fatal("different trials should observe different noise")
+	}
+}
+
+func TestMeasureFullDisengagedSides(t *testing.T) {
+	p := NewPlatform()
+	w := Workload{Name: "human", SizeMB: 2000}
+	hostOnly := space.Config{
+		HostThreads: 48, HostAffinity: machine.AffinityScatter,
+		DeviceThreads: 240, DeviceAffinity: machine.AffinityBalanced,
+		HostFraction: 100,
+	}
+	m, err := p.MeasureFull(w, hostOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Energy.Device != 0 {
+		t.Errorf("device received no work but consumed %g J", m.Energy.Device)
+	}
+	if m.Energy.Host <= 0 {
+		t.Error("host-only run must consume host energy")
+	}
+	devOnly := hostOnly
+	devOnly.HostFraction = 0
+	m, err = p.MeasureFull(w, devOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Energy.Host != 0 {
+		t.Errorf("host received no work but consumed %g J", m.Energy.Host)
+	}
+	if m.Energy.Device <= 0 {
+		t.Error("device-only run must consume device energy")
+	}
+}
+
+// TestEngagedIdleEnergy checks the accounting of waiting: an unbalanced
+// split keeps the faster side engaged (drawing static power) until the
+// slower side finishes, so its energy must exceed active-only pricing.
+func TestEngagedIdleEnergy(t *testing.T) {
+	p := NewPlatform()
+	w := Workload{Name: "human", SizeMB: 3000}
+	// 10/90: the device dominates the makespan, the host idles engaged.
+	cfg := space.Config{
+		HostThreads: 48, HostAffinity: machine.AffinityScatter,
+		DeviceThreads: 240, DeviceAffinity: machine.AffinityBalanced,
+		HostFraction: 10,
+	}
+	m, err := p.MeasureFull(w, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Times.Device <= m.Times.Host {
+		t.Skip("unexpected balance; idle-accounting scenario not reached")
+	}
+	activeOnly, err := p.Model().HostActivePowerW(cfg.HostThreads, cfg.HostAffinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host energy must exceed what its busy period alone can explain
+	// (noise is a few percent; the idle tail is a large multiple here).
+	if m.Energy.Host <= activeOnly*m.Times.Host*1.1 {
+		t.Errorf("host energy %g J does not account for engaged idling (busy share %g J)",
+			m.Energy.Host, activeOnly*m.Times.Host)
+	}
+}

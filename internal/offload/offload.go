@@ -2,7 +2,8 @@
 // reproduction: it takes a system configuration (space.Config), splits a
 // divisible workload between the host CPUs and the accelerator according
 // to the configured fraction, and reports per-side execution times with
-// the paper's objective E = max(T_host, T_device) (Equation 2). The
+// the paper's objective E = max(T_host, T_device) (Equation 2) together
+// with per-side energy from the calibrated power model (MeasureFull). The
 // offloaded share runs concurrently with the host share, mirroring the
 // paper's use of the Intel offload programming model with overlapped
 // host/device execution.
@@ -42,6 +43,34 @@ type Times struct {
 func (t Times) E() float64 {
 	return math.Max(t.Host, t.Device)
 }
+
+// Energy holds the per-side energy consumption of one run, in joules.
+// A side that received no work is disengaged and consumes nothing; an
+// engaged side draws static power for the whole run (it cannot sleep
+// while the other side still computes) plus dynamic power while busy.
+type Energy struct {
+	Host, Device float64
+}
+
+// Total is the energy objective: joules consumed across all engaged
+// processing units.
+func (e Energy) Total() float64 {
+	return e.Host + e.Device
+}
+
+// Measurement is the complete outcome of evaluating one configuration:
+// per-side times and per-side energy, composed from a single experiment
+// so that caching by configuration remains exact for every objective.
+type Measurement struct {
+	Times  Times
+	Energy Energy
+}
+
+// E is the time objective, max(T_host, T_device).
+func (m Measurement) E() float64 { return m.Times.E() }
+
+// Joules is the energy objective, the total across engaged units.
+func (m Measurement) Joules() float64 { return m.Energy.Total() }
 
 // Workload identifies a divisible input.
 type Workload struct {
@@ -121,35 +150,49 @@ func split(w Workload, cfg space.Config) (hostMB, devMB float64, err error) {
 // measurements with equal trial reproduce identical values (a stable
 // testbed), different trials model re-runs.
 func (p *Platform) Measure(w Workload, cfg space.Config, trial int) (Times, error) {
+	m, err := p.MeasureFull(w, cfg, trial)
+	return m.Times, err
+}
+
+// MeasureFull is Measure extended with the energy dimension: one
+// experiment yields both the per-side times and the per-side energy, so
+// every objective can be scored from a single cached evaluation. Energy
+// accounting: each engaged unit draws its active power while its share
+// runs and its static power while it waits for the other side to finish
+// (the makespan); a unit with no work consumes nothing.
+func (p *Platform) MeasureFull(w Workload, cfg space.Config, trial int) (Measurement, error) {
 	if err := w.Validate(); err != nil {
-		return Times{}, err
+		return Measurement{}, err
 	}
 	hostMB, devMB, err := split(w, cfg)
 	if err != nil {
-		return Times{}, err
+		return Measurement{}, err
 	}
-	var t Times
+	hostA := perf.Assignment{SizeMB: hostMB, Threads: cfg.HostThreads, Affinity: cfg.HostAffinity}
+	devA := perf.Assignment{SizeMB: devMB, Threads: cfg.DeviceThreads, Affinity: cfg.DeviceAffinity}
+	var m Measurement
 	if hostMB > 0 {
-		t.Host, err = p.model.HostTime(perf.Assignment{
-			SizeMB:   hostMB,
-			Threads:  cfg.HostThreads,
-			Affinity: cfg.HostAffinity,
-		}, w.traits(), trial)
+		m.Times.Host, err = p.model.HostTime(hostA, w.traits(), trial)
 		if err != nil {
-			return Times{}, err
+			return Measurement{}, err
 		}
 	}
 	if devMB > 0 {
-		t.Device, err = p.model.DeviceTime(perf.Assignment{
-			SizeMB:   devMB,
-			Threads:  cfg.DeviceThreads,
-			Affinity: cfg.DeviceAffinity,
-		}, w.traits(), trial)
+		m.Times.Device, err = p.model.DeviceTime(devA, w.traits(), trial)
 		if err != nil {
-			return Times{}, err
+			return Measurement{}, err
 		}
 	}
-	return t, nil
+	makespan := m.Times.E()
+	m.Energy.Host, err = p.model.HostEnergy(hostA, w.traits(), trial, m.Times.Host, makespan)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m.Energy.Device, err = p.model.DeviceEnergy(devA, w.traits(), trial, m.Times.Device, makespan)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return m, nil
 }
 
 // ExecutionReport combines real matching results with modeled times.

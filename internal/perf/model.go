@@ -128,6 +128,21 @@ type Calibration struct {
 	NoiseStdHost, NoiseStdDevice float64
 	NoiseNoneFactor              float64
 	NoiseSeed                    uint64
+
+	// Power model (see power.go). A unit that receives work draws
+	// IdleW for the whole run plus a dynamic increment while busy:
+	//
+	//	P_dyn = CoreActiveW * coresUsed + ThreadActiveW * threads
+	//
+	// scaled by HostNonePowerFactor when the OS schedules host threads
+	// freely (migrations waste dynamic power). A unit with no work is
+	// considered disengaged (powered down) and consumes nothing.
+	HostIdleW, HostCoreActiveW, HostThreadActiveW       float64
+	DeviceIdleW, DeviceCoreActiveW, DeviceThreadActiveW float64
+	HostNonePowerFactor                                 float64
+	// NoiseStdHostPower and NoiseStdDevicePower are the relative standard
+	// deviations of energy-measurement noise, keyed like timing noise.
+	NoiseStdHostPower, NoiseStdDevicePower float64
 }
 
 // DefaultCalibration returns the constants used for the reproduction.
@@ -163,6 +178,21 @@ func DefaultCalibration() Calibration {
 		NoiseStdDevice:  0.022,
 		NoiseNoneFactor: 1.5,
 		NoiseSeed:       0x9E3779B97F4A7C15,
+
+		// Power: the host peaks near 193 W (2x 115 W TDP packages derated
+		// to sustained draw), the Phi near 299 W (300 W TDP card). The
+		// host delivers ~1.5x more throughput per watt, which is what
+		// makes the time/energy trade-off non-trivial.
+		HostIdleW:           75,
+		HostCoreActiveW:     4.2,
+		HostThreadActiveW:   0.35,
+		DeviceIdleW:         105,
+		DeviceCoreActiveW:   2.6,
+		DeviceThreadActiveW: 0.16,
+		HostNonePowerFactor: 1.05,
+
+		NoiseStdHostPower:   0.015,
+		NoiseStdDevicePower: 0.012,
 	}
 }
 

@@ -1,0 +1,102 @@
+package perf
+
+import "hetopt/internal/machine"
+
+// This file is the power/energy side of the analytic model, the substrate
+// of the bi-objective extension (see DESIGN.md, "Objectives and the energy
+// model"). Each processing unit that receives work draws its static power
+// for the whole heterogeneous run (it is engaged and cannot sleep while
+// the other side still computes) plus a placement-aware dynamic increment
+// while its own share is executing:
+//
+//	P_active = IdleW + CoreActiveW * coresUsed + ThreadActiveW * threads
+//
+// A unit with no work assigned is disengaged and consumes nothing, which
+// models powering the card down (or never reserving it). Energy
+// measurements carry the same deterministic, configuration-keyed noise
+// discipline as timing measurements: re-measuring a configuration with
+// the same trial reproduces the identical joule value.
+
+// HostActivePowerW returns the modeled host power draw in watts while the
+// host share executes with the given thread count and affinity. The value
+// is deterministic (no measurement noise); it is what the predictor path
+// composes with predicted times.
+func (m *Model) HostActivePowerW(threads int, aff machine.Affinity) (float64, error) {
+	pl, err := machine.Place(m.Host, threads, aff)
+	if err != nil {
+		return 0, err
+	}
+	dyn := m.Cal.HostCoreActiveW*float64(pl.CoresUsed) + m.Cal.HostThreadActiveW*float64(threads)
+	if aff == machine.AffinityNone && m.Cal.HostNonePowerFactor > 0 {
+		dyn *= m.Cal.HostNonePowerFactor
+	}
+	return m.Cal.HostIdleW + dyn, nil
+}
+
+// DeviceActivePowerW returns the modeled device power draw in watts while
+// the device share executes.
+func (m *Model) DeviceActivePowerW(threads int, aff machine.Affinity) (float64, error) {
+	pl, err := machine.Place(m.Device, threads, aff)
+	if err != nil {
+		return 0, err
+	}
+	dyn := m.Cal.DeviceCoreActiveW*float64(pl.CoresUsed) + m.Cal.DeviceThreadActiveW*float64(threads)
+	return m.Cal.DeviceIdleW + dyn, nil
+}
+
+// HostModeledEnergy returns the noise-free analytic joules an engaged
+// host consumes when its share keeps it busy for busySec of a
+// makespanSec-long run: active power while busy, static power for the
+// rest. It is the shared pricing core of both the measurement path
+// (HostEnergy, which adds noise) and the prediction path (the Predictor
+// prices learned times through it).
+func (m *Model) HostModeledEnergy(threads int, aff machine.Affinity, busySec, makespanSec float64) (float64, error) {
+	p, err := m.HostActivePowerW(threads, aff)
+	if err != nil {
+		return 0, err
+	}
+	if makespanSec < busySec {
+		makespanSec = busySec
+	}
+	return p*busySec + m.Cal.HostIdleW*(makespanSec-busySec), nil
+}
+
+// DeviceModeledEnergy is the device analogue of HostModeledEnergy.
+func (m *Model) DeviceModeledEnergy(threads int, aff machine.Affinity, busySec, makespanSec float64) (float64, error) {
+	p, err := m.DeviceActivePowerW(threads, aff)
+	if err != nil {
+		return 0, err
+	}
+	if makespanSec < busySec {
+		makespanSec = busySec
+	}
+	return p*busySec + m.Cal.DeviceIdleW*(makespanSec-busySec), nil
+}
+
+// HostEnergy returns the measured energy in joules the host consumes
+// during a heterogeneous run of makespanSec seconds in which its own
+// share keeps it busy for busySec. A zero-size assignment is disengaged
+// and consumes nothing. trial selects the noise draw exactly as HostTime
+// does; equal keys reproduce equal measurements.
+func (m *Model) HostEnergy(a Assignment, w Traits, trial int, busySec, makespanSec float64) (float64, error) {
+	if a.SizeMB <= 0 {
+		return 0, nil
+	}
+	e, err := m.HostModeledEnergy(a.Threads, a.Affinity, busySec, makespanSec)
+	if err != nil {
+		return 0, err
+	}
+	return e * m.noise("host-energy", w.Name, a, trial, m.Cal.NoiseStdHostPower), nil
+}
+
+// DeviceEnergy is the device analogue of HostEnergy.
+func (m *Model) DeviceEnergy(a Assignment, w Traits, trial int, busySec, makespanSec float64) (float64, error) {
+	if a.SizeMB <= 0 {
+		return 0, nil
+	}
+	e, err := m.DeviceModeledEnergy(a.Threads, a.Affinity, busySec, makespanSec)
+	if err != nil {
+		return 0, err
+	}
+	return e * m.noise("device-energy", w.Name, a, trial, m.Cal.NoiseStdDevicePower), nil
+}

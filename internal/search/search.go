@@ -20,11 +20,11 @@ import (
 	"hetopt/internal/space"
 )
 
-// Evaluator estimates the per-side execution times of a configuration.
-// It is structurally identical to core.Evaluator, so *core.Measurer and
-// *core.Predictor satisfy it without an import cycle.
+// Evaluator estimates the per-side execution times and energy of a
+// configuration. It is structurally identical to core.Evaluator, so
+// *core.Measurer and *core.Predictor satisfy it without an import cycle.
 type Evaluator interface {
-	Evaluate(cfg space.Config) (offload.Times, error)
+	Evaluate(cfg space.Config) (offload.Measurement, error)
 }
 
 // memoEntry holds one memoized computation; once guards the single flight.
@@ -83,20 +83,22 @@ func (m *Memo[K, V]) Hits() int { return m.Lookups() - m.Unique() }
 // of the same configuration — across annealing chains, restarts or
 // refinement rounds — hit the memo instead of the underlying evaluator.
 // Because evaluations are deterministic, wrapping an evaluator in a Cache
-// never changes any returned value, only the effort spent.
+// never changes any returned value, only the effort spent. The memo is
+// keyed on the configuration alone and stores the full Measurement
+// (times and energy), so every objective is served from one evaluation.
 type Cache struct {
 	eval Evaluator
-	memo *Memo[space.Config, offload.Times]
+	memo *Memo[space.Config, offload.Measurement]
 }
 
 // NewCache wraps an evaluator in a fresh cache.
 func NewCache(eval Evaluator) *Cache {
-	return &Cache{eval: eval, memo: NewMemo[space.Config, offload.Times]()}
+	return &Cache{eval: eval, memo: NewMemo[space.Config, offload.Measurement]()}
 }
 
 // Evaluate implements Evaluator with single-flight memoization.
-func (c *Cache) Evaluate(cfg space.Config) (offload.Times, error) {
-	return c.memo.Do(cfg, func() (offload.Times, error) {
+func (c *Cache) Evaluate(cfg space.Config) (offload.Measurement, error) {
+	return c.memo.Do(cfg, func() (offload.Measurement, error) {
 		return c.eval.Evaluate(cfg)
 	})
 }

@@ -60,15 +60,18 @@ func TestMemoCachesErrors(t *testing.T) {
 	}
 }
 
-// countingEvaluator returns a deterministic time per configuration and
-// counts invocations.
+// countingEvaluator returns a deterministic measurement per configuration
+// and counts invocations.
 type countingEvaluator struct {
 	calls atomic.Int64
 }
 
-func (e *countingEvaluator) Evaluate(cfg space.Config) (offload.Times, error) {
+func (e *countingEvaluator) Evaluate(cfg space.Config) (offload.Measurement, error) {
 	e.calls.Add(1)
-	return offload.Times{Host: cfg.HostFraction, Device: float64(cfg.DeviceThreads)}, nil
+	return offload.Measurement{
+		Times:  offload.Times{Host: cfg.HostFraction, Device: float64(cfg.DeviceThreads)},
+		Energy: offload.Energy{Host: 2 * cfg.HostFraction, Device: 3 * float64(cfg.DeviceThreads)},
+	}, nil
 }
 
 func TestCacheDeduplicates(t *testing.T) {
