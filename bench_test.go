@@ -428,6 +428,23 @@ func BenchmarkExtHeuristicComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkExtStrategyComparison ranks every search strategy — and the
+// racing portfolio over the shared evaluation cache — across the three
+// objectives under an equal per-worker budget.
+func BenchmarkExtStrategyComparison(b *testing.B) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.StrategyComparison(dna.Human, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.PortfolioNeverWorse {
+			b.Fatal("portfolio worse than its best member")
+		}
+	}
+}
+
 // BenchmarkExtAdaptiveRefinement runs the adaptive pipeline (SAML + 60
 // measured refinements) for all genomes.
 func BenchmarkExtAdaptiveRefinement(b *testing.B) {

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"hetopt"
 	"hetopt/internal/experiments"
 )
 
@@ -28,10 +30,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		jsonMode = flag.Bool("json", false, "emit the machine-readable JSON report instead of text")
 		parallel = flag.Int("parallel", 0, "search worker count (0 = all CPUs); the report is identical at any level")
+		strategy = flag.String("strategy", "auto", "search strategy injected into every method run: auto (method presets), anneal, exhaustive, genetic, tabu, local, random or portfolio")
 	)
 	flag.Parse()
 
-	if err := validate(*repeats, *parallel); err != nil {
+	if err := validate(*repeats, *parallel, *strategy); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -39,7 +42,7 @@ func main() {
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	if err := run(*out, *ablate, *repeats, *seed, *jsonMode, *parallel); err != nil {
+	if err := run(*out, *ablate, *repeats, *seed, *jsonMode, *parallel, *strategy); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		os.Exit(1)
 	}
@@ -47,18 +50,22 @@ func main() {
 
 // validate rejects out-of-range flags before any work, so the user gets
 // a usage error instead of a silently clamped report.
-func validate(repeats, parallel int) error {
+func validate(repeats, parallel int, strategy string) error {
 	if repeats < 1 {
 		return fmt.Errorf("-repeats must be >= 1, got %d", repeats)
 	}
 	if parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", parallel)
 	}
+	if _, err := hetopt.ParseStrategy(strategy); err != nil {
+		return fmt.Errorf("-strategy must be auto or one of %s, got %q",
+			strings.Join(hetopt.StrategyNames(), ", "), strategy)
+	}
 	return nil
 }
 
-func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parallel int) error {
-	if err := validate(repeats, parallel); err != nil {
+func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parallel int, strategyName string) error {
+	if err := validate(repeats, parallel, strategyName); err != nil {
 		return err
 	}
 	w := os.Stdout
@@ -75,6 +82,11 @@ func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parall
 	suite.Repeats = repeats
 	suite.Seed = seed
 	suite.Parallelism = parallel
+	if strat, err := hetopt.ParseStrategy(strategyName); err != nil {
+		return err
+	} else if strat != nil {
+		suite.Strategy = strat
+	}
 
 	if jsonMode {
 		return suite.WriteJSON(w)

@@ -9,7 +9,7 @@ import (
 
 func TestRunWritesCompleteReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.txt")
-	if err := run(out, false, 1, 1, false, 2); err != nil {
+	if err := run(out, false, 1, 1, false, 2, "auto"); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -36,7 +36,7 @@ func TestRunWritesCompleteReport(t *testing.T) {
 }
 
 func TestRunRejectsBadPath(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing", "report.txt"), false, 1, 1, false, 1); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing", "report.txt"), false, 1, 1, false, 1, "auto"); err == nil {
 		t.Fatal("uncreatable output path should fail")
 	}
 }
@@ -45,20 +45,23 @@ func TestRunRejectsBadPath(t *testing.T) {
 // values fail fast with an error naming the flag instead of being
 // silently clamped by the search engine.
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("", false, 0, 1, false, 1); err == nil || !strings.Contains(err.Error(), "-repeats") {
+	if err := run("", false, 0, 1, false, 1, "auto"); err == nil || !strings.Contains(err.Error(), "-repeats") {
 		t.Errorf("repeats=0 should fail naming -repeats, got %v", err)
 	}
-	if err := run("", false, -3, 1, false, 1); err == nil || !strings.Contains(err.Error(), "-repeats") {
+	if err := run("", false, -3, 1, false, 1, "auto"); err == nil || !strings.Contains(err.Error(), "-repeats") {
 		t.Errorf("negative repeats should fail naming -repeats, got %v", err)
 	}
-	if err := run("", false, 1, 1, false, -4); err == nil || !strings.Contains(err.Error(), "-parallel") {
+	if err := run("", false, 1, 1, false, -4, "auto"); err == nil || !strings.Contains(err.Error(), "-parallel") {
 		t.Errorf("negative parallel should fail naming -parallel, got %v", err)
+	}
+	if err := run("", false, 1, 1, false, 1, "quantum"); err == nil || !strings.Contains(err.Error(), "-strategy") {
+		t.Errorf("unknown strategy should fail naming -strategy, got %v", err)
 	}
 }
 
 func TestRunJSONMode(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run(out, false, 1, 1, true, 2); err != nil {
+	if err := run(out, false, 1, 1, true, 2, "auto"); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)

@@ -8,6 +8,8 @@
 //	hetopt -method saml -genome human -iterations 1000
 //	hetopt -method em -genome cat
 //	hetopt -compare -genome mouse
+//	hetopt -strategy genetic                 # explore with the GA instead of SA
+//	hetopt -strategy portfolio -restarts 4   # race all strategies, shared cache
 //	hetopt -objective energy                 # minimize joules, not seconds
 //	hetopt -objective weighted -alpha 0.5    # trade time against energy
 //	hetopt -objective bounded -slack 0.10    # min energy within 110% of T_best
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"hetopt"
 )
@@ -25,6 +28,7 @@ import (
 // params collects the validated CLI inputs of one run.
 type params struct {
 	method     string
+	strategy   string
 	genome     string
 	iterations int
 	seed       int64
@@ -50,6 +54,10 @@ func (p *params) validate() error {
 	if p.iterations < 0 {
 		return fmt.Errorf("-iterations must be >= 0, got %d", p.iterations)
 	}
+	if _, err := hetopt.ParseStrategy(p.strategy); err != nil {
+		return fmt.Errorf("-strategy must be auto or one of %s, got %q",
+			strings.Join(hetopt.StrategyNames(), ", "), p.strategy)
+	}
 	if p.alpha < 0 || p.alpha > 1 {
 		return fmt.Errorf("-alpha must be in [0,1], got %g", p.alpha)
 	}
@@ -67,14 +75,15 @@ func (p *params) validate() error {
 func main() {
 	var p params
 	flag.StringVar(&p.method, "method", "saml", "optimization method: em, eml, sam or saml")
+	flag.StringVar(&p.strategy, "strategy", "auto", "search strategy: auto (method preset), anneal, exhaustive, genetic, tabu, local, random or portfolio")
 	flag.StringVar(&p.genome, "genome", "human", "evaluation genome: human, mouse, cat or dog")
-	flag.IntVar(&p.iterations, "iterations", 1000, "simulated-annealing iteration budget (per chain)")
-	flag.Int64Var(&p.seed, "seed", 1, "random seed for simulated annealing")
+	flag.IntVar(&p.iterations, "iterations", 1000, "search evaluation budget per worker, for any strategy (exhaustive enumeration ignores it)")
+	flag.Int64Var(&p.seed, "seed", 1, "base random seed for the search strategy")
 	flag.Float64Var(&p.sizeMB, "size", 0, "override the workload size in MB (0 = genome size)")
 	flag.BoolVar(&p.compare, "compare", false, "run all four methods and compare")
 	flag.StringVar(&p.modelCache, "model-cache", "", "path for persisted prediction models (loaded if present, written after training)")
 	flag.IntVar(&p.parallel, "parallel", 1, "search worker count (0 = all CPUs); results are identical at any level")
-	flag.IntVar(&p.restarts, "restarts", 1, "independent annealing chains for sam/saml (best chain wins)")
+	flag.IntVar(&p.restarts, "restarts", 1, "independent search workers: annealing chains or heuristic restarts (best one wins)")
 	flag.StringVar(&p.objective, "objective", "time", "search objective: time, energy, weighted or bounded")
 	flag.Float64Var(&p.alpha, "alpha", 0.5, "time weight in [0,1] for -objective weighted")
 	flag.Float64Var(&p.slack, "slack", 0.10, "makespan slack over the time optimum for -objective bounded")
@@ -149,11 +158,19 @@ func run(p params) error {
 		methods = append(methods, m)
 	}
 
+	strat, err := hetopt.ParseStrategy(p.strategy)
+	if err != nil {
+		return err
+	}
+	if strat != nil {
+		fmt.Printf("search strategy: %s\n\n", strat.Name())
+	}
 	opt := hetopt.Options{
 		Iterations:  p.iterations,
 		Seed:        p.seed,
 		Parallelism: p.parallel,
 		Restarts:    p.restarts,
+		Strategy:    strat,
 	}
 	for _, m := range methods {
 		var res hetopt.Result

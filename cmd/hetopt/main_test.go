@@ -12,7 +12,7 @@ import (
 // defaults.
 func base() params {
 	return params{
-		method: "saml", genome: "human", iterations: 1000, seed: 1,
+		method: "saml", strategy: "auto", genome: "human", iterations: 1000, seed: 1,
 		parallel: 1, restarts: 1, objective: "time", alpha: 0.5, slack: 0.10,
 	}
 }
@@ -25,6 +25,20 @@ func TestRunSingleMethod(t *testing.T) {
 	p.genome = "cat"
 	p.iterations = 200
 	p.parallel, p.restarts = 2, 2
+	if err := run(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInjectedStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains full models")
+	}
+	// The portfolio races every strategy over a shared cache; the run
+	// must complete under parallelism with a non-preset strategy.
+	p := base()
+	p.genome, p.iterations, p.strategy = "cat", 150, "portfolio"
+	p.parallel = 4
 	if err := run(p); err != nil {
 		t.Fatal(err)
 	}
@@ -74,6 +88,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"negative parallel", func(p *params) { p.parallel = -2 }, "-parallel"},
 		{"negative restarts", func(p *params) { p.restarts = -1 }, "-restarts"},
 		{"negative iterations", func(p *params) { p.iterations = -5 }, "-iterations"},
+		{"unknown strategy", func(p *params) { p.strategy = "quantum" }, "-strategy"},
 		{"unknown objective", func(p *params) { p.objective = "carbon" }, "-objective"},
 		{"alpha above one", func(p *params) { p.alpha = 1.5 }, "-alpha"},
 		{"negative alpha", func(p *params) { p.alpha = -0.1 }, "-alpha"},

@@ -57,6 +57,7 @@ import (
 	"hetopt/internal/offload"
 	"hetopt/internal/perf"
 	"hetopt/internal/space"
+	"hetopt/internal/strategy"
 )
 
 // Re-exported core types. The aliases make the internal packages' types
@@ -101,6 +102,22 @@ type (
 	Method = core.Method
 	// Options tunes an optimization run.
 	Options = core.Options
+	// Strategy is a pluggable search strategy over the configuration
+	// space (set via Options.Strategy, MultiTuneOptions.Strategy or
+	// RefineOptions.Strategy; nil keeps the method presets).
+	Strategy = strategy.Strategy
+	// AnnealStrategy is the paper's simulated annealing as an injectable
+	// strategy; ExhaustiveStrategy enumerates; GeneticStrategy,
+	// TabuStrategy, LocalStrategy and RandomStrategy port the
+	// alternative metaheuristics; PortfolioStrategy races any member set
+	// over a shared evaluation cache.
+	AnnealStrategy     = strategy.Anneal
+	ExhaustiveStrategy = strategy.Exhaustive
+	GeneticStrategy    = strategy.Genetic
+	TabuStrategy       = strategy.Tabu
+	LocalStrategy      = strategy.Local
+	RandomStrategy     = strategy.Random
+	PortfolioStrategy  = strategy.Portfolio
 	// Result is a completed optimization run.
 	Result = core.Result
 	// Models bundles the trained host/device performance predictors.
@@ -241,6 +258,19 @@ func LoadModelsFile(path string) (*Models, error) { return core.LoadModelsFile(p
 
 // ParseMethod converts a method name into a Method.
 func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// ParseStrategy converts a strategy name ("anneal", "exhaustive",
+// "genetic", "tabu", "local", "random", "portfolio") into a Strategy;
+// the empty name (or "auto") returns nil, selecting each method's
+// preset explorer.
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
+
+// StrategyNames lists the parseable strategy names.
+func StrategyNames() []string { return strategy.Names() }
+
+// DefaultPortfolio races the paper's annealer against all four
+// alternative metaheuristics over a shared evaluation cache.
+func DefaultPortfolio() PortfolioStrategy { return strategy.DefaultPortfolio() }
 
 // ParseObjective converts an objective name ("time", "energy",
 // "weighted") into an Objective; alpha is the time weight consulted by

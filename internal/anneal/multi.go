@@ -3,6 +3,8 @@ package anneal
 import (
 	"fmt"
 	"sync"
+
+	"hetopt/internal/search"
 )
 
 // MultiOptions configures a MinimizeMulti run.
@@ -50,21 +52,11 @@ func (r MultiResult) TotalIterations() int {
 
 // ChainSeed derives the seed of chain i from the base seed. Chain 0 uses
 // the base seed unchanged (so K=1 reduces to Minimize); later chains get
-// decorrelated streams via a SplitMix64 finalizer.
+// decorrelated streams via a SplitMix64 finalizer. It is search.ChainSeed,
+// re-exported here because the multi-chain annealer introduced the
+// seeding contract the whole strategy layer now follows.
 func ChainSeed(base int64, chain int) int64 {
-	if chain == 0 {
-		return base
-	}
-	return int64(splitmix64(uint64(base) + uint64(chain)*0x9E3779B97F4A7C15))
-}
-
-// splitmix64 is the finalizer of the SplitMix64 generator (also used by
-// internal/perf for measurement noise): a high-quality 64-bit mixer.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
+	return search.ChainSeed(base, chain)
 }
 
 // MinimizeMulti runs K independent annealing chains and returns the best

@@ -7,6 +7,7 @@ import (
 	"hetopt/internal/dna"
 	"hetopt/internal/offload"
 	"hetopt/internal/space"
+	"hetopt/internal/strategy"
 )
 
 // faultyEvaluator fails after a set number of evaluations, simulating a
@@ -31,10 +32,11 @@ func TestEnumerationPropagatesEvaluatorFailure(t *testing.T) {
 		Schema:   smallSchema(t),
 		Measurer: NewMeasurer(platform, w),
 	}
-	// Wrap the real measurer through the enumerate helper directly: the
+	// Wrap the real measurer through the search helper directly: the
 	// injected failure must abort the run with the injected error.
 	faulty := &faultyEvaluator{inner: inst.Measurer, remaining: 7}
-	_, _, _, err := enumerate(inst.Schema, faulty, 1, TimeObjective{})
+	p := &searchProblem{schema: inst.Schema, eval: faulty, obj: TimeObjective{}}
+	_, _, _, err := searchWith(strategy.Exhaustive{}, p, Options{})
 	if err == nil {
 		t.Fatal("enumeration should propagate evaluator failure")
 	}
@@ -48,7 +50,9 @@ func TestAnnealSearchPropagatesEvaluatorFailure(t *testing.T) {
 	w := offload.GenomeWorkload(dna.Human)
 	inst := &Instance{Schema: smallSchema(t), Measurer: NewMeasurer(platform, w)}
 	faulty := &faultyEvaluator{inner: inst.Measurer, remaining: 12}
-	_, _, _, err := annealSearch(inst.Schema, faulty, Options{Iterations: 100, Seed: 1})
+	opt := Options{Iterations: 100, Seed: 1}
+	p := &searchProblem{schema: inst.Schema, eval: faulty, obj: TimeObjective{}}
+	_, _, _, err := searchWith(opt.strategyFor(SAM), p, opt)
 	if err == nil {
 		t.Fatal("annealing should propagate evaluator failure")
 	}

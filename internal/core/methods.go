@@ -6,10 +6,9 @@ import (
 	"math/rand"
 	"strings"
 
-	"hetopt/internal/anneal"
 	"hetopt/internal/offload"
-	"hetopt/internal/search"
 	"hetopt/internal/space"
+	"hetopt/internal/strategy"
 )
 
 // Method identifies one of the paper's four optimization methods
@@ -64,7 +63,7 @@ func ParseMethod(s string) (Method, error) {
 	}
 }
 
-// UsesAnnealing reports whether the method explores with SA.
+// UsesAnnealing reports whether the method's preset explorer is SA.
 func (m Method) UsesAnnealing() bool { return m == SAM || m == SAML }
 
 // UsesML reports whether the method evaluates with predictions.
@@ -96,32 +95,39 @@ func (inst *Instance) Validate(m Method) error {
 
 // Options tunes a method run. The zero value is usable.
 type Options struct {
-	// Iterations is the simulated-annealing candidate budget (ignored by
-	// EM/EML). Zero selects 1000, the budget the paper highlights as
-	// "only about 5% of the total possible configurations".
+	// Iterations is the search evaluation budget per worker (an
+	// annealing chain's candidate count, a heuristic restart's
+	// evaluation budget — whichever strategy explores; exhaustive
+	// enumeration ignores it). Zero selects 1000, the budget the paper
+	// highlights as "only about 5% of the total possible
+	// configurations".
 	Iterations int
-	// Seed drives SA's stochastic choices.
+	// Seed drives the strategy's stochastic choices; worker i derives
+	// search.ChainSeed(Seed, i).
 	Seed int64
-	// InitialTemp overrides the SA starting temperature (zero selects
-	// DefaultInitialTemp). The stop temperature is derived as
-	// InitialTemp/TempSpan, preserving the paper's schedule shape
-	// (T: 10^4 -> 1) rescaled to seconds-valued energies.
+	// InitialTemp overrides the SA starting temperature of the annealing
+	// preset (zero selects DefaultInitialTemp). The stop temperature is
+	// derived as InitialTemp/TempSpan, preserving the paper's schedule
+	// shape (T: 10^4 -> 1) rescaled to seconds-valued energies. Ignored
+	// when Strategy is injected.
 	InitialTemp float64
-	// NeighborMode selects the SA neighborhood structure.
+	// NeighborMode selects the neighborhood structure used by
+	// Initial/Neighbor-driven strategies (SA).
 	NeighborMode space.NeighborMode
 	// Parallelism is the worker count of the concurrent search engine:
-	// EM/EML shard the enumeration into that many ordinal ranges, SAM/SAML
-	// anneal that many chains concurrently (capped at Restarts). Results
-	// are bit-identical at every parallelism level for a fixed Seed; zero
-	// or one runs sequentially.
+	// enumeration shards into that many ordinal ranges, annealing and
+	// the heuristic strategies fan that many workers out (capped at
+	// Restarts). Results are bit-identical at every parallelism level
+	// for a fixed Seed; zero or one runs sequentially.
 	Parallelism int
-	// Restarts is the number of independent annealing chains K for
-	// SAM/SAML (ignored by EM/EML). Each chain runs the full Iterations
-	// budget from a seed derived from (Seed, chain); the best chain wins,
-	// ties broken by the lowest chain index. Chains share a memoizing
-	// evaluation cache, so configurations visited by several chains cost
-	// one experiment. Zero or one reproduces the single-chain behavior
-	// exactly.
+	// Restarts is the number of independent search workers K: annealing
+	// chains for SAM/SAML, restarts for the heuristic strategies
+	// (ignored by enumeration). Each worker runs the full Iterations
+	// budget from a seed derived from (Seed, worker); the best worker
+	// wins, ties broken by the lowest index. Workers share a memoizing
+	// evaluation cache, so configurations visited by several workers
+	// cost one experiment. Zero or one reproduces the single-worker
+	// behavior exactly.
 	Restarts int
 	// Objective selects what the search minimizes: the paper's makespan
 	// (nil or TimeObjective), total joules (EnergyObjective), a weighted
@@ -129,17 +135,25 @@ type Options struct {
 	// configuration once and scores times and energy from that single
 	// evaluation, so the determinism contract holds for every objective.
 	Objective Objective
+	// Strategy injects the search strategy. Nil selects the method's
+	// preset — exhaustive enumeration for EM/EML, the paper's simulated
+	// annealing for SAM/SAML — keeping the four paper methods
+	// bit-identical to their pre-strategy-layer behavior. Any
+	// strategy.Strategy (including a racing strategy.Portfolio) can be
+	// injected to explore the same space under the same objective and
+	// evaluator.
+	Strategy strategy.Strategy
 }
 
 // DefaultInitialTemp is the SA starting temperature for seconds-scale
 // energies. The paper anneals from 10^4 down to 1; our objective is
 // measured in seconds (0.1-40) rather than the milliseconds-scale numbers
 // that schedule implies, so the same 10^4 dynamic range is anchored at 5.
-const DefaultInitialTemp = 5.0
+const DefaultInitialTemp = strategy.DefaultInitialTemp
 
 // TempSpan is the ratio between initial and stop temperature (10^4, the
 // paper's 10000 -> "T < 1" span).
-const TempSpan = 1e4
+const TempSpan = strategy.TempSpan
 
 func (o Options) iterations() int {
 	if o.Iterations <= 0 {
@@ -148,18 +162,36 @@ func (o Options) iterations() int {
 	return o.Iterations
 }
 
-func (o Options) restarts() int {
-	if o.Restarts <= 1 {
-		return 1
-	}
-	return o.Restarts
-}
-
 func (o Options) objective() Objective {
 	if o.Objective == nil {
 		return TimeObjective{}
 	}
 	return o.Objective
+}
+
+// strategyFor resolves the search strategy of a run: the injected one,
+// or the method's preset (EM/EML enumerate, SAM/SAML anneal with the
+// run's temperature override).
+func (o Options) strategyFor(m Method) strategy.Strategy {
+	if o.Strategy != nil {
+		return o.Strategy
+	}
+	if m.UsesAnnealing() {
+		t0 := o.InitialTemp
+		if t0 == 0 {
+			t0 = DefaultInitialTemp
+		}
+		return strategy.Anneal{InitialTemp: t0, StopTemp: t0 / TempSpan}
+	}
+	return strategy.Exhaustive{}
+}
+
+// ParseStrategy converts a CLI-style strategy name into a Strategy with
+// the core presets ("anneal" is the paper schedule, "portfolio" races
+// the annealer against all four alternative metaheuristics). The empty
+// name (or "auto") returns nil, selecting each method's preset.
+func ParseStrategy(name string) (strategy.Strategy, error) {
+	return strategy.Parse(name)
 }
 
 // Result reports a completed optimization run.
@@ -198,17 +230,16 @@ func (r Result) MeasuredJ() float64 { return r.MeasuredEnergy.Total() }
 
 // Run executes one optimization method on the instance.
 func Run(m Method, inst *Instance, opt Options) (Result, error) {
+	switch m {
+	case EM, EML, SAM, SAML:
+	default:
+		return Result{}, fmt.Errorf("core: unknown method %v", m)
+	}
 	if err := inst.Validate(m); err != nil {
 		return Result{}, err
 	}
 	startCount := inst.Measurer.Count()
-	var (
-		best    space.Config
-		bestE   float64
-		evals   int
-		runErr  error
-		evalSet Evaluator
-	)
+	var evalSet Evaluator
 	if m.UsesML() {
 		evalSet = inst.Predictor
 	} else {
@@ -216,16 +247,10 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 	}
 
 	obj := opt.objective()
-	switch m {
-	case EM, EML:
-		best, bestE, evals, runErr = enumerate(inst.Schema, evalSet, opt.Parallelism, obj)
-	case SAM, SAML:
-		best, bestE, evals, runErr = annealSearch(inst.Schema, evalSet, opt)
-	default:
-		runErr = fmt.Errorf("core: unknown method %v", m)
-	}
-	if runErr != nil {
-		return Result{}, runErr
+	prob := &searchProblem{schema: inst.Schema, eval: evalSet, mode: opt.NeighborMode, obj: obj}
+	best, bestE, evals, err := searchWith(opt.strategyFor(m), prob, opt)
+	if err != nil {
+		return Result{}, err
 	}
 
 	// Fair comparison: measure the suggested configuration. For
@@ -248,173 +273,69 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 	}, nil
 }
 
-// enumerate is exhaustive search (the paper's "enumeration, also known as
-// brute-force"). parallelism > 1 shards the space into contiguous ordinal
-// ranges evaluated concurrently; every configuration is distinct, so the
-// winner — the lowest objective value at the lowest ordinal — is
-// identical to the sequential scan at any worker count.
-func enumerate(schema *space.Schema, eval Evaluator, parallelism int, obj Objective) (space.Config, float64, int, error) {
-	size := schema.Space().Size()
-	workers := search.Workers(parallelism)
-	if workers > size {
-		workers = size
+// NewSearchProblem adapts a configuration space, an evaluator and an
+// objective (nil selects the paper's time objective) to
+// strategy.Problem — and strategy.Spaced: a schema is a full product
+// space. Run builds one internally for every method; it is exported so
+// experiment drivers and refinement wrappers reuse the same adapter
+// instead of growing copies.
+func NewSearchProblem(schema *space.Schema, eval Evaluator, obj Objective, mode space.NeighborMode) strategy.Spaced {
+	if obj == nil {
+		obj = TimeObjective{}
 	}
-	type shardBest struct {
-		e     float64
-		ord   int
-		evals int
-	}
-	scan := func(lo, hi int) (shardBest, error) {
-		sb := shardBest{e: math.Inf(1), ord: -1}
-		err := schema.Space().ForEachRange(lo, hi, func(ord int, idx []int) error {
-			cfg, err := schema.Config(idx)
-			if err != nil {
-				return err
-			}
-			t, err := eval.Evaluate(cfg)
-			if err != nil {
-				return err
-			}
-			sb.evals++
-			if e := objectiveValue(obj, t); e < sb.e {
-				sb.e = e
-				sb.ord = ord
-			}
-			return nil
-		})
-		return sb, err
-	}
-
-	shards := search.Shards(size, workers)
-	bests := make([]shardBest, len(shards))
-	err := search.ForEach(len(shards), workers, func(si int) error {
-		var err error
-		bests[si], err = scan(shards[si][0], shards[si][1])
-		return err
-	})
-	if err != nil {
-		return space.Config{}, 0, 0, err
-	}
-
-	total := shardBest{e: math.Inf(1), ord: -1}
-	for _, sb := range bests {
-		total.evals += sb.evals
-		// Shards are merged in ordinal order, so the first strict
-		// improvement reproduces the sequential (energy, ordinal) winner.
-		if sb.ord >= 0 && sb.e < total.e {
-			total.e = sb.e
-			total.ord = sb.ord
-		}
-	}
-	idx, err := schema.Space().Unflatten(total.ord)
-	if err != nil {
-		return space.Config{}, 0, 0, err
-	}
-	best, err := schema.Config(idx)
-	if err != nil {
-		return space.Config{}, 0, 0, err
-	}
-	return best, total.e, total.evals, nil
+	return &searchProblem{schema: schema, eval: eval, mode: mode, obj: obj}
 }
 
-// saProblem adapts the schema + evaluator to the annealer.
-type saProblem struct {
+// searchProblem is stateless — Energy is a pure function of the state —
+// so every worker of every strategy can share one instance.
+type searchProblem struct {
 	schema *space.Schema
 	eval   Evaluator
 	mode   space.NeighborMode
 	obj    Objective
-	evals  int
-	err    error
 }
 
-func (p *saProblem) Dim() int { return p.schema.Space().Dim() }
+func (p *searchProblem) Dim() int { return p.schema.Space().Dim() }
 
-func (p *saProblem) Initial(dst []int, rng *rand.Rand) {
+func (p *searchProblem) Levels(i int) int { return p.schema.Space().Params[i].Levels() }
+
+func (p *searchProblem) Initial(dst []int, rng *rand.Rand) {
 	copy(dst, p.schema.Space().Random(rng))
 }
 
-func (p *saProblem) Neighbor(dst, src []int, rng *rand.Rand) {
+func (p *searchProblem) Neighbor(dst, src []int, rng *rand.Rand) {
 	p.schema.Space().Neighbor(dst, src, rng, p.mode)
 }
 
-func (p *saProblem) Energy(idx []int) float64 {
-	if p.err != nil {
-		return math.Inf(1)
-	}
-	cfg, err := p.schema.Config(idx)
+func (p *searchProblem) Energy(state []int) (float64, error) {
+	cfg, err := p.schema.Config(state)
 	if err != nil {
-		p.err = err
-		return math.Inf(1)
+		return 0, err
 	}
 	t, err := p.eval.Evaluate(cfg)
 	if err != nil {
-		p.err = err
-		return math.Inf(1)
+		return 0, err
 	}
-	p.evals++
-	return objectiveValue(p.obj, t)
+	return objectiveValue(p.obj, t), nil
 }
 
-// annealSearch runs the paper's SA (Figure 3) with the cooling rate tuned
-// so the temperature anneals from InitialTemp to the stop temperature over
-// exactly the iteration budget. Restarts > 1 anneals K independent chains
-// (each with the full budget, from a seed derived from (Seed, chain))
-// that share a memoizing evaluation cache, so a configuration visited by
-// several chains costs one evaluation; the best chain wins, ties broken
-// by the lowest chain index.
-func annealSearch(schema *space.Schema, eval Evaluator, opt Options) (space.Config, float64, int, error) {
-	t0 := opt.InitialTemp
-	if t0 == 0 {
-		t0 = DefaultInitialTemp
-	}
-	annealOpt := anneal.Options{
-		InitialTemp: t0,
-		StopTemp:    t0 / TempSpan,
-		MaxIters:    opt.iterations(),
+// searchWith runs a strategy over the adapted problem and decodes the
+// winner.
+func searchWith(strat strategy.Strategy, p *searchProblem, opt Options) (space.Config, float64, int, error) {
+	res, err := strat.Minimize(p, strategy.Options{
+		Budget:      opt.iterations(),
 		Seed:        opt.Seed,
-	}
-	chains := opt.restarts()
-	if chains == 1 {
-		p := &saProblem{schema: schema, eval: eval, mode: opt.NeighborMode, obj: opt.objective()}
-		res, err := anneal.Minimize(p, annealOpt)
-		if err != nil {
-			return space.Config{}, 0, 0, err
-		}
-		if p.err != nil {
-			return space.Config{}, 0, 0, p.err
-		}
-		cfg, err := schema.Config(res.Best)
-		if err != nil {
-			return space.Config{}, 0, 0, err
-		}
-		return cfg, res.BestEnergy, p.evals, nil
-	}
-
-	shared := search.NewCache(eval)
-	problems := make([]*saProblem, chains)
-	res, err := anneal.MinimizeMulti(func(chain int) anneal.Problem {
-		problems[chain] = &saProblem{schema: schema, eval: shared, mode: opt.NeighborMode, obj: opt.objective()}
-		return problems[chain]
-	}, anneal.MultiOptions{
-		Options:     annealOpt,
-		Chains:      chains,
+		Restarts:    opt.Restarts,
 		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return space.Config{}, 0, 0, err
 	}
-	evals := 0
-	for _, p := range problems {
-		if p.err != nil {
-			return space.Config{}, 0, 0, p.err
-		}
-		evals += p.evals
-	}
-	cfg, err := schema.Config(res.Best)
+	cfg, err := p.schema.Config(res.Best)
 	if err != nil {
 		return space.Config{}, 0, 0, err
 	}
-	return cfg, res.BestEnergy, evals, nil
+	return cfg, res.BestEnergy, res.Evaluations, nil
 }
 
 // HostOnlyBaseline measures the paper's CPU-only baseline: all host

@@ -36,6 +36,10 @@ func (s *Suite) AblationCoolingRate(g dna.Genome, iterations int) (string, error
 		sum := 0.0
 		for r := 0; r < s.repeats(); r++ {
 			opt := s.coreOpts(iterations, s.Seed+int64(r))
+			// This ablation probes the SA preset's temperature; a
+			// suite-injected strategy would carry its own schedule and
+			// silently ignore InitialTemp, flattening the sweep.
+			opt.Strategy = nil
 			opt.InitialTemp = t0
 			res, err := core.Run(core.SAML, inst, opt)
 			if err != nil {
@@ -70,6 +74,10 @@ func (s *Suite) AblationNeighborhood(g dna.Genome, iterations int) (string, erro
 		sum := 0.0
 		for r := 0; r < s.repeats(); r++ {
 			opt := s.coreOpts(iterations, s.Seed+int64(r))
+			// Probe the SA preset's neighborhood: the heuristic
+			// strategies never call Neighbor, so an injected suite
+			// strategy would make both rows identical.
+			opt.Strategy = nil
 			opt.NeighborMode = mode.mode
 			res, err := core.Run(core.SAML, inst, opt)
 			if err != nil {

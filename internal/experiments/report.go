@@ -165,6 +165,13 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		if err := section(RenderHeuristicComparison(rows, emE, dnaHuman(), 1000, s.repeats())); err != nil {
 			return err
 		}
+		sc, err := s.StrategyComparison(dnaHuman(), 1000)
+		if err != nil {
+			return err
+		}
+		if err := section(RenderStrategyComparison(sc, dnaHuman(), 1000, s.repeats())); err != nil {
+			return err
+		}
 		md, err := s.ExtMultiDevice(dnaHuman(), 3, 2500)
 		if err != nil {
 			return err

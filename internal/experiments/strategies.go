@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+	"hetopt/internal/offload"
+	"hetopt/internal/search"
+	"hetopt/internal/space"
+	"hetopt/internal/strategy"
+	"hetopt/internal/tables"
+)
+
+// StrategyCell is one (strategy, objective) entry of the comparison.
+type StrategyCell struct {
+	// MeanObjective is the measured objective value of the suggested
+	// configuration, averaged over Suite.Repeats seeds (the search runs
+	// on measurements, so the search optimum and its measured value
+	// coincide).
+	MeanObjective float64
+	// PctVsBest is the gap to the column's best strategy.
+	PctVsBest float64
+	// MeanEvaluations is the logical evaluation count per run.
+	MeanEvaluations float64
+}
+
+// StrategyComparisonResult ranks strategies x objectives under equal
+// per-worker evaluation budgets, with the portfolio's shared-cache
+// accounting.
+type StrategyComparisonResult struct {
+	// Strategies and Objectives label the table axes; Cells is indexed
+	// [strategy][objective].
+	Strategies []string
+	Objectives []string
+	Cells      [][]StrategyCell
+	// PortfolioLookups/Unique/Hits aggregate the racing portfolio's
+	// shared-cache accounting over every (objective, seed) run: Unique
+	// is what the portfolio actually paid, Hits what sharing saved —
+	// evaluations that were never duplicated across members.
+	PortfolioLookups, PortfolioUnique, PortfolioHits int
+	// PortfolioNeverWorse reports whether the portfolio's best search
+	// energy matched or beat its best member's in every single run (it
+	// must: every member races with the same seed and budget it gets
+	// standalone, and the winner is a min over them).
+	PortfolioNeverWorse bool
+}
+
+// StrategyComparison is the tentpole experiment of the pluggable search
+// layer: every strategy explores the same configuration space under the
+// same measured objective and an equal per-worker evaluation budget,
+// and the racing portfolio runs all of them concurrently over one
+// shared evaluation cache. Evaluation is measurement-driven (the SAM
+// column's regime), so rankings compare search quality, not prediction
+// error.
+func (s *Suite) StrategyComparison(g dna.Genome, budget int) (*StrategyComparisonResult, error) {
+	w := offload.GenomeWorkload(g)
+	// One configuration-keyed cache serves the whole comparison:
+	// measurement is objective-independent (the cache stores the full
+	// Measurement) and seeds repeat across members and objectives, so
+	// heavily overlapping states are paid once. Logical per-run
+	// accounting (MeanEvaluations, the portfolio's memo stats) is
+	// untouched — caching never changes a reported number.
+	measurer := search.NewCache(core.NewMeasurer(s.Platform, w))
+	members := []strategy.Strategy{
+		strategy.Anneal{InitialTemp: core.DefaultInitialTemp, StopTemp: core.DefaultInitialTemp / core.TempSpan},
+		strategy.Genetic{},
+		strategy.Tabu{},
+		strategy.Local{},
+		strategy.Random{},
+	}
+	portfolio := strategy.Portfolio{Members: members}
+	objectives := []core.Objective{
+		core.TimeObjective{},
+		core.EnergyObjective{},
+		core.WeightedSumObjective{Alpha: 0.5},
+	}
+
+	res := &StrategyComparisonResult{
+		Objectives:          make([]string, len(objectives)),
+		Cells:               make([][]StrategyCell, len(members)+1),
+		PortfolioNeverWorse: true,
+	}
+	for _, m := range members {
+		res.Strategies = append(res.Strategies, m.Name())
+	}
+	res.Strategies = append(res.Strategies, portfolio.Name())
+	for i := range res.Cells {
+		res.Cells[i] = make([]StrategyCell, len(objectives))
+	}
+
+	repeats := s.repeats()
+	for oi, obj := range objectives {
+		res.Objectives[oi] = obj.Name()
+		prob := core.NewSearchProblem(s.Schema, measurer, obj, space.StepMove)
+		for r := 0; r < repeats; r++ {
+			opt := strategy.Options{Budget: budget, Seed: s.Seed + int64(r), Parallelism: s.Parallelism}
+			bestMember := math.Inf(1)
+			for mi, m := range members {
+				mres, err := m.Minimize(prob, opt)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: strategy %s: %w", m.Name(), err)
+				}
+				res.Cells[mi][oi].MeanObjective += mres.BestEnergy
+				res.Cells[mi][oi].MeanEvaluations += float64(mres.Evaluations)
+				if mres.BestEnergy < bestMember {
+					bestMember = mres.BestEnergy
+				}
+			}
+			pres, err := portfolio.Race(prob, opt)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: portfolio: %w", err)
+			}
+			pi := len(members)
+			res.Cells[pi][oi].MeanObjective += pres.BestEnergy
+			res.Cells[pi][oi].MeanEvaluations += float64(pres.Evaluations)
+			res.PortfolioLookups += pres.Lookups
+			res.PortfolioUnique += pres.Unique
+			res.PortfolioHits += pres.Hits
+			if pres.BestEnergy > bestMember {
+				res.PortfolioNeverWorse = false
+			}
+		}
+	}
+
+	for oi := range objectives {
+		best := math.Inf(1)
+		for si := range res.Cells {
+			res.Cells[si][oi].MeanObjective /= float64(repeats)
+			res.Cells[si][oi].MeanEvaluations /= float64(repeats)
+			if res.Cells[si][oi].MeanObjective < best {
+				best = res.Cells[si][oi].MeanObjective
+			}
+		}
+		for si := range res.Cells {
+			res.Cells[si][oi].PctVsBest = 100 * (res.Cells[si][oi].MeanObjective - best) / best
+		}
+	}
+	return res, nil
+}
+
+// RenderStrategyComparison formats the strategy x objective ranking
+// with the portfolio's cache accounting.
+func RenderStrategyComparison(res *StrategyComparisonResult, g dna.Genome, budget, repeats int) string {
+	cols := []string{"strategy"}
+	for _, o := range res.Objectives {
+		cols = append(cols, "mean "+o, "pct vs best")
+	}
+	cols = append(cols, "mean evals")
+	tb := tables.New(fmt.Sprintf(
+		"Extension: strategy x objective ranking (genome %s, budget %d evaluations per worker, %d seeds, measurement-driven)",
+		g.Name, budget, repeats), cols...)
+	for si, name := range res.Strategies {
+		row := []string{name}
+		for oi := range res.Objectives {
+			c := res.Cells[si][oi]
+			row = append(row, tables.F(c.MeanObjective, 4), tables.Percent(c.PctVsBest))
+		}
+		row = append(row, tables.F(res.Cells[si][0].MeanEvaluations, 0))
+		tb.AddRow(row...)
+	}
+	never := "never worse than its best member (as constructed)"
+	if !res.PortfolioNeverWorse {
+		never = "WORSE than its best member in at least one run (bug!)"
+	}
+	return tb.String() + fmt.Sprintf(
+		"portfolio shared cache: %d lookups, %d paid evaluations, %d hits (%.1f%% of lookups saved; no evaluation paid twice across members); portfolio best %s\n",
+		res.PortfolioLookups, res.PortfolioUnique, res.PortfolioHits,
+		100*float64(res.PortfolioHits)/math.Max(1, float64(res.PortfolioLookups)), never)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetopt/internal/dna"
+)
+
+func TestStrategyComparison(t *testing.T) {
+	s := NewSuite()
+	s.Repeats = 2
+	res, err := s.StrategyComparison(dna.Human, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategies) != 6 || res.Strategies[len(res.Strategies)-1] != "portfolio" {
+		t.Fatalf("unexpected strategy rows: %v", res.Strategies)
+	}
+	if len(res.Objectives) != 3 {
+		t.Fatalf("unexpected objective columns: %v", res.Objectives)
+	}
+	// The portfolio's best is a min over members run with identical
+	// seeds; the acceptance criterion of the whole layer.
+	if !res.PortfolioNeverWorse {
+		t.Fatal("portfolio worse than its best member in at least one run")
+	}
+	// Sharing must actually happen: members overlap on the small budget,
+	// and the books must balance.
+	if res.PortfolioHits <= 0 {
+		t.Fatalf("portfolio saved no evaluations (lookups %d, unique %d)", res.PortfolioLookups, res.PortfolioUnique)
+	}
+	if res.PortfolioLookups != res.PortfolioUnique+res.PortfolioHits {
+		t.Fatalf("cache accounting broken: %d != %d + %d", res.PortfolioLookups, res.PortfolioUnique, res.PortfolioHits)
+	}
+	pi := len(res.Strategies) - 1
+	for oi := range res.Objectives {
+		for si := range res.Strategies {
+			c := res.Cells[si][oi]
+			if c.MeanObjective <= 0 {
+				t.Errorf("cell [%s][%s] has non-positive mean %g", res.Strategies[si], res.Objectives[oi], c.MeanObjective)
+			}
+			if c.PctVsBest < 0 {
+				t.Errorf("cell [%s][%s] beats the column best: %g%%", res.Strategies[si], res.Objectives[oi], c.PctVsBest)
+			}
+		}
+		// The portfolio row must sit at or below every member row (same
+		// seeds, min over members, averaged over the same repeats).
+		for si := 0; si < pi; si++ {
+			if res.Cells[pi][oi].MeanObjective > res.Cells[si][oi].MeanObjective {
+				t.Errorf("portfolio mean %g worse than %s mean %g under %s",
+					res.Cells[pi][oi].MeanObjective, res.Strategies[si], res.Cells[si][oi].MeanObjective, res.Objectives[oi])
+			}
+		}
+	}
+
+	text := RenderStrategyComparison(res, dna.Human, 150, s.Repeats)
+	for _, want := range []string{"strategy x objective", "anneal", "portfolio", "shared cache", "never worse"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"hetopt/internal/dna"
 	"hetopt/internal/offload"
 	"hetopt/internal/space"
+	"hetopt/internal/strategy"
 )
 
 // Suite carries the shared state of an experiment session: the simulated
@@ -38,6 +39,11 @@ type Suite struct {
 	// Results are identical at any level (the engine is deterministic);
 	// only wall-clock time changes. Zero or one runs sequentially.
 	Parallelism int
+	// Strategy, when non-nil, is injected into every method run, so the
+	// whole report regenerates under a different explorer (e.g. the
+	// racing portfolio). Nil keeps the paper presets: enumeration for
+	// EM/EML, simulated annealing for SAM/SAML.
+	Strategy strategy.Strategy
 
 	models *core.Models
 }
@@ -54,9 +60,10 @@ func NewSuite() *Suite {
 	}
 }
 
-// coreOpts assembles method-run options carrying the suite's parallelism.
+// coreOpts assembles method-run options carrying the suite's
+// parallelism and injected strategy.
 func (s *Suite) coreOpts(iters int, seed int64) core.Options {
-	return core.Options{Iterations: iters, Seed: seed, Parallelism: s.Parallelism}
+	return core.Options{Iterations: iters, Seed: seed, Parallelism: s.Parallelism, Strategy: s.Strategy}
 }
 
 // Models trains (once) and returns the performance-prediction models.

@@ -1,0 +1,107 @@
+package heuristics
+
+import (
+	"fmt"
+
+	"hetopt/internal/search"
+)
+
+// Searcher runs one search to completion: RandomSearch, LocalSearch, or
+// a closure binding the extended options of TabuSearch/Genetic.
+type Searcher func(p Problem, opt Options) (Result, error)
+
+// MultiOptions configures a SearchMulti run.
+type MultiOptions struct {
+	// Options configures each restart. Seed is the base seed: restart i
+	// runs with search.ChainSeed(Seed, i), so restart 0 reproduces a
+	// plain single run with the same options.
+	Options
+	// Restarts is the number of independent restarts K. Zero or one
+	// selects a single restart, reproducing the plain searcher exactly.
+	Restarts int
+	// Parallelism caps the number of restarts searching concurrently.
+	// Zero or one runs restarts sequentially. The outcome is identical
+	// at any parallelism level: restarts are independent (each gets its
+	// own problem instance from the factory) and the winner is chosen by
+	// (energy, restart index), never by completion order.
+	Parallelism int
+}
+
+func (o MultiOptions) restarts() int {
+	if o.Restarts <= 1 {
+		return 1
+	}
+	return o.Restarts
+}
+
+// MultiResult is the outcome of a SearchMulti run.
+type MultiResult struct {
+	// Result is the winning restart's result (lowest best energy, ties
+	// broken by lowest restart index).
+	Result
+	// Restart is the index of the winning restart.
+	Restart int
+	// PerRestart holds every restart's result, indexed by restart.
+	PerRestart []Result
+}
+
+// TotalEvaluations sums the energy evaluations across all restarts.
+func (r MultiResult) TotalEvaluations() int {
+	total := 0
+	for _, c := range r.PerRestart {
+		total += c.Evaluations
+	}
+	return total
+}
+
+// SearchMulti runs K independent restarts of a searcher and returns the
+// best outcome. newProblem(i) supplies the problem instance for restart
+// i; it is called once per restart on the calling goroutine before any
+// restart runs, so implementations carrying per-run state (sticky
+// errors, evaluation counters) can hand out one instance per restart
+// while sharing read-only or concurrency-safe parts (e.g. a shared
+// evaluation memo).
+//
+// Restart i runs with the explicit per-worker seed
+// search.ChainSeed(opt.Seed, i) — the same derivation the multi-chain
+// annealer uses — rather than restarts drawing from a single
+// math/rand stream, so for a fixed (Options, Restarts) the result is
+// bit-identical at every Parallelism level.
+func SearchMulti(newProblem func(restart int) Problem, run Searcher, opt MultiOptions) (MultiResult, error) {
+	if newProblem == nil {
+		return MultiResult{}, fmt.Errorf("heuristics: nil problem factory")
+	}
+	if run == nil {
+		return MultiResult{}, fmt.Errorf("heuristics: nil searcher")
+	}
+	restarts := opt.restarts()
+	problems := make([]Problem, restarts)
+	for i := range problems {
+		if problems[i] = newProblem(i); problems[i] == nil {
+			return MultiResult{}, fmt.Errorf("heuristics: nil problem for restart %d", i)
+		}
+	}
+
+	results := make([]Result, restarts)
+	err := search.ForEach(restarts, opt.Parallelism, func(i int) error {
+		restartOpt := opt.Options
+		restartOpt.Seed = search.ChainSeed(opt.Seed, i)
+		var err error
+		results[i], err = run(problems[i], restartOpt)
+		if err != nil {
+			return fmt.Errorf("heuristics: restart %d: %w", i, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return MultiResult{}, err
+	}
+	out := MultiResult{Result: results[0], Restart: 0, PerRestart: results}
+	for i := 1; i < restarts; i++ {
+		if results[i].BestEnergy < out.BestEnergy {
+			out.Result = results[i]
+			out.Restart = i
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package heuristics
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hetopt/internal/search"
+)
+
+func tabuSearcher(p Problem, o Options) (Result, error) {
+	return TabuSearch(p, TabuOptions{Options: o})
+}
+
+func geneticSearcher(p Problem, o Options) (Result, error) {
+	return Genetic(p, GeneticOptions{Options: o})
+}
+
+// TestSearchMultiDeterministicAcrossParallelism: restarts draw explicit
+// ChainSeed-derived seeds, so the multi-restart outcome is bit-identical
+// at every parallelism level for every searcher.
+func TestSearchMultiDeterministicAcrossParallelism(t *testing.T) {
+	searchers := map[string]Searcher{
+		"random":  RandomSearch,
+		"local":   LocalSearch,
+		"tabu":    tabuSearcher,
+		"genetic": geneticSearcher,
+	}
+	for name, run := range searchers {
+		t.Run(name, func(t *testing.T) {
+			var want MultiResult
+			for i, p := range []int{1, 4, 8} {
+				res, err := SearchMulti(func(int) Problem { return newBowl() }, run, MultiOptions{
+					Options:     Options{Budget: 250, Seed: 6},
+					Restarts:    5,
+					Parallelism: p,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					want = res
+					continue
+				}
+				if !reflect.DeepEqual(want, res) {
+					t.Fatalf("parallelism %d diverged:\nwant %+v\ngot  %+v", p, want, res)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchMultiRestartZeroMatchesSingleRun: restart 0 keeps the base
+// seed, so one restart reproduces the plain searcher bit-for-bit.
+func TestSearchMultiRestartZeroMatchesSingleRun(t *testing.T) {
+	plain, err := Genetic(newBowl(), GeneticOptions{Options: Options{Budget: 300, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := SearchMulti(func(int) Problem { return newBowl() }, geneticSearcher, MultiOptions{
+		Options: Options{Budget: 300, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, multi.Result) {
+		t.Fatalf("single-restart SearchMulti diverged from the plain run:\n%+v\n%+v", plain, multi.Result)
+	}
+	if multi.Restart != 0 || len(multi.PerRestart) != 1 {
+		t.Fatalf("bookkeeping wrong: %+v", multi)
+	}
+}
+
+// TestSearchMultiSeedsDecorrelated: each restart must use
+// search.ChainSeed(seed, i), reproducible standalone.
+func TestSearchMultiSeedsDecorrelated(t *testing.T) {
+	const restarts = 4
+	multi, err := SearchMulti(func(int) Problem { return newBowl() }, RandomSearch, MultiOptions{
+		Options:  Options{Budget: 100, Seed: 12},
+		Restarts: restarts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < restarts; i++ {
+		standalone, err := RandomSearch(newBowl(), Options{Budget: 100, Seed: search.ChainSeed(12, i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(standalone, multi.PerRestart[i]) {
+			t.Fatalf("restart %d does not match its ChainSeed standalone run", i)
+		}
+		if multi.Result.BestEnergy > standalone.BestEnergy {
+			t.Fatalf("winner worse than restart %d", i)
+		}
+	}
+}
+
+func TestSearchMultiErrorPropagation(t *testing.T) {
+	if _, err := SearchMulti(nil, RandomSearch, MultiOptions{}); err == nil {
+		t.Error("nil factory must error")
+	}
+	if _, err := SearchMulti(func(int) Problem { return newBowl() }, nil, MultiOptions{}); err == nil {
+		t.Error("nil searcher must error")
+	}
+	if _, err := SearchMulti(func(int) Problem { return nil }, RandomSearch, MultiOptions{}); err == nil {
+		t.Error("nil problem must error")
+	}
+	boom := func(Problem, Options) (Result, error) { return Result{}, fmt.Errorf("boom") }
+	_, err := SearchMulti(func(int) Problem { return newBowl() }, boom, MultiOptions{Restarts: 3, Parallelism: 2})
+	if err == nil {
+		t.Error("searcher failure must propagate")
+	}
+}

@@ -11,18 +11,16 @@
 package multi
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
 
-	"hetopt/internal/anneal"
 	"hetopt/internal/core"
 	"hetopt/internal/machine"
 	"hetopt/internal/offload"
 	"hetopt/internal/perf"
-	"hetopt/internal/search"
+	"hetopt/internal/strategy"
 )
 
 // Platform is a host plus K accelerators, each with its own performance
@@ -267,7 +265,10 @@ func (p *Platform) MeasureFull(w offload.Workload, cfg Config, trial int) (Measu
 	return out, nil
 }
 
-// Problem is the multi-device tuning problem for simulated annealing.
+// Problem is the multi-device tuning problem. Its state couples the
+// fraction coordinates on a simplex, so it is a strategy.Problem but
+// not strategy.Spaced: only Initial/Neighbor-driven strategies
+// (annealing, or a portfolio of them) can tune it.
 //
 // State layout: [hostThreadIdx, hostAffIdx,
 // (devThreadIdx, devAffIdx) x K, unit_0 ... unit_K] where unit_i counts
@@ -293,28 +294,6 @@ type Problem struct {
 	// the total joules over engaged units, and the weighted/bounded
 	// objectives trade the two.
 	Objective core.Objective
-
-	err  error
-	memo *search.Memo[string, Measurement]
-}
-
-// clone returns a per-chain copy of the problem: value sets and platform
-// are shared read-only, the sticky error is chain-local, and the memo —
-// when installed by TuneParallel — is shared so chains deduplicate
-// repeated state evaluations.
-func (p *Problem) clone() *Problem {
-	c := *p
-	c.err = nil
-	return &c
-}
-
-// stateKey encodes a state vector as a compact memo key.
-func stateKey(state []int) string {
-	buf := make([]byte, 0, 2*len(state))
-	for _, v := range state {
-		buf = binary.AppendVarint(buf, int64(v))
-	}
-	return string(buf)
 }
 
 func (p *Problem) units() int {
@@ -343,11 +322,11 @@ func (p *Problem) Validate() error {
 func (p *Problem) numDevices() int { return p.Platform.NumDevices() }
 func (p *Problem) unitBase() int   { return 2 + 2*p.numDevices() }
 
-// Dim implements anneal.Problem.
+// Dim returns the state-vector length.
 func (p *Problem) Dim() int { return p.unitBase() + p.numDevices() + 1 }
 
-// Initial implements anneal.Problem: random parameters and a random
-// composition of the fraction units.
+// Initial writes a random starting state: random parameters and a
+// random composition of the fraction units.
 func (p *Problem) Initial(dst []int, rng *rand.Rand) {
 	dst[0] = rng.Intn(len(p.HostThreads))
 	dst[1] = rng.Intn(len(p.HostAffinities))
@@ -365,9 +344,9 @@ func (p *Problem) Initial(dst []int, rng *rand.Rand) {
 	}
 }
 
-// Neighbor implements anneal.Problem: half the moves perturb one
-// thread/affinity parameter, half shift one fraction unit between two
-// processors.
+// Neighbor writes a neighbor of src into dst: half the moves perturb
+// one thread/affinity parameter, half shift one fraction unit between
+// two processors (keeping the composition on the simplex).
 func (p *Problem) Neighbor(dst, src []int, rng *rand.Rand) {
 	copy(dst, src)
 	base := p.unitBase()
@@ -444,38 +423,21 @@ func (p *Problem) objective() core.Objective {
 	return p.Objective
 }
 
-// Energy implements anneal.Problem by measuring the decoded
-// configuration (through the shared memo when chains run in parallel)
-// and scoring it under the problem's objective.
-func (p *Problem) Energy(state []int) float64 {
-	if p.err != nil {
-		return math.Inf(1)
-	}
-	t, err := p.measureState(state)
+// Energy implements strategy.Problem by measuring the decoded
+// configuration and scoring it under the problem's objective.
+// Measurement is a pure function of the state and trial, so the
+// strategy layer's shared memo (installed for multi-worker runs) never
+// changes a value, only the physical effort spent.
+func (p *Problem) Energy(state []int) (float64, error) {
+	cfg, err := p.Decode(state)
 	if err != nil {
-		p.err = err
-		return math.Inf(1)
+		return 0, err
 	}
-	return p.objective().Value(t.E(), t.Joules())
-}
-
-// measureState decodes and measures a state, deduplicating through the
-// shared memo when one is installed. The memo is keyed on the state
-// alone and stores the full measurement (times and energy), so one
-// evaluation serves every objective; measurement is a pure function of
-// the state and trial, so memoization never changes a value.
-func (p *Problem) measureState(state []int) (Measurement, error) {
-	measure := func() (Measurement, error) {
-		cfg, err := p.Decode(state)
-		if err != nil {
-			return Measurement{}, err
-		}
-		return p.Platform.MeasureFull(p.Workload, cfg, p.Trial)
+	t, err := p.Platform.MeasureFull(p.Workload, cfg, p.Trial)
+	if err != nil {
+		return 0, err
 	}
-	if p.memo == nil {
-		return measure()
-	}
-	return p.memo.Do(stateKey(state), measure)
+	return p.objective().Value(t.E(), t.Joules()), nil
 }
 
 // Result is the outcome of a multi-device tuning run.
@@ -488,25 +450,35 @@ type Result struct {
 	// is its value on the final measurement.
 	Objective      string
 	ObjectiveValue float64
-	// Iterations actually performed (summed over chains when several ran).
+	// Iterations counts search steps beyond each worker's initialization
+	// (annealing candidates summed over chains; for an injected strategy,
+	// its evaluation total minus one initial evaluation per worker).
 	Iterations int
-	// Chain is the index of the winning annealing chain (0 for
-	// single-chain runs).
+	// Chain is the index of the winning search worker (the annealing
+	// chain for the default strategy; 0 for single-worker runs).
 	Chain int
 }
 
 // TuneOptions configures a TuneParallel run.
 type TuneOptions struct {
-	// Iterations is the per-chain candidate budget. Zero selects 2000.
+	// Iterations is the per-worker candidate budget. Zero selects 2000.
 	Iterations int
-	// Seed is the base seed; chain i derives anneal.ChainSeed(Seed, i).
+	// Seed is the base seed; worker i derives search.ChainSeed(Seed, i).
 	Seed int64
-	// Restarts is the number of independent annealing chains. Zero or one
-	// runs a single chain, reproducing Tune exactly.
+	// Restarts is the number of independent search workers (annealing
+	// chains for the default strategy). Zero or one runs a single
+	// worker, reproducing Tune exactly.
 	Restarts int
-	// Parallelism caps the number of chains annealing concurrently. The
+	// Parallelism caps the number of workers searching concurrently. The
 	// result is identical at any parallelism level.
 	Parallelism int
+	// Strategy injects the search strategy. Nil selects the annealing
+	// preset (InitialTemp 5, StopTemp 5e-4, the multi-device schedule).
+	// The multi-device state couples the fraction simplex, so only
+	// Initial/Neighbor-driven strategies apply — strategy.Anneal, or a
+	// strategy.Portfolio of such members; product-space strategies
+	// (exhaustive, genetic, tabu, local, random) fail with an error.
+	Strategy strategy.Strategy
 }
 
 // Tune runs simulated annealing over the multi-device space and returns
@@ -515,11 +487,12 @@ func Tune(p *Problem, iterations int, seed int64) (Result, error) {
 	return TuneParallel(p, TuneOptions{Iterations: iterations, Seed: seed})
 }
 
-// TuneParallel runs one or more simulated-annealing chains over the
-// multi-device space and returns the best configuration with its
-// measurement. Chains share a memoizing evaluation cache, so states
-// visited by several chains are measured once. For fixed (Seed, Restarts)
-// the result is bit-identical at every Parallelism level.
+// TuneParallel runs a search strategy — one or more simulated-annealing
+// chains by default — over the multi-device space and returns the best
+// configuration with its measurement. Workers share a memoizing
+// evaluation cache, so states visited by several workers are measured
+// once. For fixed (Seed, Restarts, Strategy) the result is
+// bit-identical at every Parallelism level.
 func TuneParallel(p *Problem, opt TuneOptions) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -528,37 +501,18 @@ func TuneParallel(p *Problem, opt TuneOptions) (Result, error) {
 	if iterations <= 0 {
 		iterations = 2000
 	}
-	chains := opt.Restarts
-	if chains < 1 {
-		chains = 1
+	strat := opt.Strategy
+	if strat == nil {
+		strat = strategy.Anneal{InitialTemp: 5, StopTemp: 5e-4}
 	}
-	problems := make([]*Problem, chains)
-	var memo *search.Memo[string, Measurement]
-	if chains > 1 {
-		memo = search.NewMemo[string, Measurement]()
-	}
-	res, err := anneal.MinimizeMulti(func(chain int) anneal.Problem {
-		c := p.clone()
-		c.memo = memo
-		problems[chain] = c
-		return c
-	}, anneal.MultiOptions{
-		Options: anneal.Options{
-			InitialTemp: 5,
-			StopTemp:    5e-4,
-			MaxIters:    iterations,
-			Seed:        opt.Seed,
-		},
-		Chains:      chains,
+	res, err := strat.Minimize(p, strategy.Options{
+		Budget:      iterations,
+		Seed:        opt.Seed,
+		Restarts:    opt.Restarts,
 		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return Result{}, err
-	}
-	for _, c := range problems {
-		if c.err != nil {
-			return Result{}, c.err
-		}
 	}
 	cfg, err := p.Decode(res.Best)
 	if err != nil {
@@ -575,8 +529,8 @@ func TuneParallel(p *Problem, opt TuneOptions) (Result, error) {
 		Energy:         meas.Energy,
 		Objective:      obj.Name(),
 		ObjectiveValue: obj.Value(meas.E(), meas.Joules()),
-		Iterations:     res.TotalIterations(),
-		Chain:          res.Chain,
+		Iterations:     res.Evaluations - res.Workers,
+		Chain:          res.Worker,
 	}, nil
 }
 

@@ -112,6 +112,29 @@ func (c *Cache) Unique() int { return c.memo.Unique() }
 // Hits returns the number of Evaluate calls served from the cache.
 func (c *Cache) Hits() int { return c.memo.Hits() }
 
+// ChainSeed derives the seed of worker i (an annealing chain, a
+// heuristic restart, a portfolio member) from the base seed. Worker 0
+// uses the base seed unchanged — so a single worker reproduces the
+// plain single-run behavior bit-for-bit — and later workers get
+// decorrelated streams via a SplitMix64 finalizer. Every concurrent
+// search path derives its per-worker seeds through this one function,
+// which is what makes results reproducible at any parallelism level.
+func ChainSeed(base int64, worker int) int64 {
+	if worker == 0 {
+		return base
+	}
+	return int64(splitmix64(uint64(base) + uint64(worker)*0x9E3779B97F4A7C15))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator (also used by
+// internal/perf for measurement noise): a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
 // Workers normalizes a requested parallelism: zero or negative requests
 // select 1 (sequential).
 func Workers(n int) int {

@@ -1,0 +1,128 @@
+package strategy
+
+import (
+	"fmt"
+
+	"hetopt/internal/search"
+)
+
+// Portfolio races member strategies concurrently over one shared
+// single-flight evaluation memo, following the portfolio framing
+// implicit in the paper's strategy comparison: instead of betting on
+// one metaheuristic, run several and keep the best. Every member
+// receives the same Options — the same budget, base seed and restart
+// count it would get standalone — so the portfolio's best result is
+// never worse than its best member's, by construction (the winner is
+// the lowest best energy, ties broken by the lowest member index, and
+// evaluations are pure so sharing the memo changes no value).
+//
+// The race is twofold: members run concurrently (up to
+// Options.Parallelism at once, each fanning its own restarts out over
+// the same worker budget), and an evaluation paid by whichever member
+// reaches a state first is free for every other member — the shared
+// memo guarantees no evaluation is ever paid twice across the
+// portfolio. Members that exhaust their budget early simply stand as
+// best-so-far until the slowest member finishes. Race reports the
+// cache accounting that proves the sharing.
+type Portfolio struct {
+	// Members are the racing strategies, in reporting order. A member
+	// requiring Spaced fails the race on problems with coupled
+	// coordinates; pick Initial/Neighbor-driven members (Anneal) there.
+	Members []Strategy
+}
+
+// DefaultPortfolio races the paper's annealer against all four
+// alternative metaheuristics.
+func DefaultPortfolio() Portfolio {
+	return Portfolio{Members: []Strategy{DefaultAnneal(), Genetic{}, Tabu{}, Local{}, Random{}}}
+}
+
+// Name implements Strategy.
+func (Portfolio) Name() string { return "portfolio" }
+
+// PortfolioResult reports a completed race with per-member outcomes and
+// the shared-cache accounting.
+type PortfolioResult struct {
+	// Result is the winning member's result; Result.Worker is the
+	// winning member index and Result.Evaluations the portfolio-wide
+	// logical total.
+	Result
+	// MemberNames and PerMember report each member's name and outcome,
+	// indexed in Members order.
+	MemberNames []string
+	PerMember   []Result
+	// Lookups, Unique and Hits are the shared memo's accounting across
+	// the whole race: Unique is the number of evaluations actually paid,
+	// Hits the number served for free — evaluations the portfolio did
+	// not duplicate across members.
+	Lookups, Unique, Hits int
+}
+
+// Race runs all members and returns the detailed outcome.
+func (pf Portfolio) Race(p Problem, opt Options) (PortfolioResult, error) {
+	if len(pf.Members) == 0 {
+		return PortfolioResult{}, fmt.Errorf("strategy: portfolio has no members")
+	}
+	shared := withMemo(p)
+	// Split the parallelism budget between the two fan-out levels:
+	// up to Parallelism members race concurrently, and each member's
+	// internal worker pool gets the remaining share, so total
+	// concurrency stays near Parallelism instead of Parallelism^2.
+	// Parallelism never affects results, only wall-clock.
+	racing := opt.Parallelism
+	if racing > len(pf.Members) {
+		racing = len(pf.Members)
+	}
+	memberOpt := opt
+	if racing > 1 {
+		memberOpt.Parallelism = opt.Parallelism / racing
+		if memberOpt.Parallelism < 1 {
+			memberOpt.Parallelism = 1
+		}
+	}
+	results := make([]Result, len(pf.Members))
+	err := search.ForEach(len(pf.Members), opt.Parallelism, func(i int) error {
+		r, err := pf.Members[i].Minimize(shared, memberOpt)
+		if err != nil {
+			return fmt.Errorf("strategy: portfolio member %s: %w", pf.Members[i].Name(), err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return PortfolioResult{}, err
+	}
+
+	out := PortfolioResult{
+		PerMember:   results,
+		MemberNames: make([]string, len(pf.Members)),
+	}
+	for i, m := range pf.Members {
+		out.MemberNames[i] = m.Name()
+	}
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if results[i].BestEnergy < results[best].BestEnergy {
+			best = i
+		}
+	}
+	out.Result = results[best]
+	out.Worker = best
+	out.Evaluations = 0
+	out.Workers = 0
+	for _, r := range results {
+		out.Evaluations += r.Evaluations
+		out.Workers += r.Workers
+	}
+	out.Lookups, out.Unique, out.Hits, _ = memoStats(shared)
+	return out, nil
+}
+
+// Minimize implements Strategy.
+func (pf Portfolio) Minimize(p Problem, opt Options) (Result, error) {
+	res, err := pf.Race(p, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return res.Result, nil
+}

@@ -1,0 +1,234 @@
+// Package strategy is the pluggable search layer: every optimizer in
+// the codebase — the paper's simulated annealing (Section III-A),
+// exhaustive enumeration ("enumeration, also known as brute-force"),
+// and the alternative metaheuristics the paper weighs before choosing
+// SA (genetic algorithms, local search, tabu search, random sampling) —
+// is a Strategy over one shared representation: budgeted, seeded
+// minimization of an energy over integer index vectors, the
+// representation internal/space, internal/anneal and
+// internal/heuristics already share.
+//
+// Unifying the search layer turns every optimizer x objective x space
+// combination into a first-class scenario: internal/core runs its four
+// paper methods as thin presets (EM/EML = Exhaustive, SAM/SAML =
+// Anneal) over an injected Strategy, internal/multi and
+// internal/adaptive accept the same injection, and Portfolio races any
+// set of member strategies concurrently over a shared single-flight
+// evaluation memo so no configuration is ever paid for twice.
+//
+// Seeding contract: worker i of any strategy (annealing chain,
+// heuristic restart, portfolio member's workers) draws its seed from
+// search.ChainSeed(Options.Seed, i). Winners are selected by
+// (energy, worker index), never by completion order, and evaluations
+// are pure functions of the state, so for a fixed (Strategy, Options)
+// the Result is bit-identical at every Parallelism level.
+package strategy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"hetopt/internal/search"
+)
+
+// Problem is a discrete minimization problem over integer index
+// vectors. Energy must be a pure function of the state and safe for
+// concurrent use (strategies call it from several workers); Initial and
+// Neighbor must draw all randomness from the supplied rng.
+type Problem interface {
+	// Dim returns the length of a state vector.
+	Dim() int
+	// Initial writes a valid starting state into dst.
+	Initial(dst []int, rng *rand.Rand)
+	// Neighbor writes into dst a neighbor of src; dst and src may alias.
+	Neighbor(dst, src []int, rng *rand.Rand)
+	// Energy evaluates a state; lower is better. NaN energies are
+	// treated as +Inf (never selected).
+	Energy(state []int) (float64, error)
+}
+
+// Spaced is implemented by problems whose states form a full product
+// space: every combination of per-dimension levels is a valid state.
+// Strategies that enumerate or recombine states coordinate-wise
+// (Exhaustive, Genetic, Tabu, Local, Random) require it; problems with
+// coupled coordinates (e.g. the multi-device fraction simplex) support
+// only the Initial/Neighbor-driven strategies such as Anneal.
+type Spaced interface {
+	Problem
+	// Levels returns the number of values coordinate i can take.
+	Levels(i int) int
+}
+
+// Options configures a strategy run. The zero value is usable.
+type Options struct {
+	// Budget caps the number of energy evaluations each worker spends:
+	// annealing candidates per chain (each chain additionally evaluates
+	// its initial state), heuristic evaluations per restart. Exhaustive
+	// ignores it (enumeration visits every state exactly once). Zero
+	// selects 1000, the budget the paper highlights for SA.
+	Budget int
+	// Seed is the base seed; worker i derives search.ChainSeed(Seed, i).
+	Seed int64
+	// Restarts is the number of independent workers K (annealing chains,
+	// heuristic restarts). Each worker runs the full Budget from its own
+	// seed; the best worker wins, ties broken by the lowest index.
+	// Workers share a single-flight evaluation memo, so states visited
+	// by several workers cost one evaluation. Zero or one runs a single
+	// worker, reproducing the plain single-run behavior exactly.
+	Restarts int
+	// Parallelism caps the number of workers running concurrently. The
+	// Result is bit-identical at every level; zero or one runs
+	// sequentially.
+	Parallelism int
+}
+
+func (o Options) budget() int {
+	if o.Budget <= 0 {
+		return 1000
+	}
+	return o.Budget
+}
+
+func (o Options) restarts() int {
+	if o.Restarts <= 1 {
+		return 1
+	}
+	return o.Restarts
+}
+
+// Result is the outcome of a strategy run.
+type Result struct {
+	// Best is the lowest-energy state found; BestEnergy its energy.
+	Best       []int
+	BestEnergy float64
+	// Evaluations counts Energy lookups observed across all workers,
+	// shared-memo hits included (the logical search effort; physical
+	// effort is lower whenever workers overlap).
+	Evaluations int
+	// Worker is the index of the winning worker: the chain for Anneal,
+	// the restart for the heuristic strategies, the member for
+	// Portfolio, 0 for Exhaustive (its decomposition into shards is
+	// data-parallel, not a set of independent searches).
+	Worker int
+	// Workers is the number of independent workers that ran (1 for
+	// Exhaustive; for Portfolio, the sum over members).
+	Workers int
+}
+
+// Strategy is one search method over the shared representation.
+// Implementations must be deterministic for a fixed Options at every
+// Parallelism level, and must document whether they require Spaced.
+type Strategy interface {
+	// Name identifies the strategy in reports, tables and CLI flags.
+	Name() string
+	// Minimize runs the search on p under opt.
+	Minimize(p Problem, opt Options) (Result, error)
+}
+
+// stateKey encodes a state vector as a compact memo key.
+func stateKey(state []int) string {
+	buf := make([]byte, 0, 2*len(state))
+	for _, v := range state {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return string(buf)
+}
+
+// memoProblem wraps a Problem's Energy in a concurrency-safe
+// single-flight state-keyed memo, so workers sharing one memoProblem
+// never pay for the same state twice. Evaluations are pure, so the memo
+// never changes a value — only the physical effort spent.
+type memoProblem struct {
+	Problem
+	memo *search.Memo[string, float64]
+}
+
+func (m *memoProblem) Energy(state []int) (float64, error) {
+	return m.memo.Do(stateKey(state), func() (float64, error) {
+		return m.Problem.Energy(state)
+	})
+}
+
+// spacedMemoProblem additionally forwards Levels, so a memo wrapped
+// around a Spaced problem still satisfies Spaced.
+type spacedMemoProblem struct{ *memoProblem }
+
+func (m spacedMemoProblem) Levels(i int) int { return m.Problem.(Spaced).Levels(i) }
+
+// withMemo wraps p in a fresh single-flight memo, preserving Spaced
+// exactly when p supports it (a memo over coupled coordinates must not
+// pretend to be a product space).
+func withMemo(p Problem) Problem {
+	mp := &memoProblem{Problem: p, memo: search.NewMemo[string, float64]()}
+	if _, ok := p.(Spaced); ok {
+		return spacedMemoProblem{mp}
+	}
+	return mp
+}
+
+// memoStats reports the shared-memo accounting of a problem returned by
+// withMemo: total lookups, unique (paid) evaluations, and hits.
+func memoStats(p Problem) (lookups, unique, hits int, ok bool) {
+	var mp *memoProblem
+	switch t := p.(type) {
+	case *memoProblem:
+		mp = t
+	case spacedMemoProblem:
+		mp = t.memoProblem
+	default:
+		return 0, 0, 0, false
+	}
+	return mp.memo.Lookups(), mp.memo.Unique(), mp.memo.Hits(), true
+}
+
+// spacedOrErr asserts that a strategy requiring a product space got one.
+func spacedOrErr(name string, p Problem) (Spaced, error) {
+	if sp, ok := p.(Spaced); ok {
+		return sp, nil
+	}
+	return nil, fmt.Errorf("strategy: %s requires a product-space problem (strategy.Spaced); %T has coupled coordinates", name, p)
+}
+
+// sanitize maps NaN to +Inf so broken evaluations are never selected.
+func sanitize(e float64) float64 {
+	if math.IsNaN(e) {
+		return math.Inf(1)
+	}
+	return e
+}
+
+// Names lists the parseable strategy names in presentation order.
+func Names() []string {
+	return []string{"anneal", "exhaustive", "genetic", "tabu", "local", "random", "portfolio"}
+}
+
+// Parse converts a CLI-style strategy name into a Strategy with default
+// construction parameters: "anneal" uses DefaultAnneal (the paper's
+// schedule rescaled to seconds-valued energies), and "portfolio" races
+// DefaultPortfolio's members. An empty name returns (nil, nil), meaning
+// "let the caller pick its method preset".
+func Parse(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "auto":
+		return nil, nil
+	case "anneal":
+		return DefaultAnneal(), nil
+	case "exhaustive":
+		return Exhaustive{}, nil
+	case "genetic":
+		return Genetic{}, nil
+	case "tabu":
+		return Tabu{}, nil
+	case "local":
+		return Local{}, nil
+	case "random":
+		return Random{}, nil
+	case "portfolio":
+		return DefaultPortfolio(), nil
+	default:
+		return nil, fmt.Errorf("strategy: unknown strategy %q (want %s)", name, strings.Join(Names(), ", "))
+	}
+}
