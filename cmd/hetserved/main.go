@@ -1,0 +1,140 @@
+// Command hetserved serves tuning-as-a-service: an HTTP/JSON API that
+// answers "what is the near-optimal configuration for workload W under
+// objective O?" queries as asynchronous jobs on a bounded worker pool,
+// with a warm-start result store answering repeat queries from cache.
+//
+// Usage:
+//
+//	hetserved -addr :8080 -workers 4 -queue 64 -cache-size 1024
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"genome":"human","method":"sam","iterations":500,"seed":7}'
+//	curl -s localhost:8080/v1/jobs/j-000001
+//	curl -s -X POST localhost:8080/v1/jobs:batch \
+//	  -d '{"template":{"method":"sam"},"alphas":[0,0.25,0.5,0.75,1]}'
+//	curl -s localhost:8080/v1/metrics
+//
+// The server shuts down gracefully on SIGTERM/SIGINT: the listener
+// closes first, then every accepted job — queued and in-flight —
+// drains to completion (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetopt/internal/serve"
+)
+
+// params collects the validated CLI inputs.
+type params struct {
+	addr         string
+	workers      int
+	queue        int
+	cacheSize    int
+	parallel     int
+	pretrain     bool
+	drainTimeout time.Duration
+}
+
+// validate rejects bad flag values before binding the listener.
+func (p *params) validate() error {
+	if p.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if p.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = default), got %d", p.workers)
+	}
+	if p.queue < 0 {
+		return fmt.Errorf("-queue must be >= 0 (0 = default), got %d", p.queue)
+	}
+	if p.cacheSize < 0 {
+		return fmt.Errorf("-cache-size must be >= 0 (0 = unbounded), got %d", p.cacheSize)
+	}
+	if p.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", p.parallel)
+	}
+	if p.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", p.drainTimeout)
+	}
+	return nil
+}
+
+func main() {
+	var p params
+	flag.StringVar(&p.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&p.workers, "workers", 4, "worker-pool size (0 = default)")
+	flag.IntVar(&p.queue, "queue", 64, "pending-job queue bound; full queue answers 429 (0 = default)")
+	flag.IntVar(&p.cacheSize, "cache-size", 1024, "warm-start store capacity, LRU-evicted beyond it (0 = unbounded)")
+	flag.IntVar(&p.parallel, "parallel", 1, "per-job search worker count; never affects results")
+	flag.BoolVar(&p.pretrain, "pretrain", false, "train the prediction models at startup instead of on the first EML/SAML job")
+	flag.DurationVar(&p.drainTimeout, "drain-timeout", 60*time.Second, "graceful-shutdown budget for draining accepted jobs")
+	flag.Parse()
+
+	if err := p.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "hetserved:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(p); err != nil {
+		fmt.Fprintln(os.Stderr, "hetserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p params) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	s := serve.New(serve.Options{
+		Workers:     p.workers,
+		QueueSize:   p.queue,
+		StoreSize:   p.cacheSize,
+		Parallelism: p.parallel,
+	})
+	if p.pretrain {
+		fmt.Println("hetserved: training prediction models...")
+		if err := s.Pretrain(); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: p.addr, Handler: s}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("hetserved: listening on %s (%d workers, queue %d, store %d)\n",
+		p.addr, p.workers, p.queue, p.cacheSize)
+	for _, ep := range serve.Endpoints() {
+		fmt.Println("  ", ep)
+	}
+
+	select {
+	case err := <-errCh:
+		// ListenAndServe only returns on failure to bind or serve.
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("hetserved: shutting down, draining accepted jobs...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), p.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("closing listener: %w", err)
+	}
+	if err := s.Drain(shutCtx); err != nil {
+		return fmt.Errorf("draining jobs: %w", err)
+	}
+	fmt.Println("hetserved: drained, bye")
+	return nil
+}

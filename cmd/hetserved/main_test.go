@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// valid returns a baseline valid parameter set.
+func valid() params {
+	return params{
+		addr:         ":0",
+		workers:      4,
+		queue:        64,
+		cacheSize:    1024,
+		parallel:     1,
+		drainTimeout: time.Minute,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	p := valid()
+	if err := p.validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	p.workers, p.queue, p.cacheSize, p.parallel = 0, 0, 0, 0 // all mean "default/unbounded"
+	if err := p.validate(); err != nil {
+		t.Fatalf("zero defaults rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*params)
+		want string
+	}{
+		{"empty addr", func(p *params) { p.addr = "" }, "-addr"},
+		{"negative workers", func(p *params) { p.workers = -1 }, "-workers"},
+		{"negative queue", func(p *params) { p.queue = -2 }, "-queue"},
+		{"negative cache", func(p *params) { p.cacheSize = -1 }, "-cache-size"},
+		{"negative parallel", func(p *params) { p.parallel = -3 }, "-parallel"},
+		{"zero drain timeout", func(p *params) { p.drainTimeout = 0 }, "-drain-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid()
+			tc.mut(&p)
+			err := p.validate()
+			if err == nil {
+				t.Fatalf("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalid ensures run re-validates (library-style callers
+// bypass main's check).
+func TestRunRejectsInvalid(t *testing.T) {
+	p := valid()
+	p.workers = -1
+	if err := run(p); err == nil {
+		t.Fatalf("run accepted invalid params")
+	}
+}

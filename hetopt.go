@@ -56,6 +56,7 @@ import (
 	"hetopt/internal/multi"
 	"hetopt/internal/offload"
 	"hetopt/internal/perf"
+	"hetopt/internal/serve"
 	"hetopt/internal/space"
 	"hetopt/internal/strategy"
 )
@@ -158,6 +159,22 @@ type (
 	// measured refinement of a suggested configuration.
 	RefineOptions = adaptive.Options
 	RefineResult  = adaptive.Result
+	// Server is the embeddable tuning-as-a-service HTTP handler
+	// (cmd/hetserved wraps it): async jobs over a bounded worker pool
+	// with a warm-start result store. ServeOptions configures it.
+	Server       = serve.Server
+	ServeOptions = serve.Options
+	// TuneRequest and TuneResult are the service's wire types;
+	// TuneRequest.Normalize canonicalizes a request the way the
+	// warm-start store keys it.
+	TuneRequest = serve.TuneRequest
+	TuneResult  = serve.TuneResult
+	// TuneJobStatus is the wire form of one async job;
+	// TuneBatchRequest the batch/alpha-sweep submission form, and
+	// ServerMetrics the counters behind GET /v1/metrics.
+	TuneJobStatus    = serve.JobStatus
+	TuneBatchRequest = serve.BatchRequest
+	ServerMetrics    = serve.Metrics
 )
 
 // Affinity values (Table I).
@@ -301,6 +318,12 @@ func TuneMultiParallel(p *MultiProblem, opt MultiTuneOptions) (MultiResult, erro
 // NewDynamicScheduler returns the dynamic self-scheduling baseline on the
 // paper platform's performance model.
 func NewDynamicScheduler() *DynamicScheduler { return dynsched.NewScheduler() }
+
+// NewServer builds the tuning service handler: mount it on any
+// http.Server (or use cmd/hetserved), POST tune jobs to /v1/jobs, and
+// poll /v1/jobs/{id}. Identical requests are answered bit-identically,
+// repeats from the warm-start store.
+func NewServer(opt ServeOptions) *Server { return serve.New(opt) }
 
 // CompileMotifsBothStrands compiles a motif set matching both DNA
 // strands (each motif plus its reverse complement; palindromes once).

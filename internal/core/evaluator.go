@@ -69,6 +69,13 @@ func (m *Measurer) Evaluate(cfg space.Config) (offload.Measurement, error) {
 // Count returns the number of experiments performed so far.
 func (m *Measurer) Count() int { return int(m.count.Load()) }
 
+// Charge advances the effort counter by one without performing a
+// measurement. Interposed evaluators (Instance.MeasureCache) use it to
+// charge an evaluation that a cross-run cache served physically, so a
+// run's Experiments stays a pure function of the run itself rather
+// than of cache warmth.
+func (m *Measurer) Charge() { m.count.Add(1) }
+
 // ResetCount zeroes the experiment counter.
 func (m *Measurer) ResetCount() { m.count.Store(0) }
 

@@ -77,6 +77,28 @@ type Instance struct {
 	Measurer *Measurer
 	// Predictor provides ML evaluations; required for EML and SAML.
 	Predictor *Predictor
+	// MeasureCache, when non-nil, interposes a memoizing evaluator in
+	// front of Measurer for every measurement the run performs — the
+	// search-time evaluations of EM/SAM and the final fair-comparison
+	// measurement alike. It must be backed by this instance's Measurer
+	// (e.g. a search.Cache wrapping it, or a memo shared across
+	// instances for the same workload) so the effort counter still
+	// reflects the physical experiments paid. Measurements are pure
+	// functions of the configuration, so interposing a cache never
+	// changes a returned value, only how often the experiment is
+	// actually run. The serving layer uses this to share one
+	// configuration-keyed memo across concurrent jobs for the same
+	// workload; nil measures directly.
+	MeasureCache Evaluator
+}
+
+// measureEvaluator returns the evaluator used for measurements: the
+// interposed cache when present, the raw measurer otherwise.
+func (inst *Instance) measureEvaluator() Evaluator {
+	if inst.MeasureCache != nil {
+		return inst.MeasureCache
+	}
+	return inst.Measurer
 }
 
 // Validate checks the instance against the method's needs.
@@ -243,7 +265,7 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 	if m.UsesML() {
 		evalSet = inst.Predictor
 	} else {
-		evalSet = inst.Measurer
+		evalSet = inst.measureEvaluator()
 	}
 
 	obj := opt.objective()
@@ -256,7 +278,7 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 	// Fair comparison: measure the suggested configuration. For
 	// measurement-driven methods this re-measures the same trial, which
 	// reproduces the identical value at no extra information.
-	measured, err := inst.Measurer.Evaluate(best)
+	measured, err := inst.measureEvaluator().Evaluate(best)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: measuring suggested configuration: %w", err)
 	}
@@ -356,7 +378,7 @@ func HostOnlyBaseline(inst *Instance) (Result, error) {
 			DeviceAffinity: inst.Schema.DeviceAffinityValues()[0],
 			HostFraction:   100,
 		}
-		t, err := inst.Measurer.Evaluate(cfg)
+		t, err := inst.measureEvaluator().Evaluate(cfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -388,7 +410,7 @@ func DeviceOnlyBaseline(inst *Instance) (Result, error) {
 			DeviceThreads: threads, DeviceAffinity: aff,
 			HostFraction: 0,
 		}
-		t, err := inst.Measurer.Evaluate(cfg)
+		t, err := inst.measureEvaluator().Evaluate(cfg)
 		if err != nil {
 			return Result{}, err
 		}

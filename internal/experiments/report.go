@@ -172,6 +172,13 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		if err := section(RenderStrategyComparison(sc, dnaHuman(), 1000, s.repeats())); err != nil {
 			return err
 		}
+		tp, err := s.ServingThroughput([]int{1, 4, 8}, 4, 3, 200)
+		if err != nil {
+			return err
+		}
+		if err := section(RenderServingThroughput(tp)); err != nil {
+			return err
+		}
 		md, err := s.ExtMultiDevice(dnaHuman(), 3, 2500)
 		if err != nil {
 			return err

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServingThroughput checks the deterministic half of the serving
+// experiment: every job completes and the single-flight store pays each
+// distinct request exactly once, at every worker count.
+func TestServingThroughput(t *testing.T) {
+	s := NewSuite()
+	const distinct, repeats, iters = 3, 3, 30
+	res, err := s.ServingThroughput([]int{1, 4}, distinct, repeats, iters)
+	if err != nil {
+		t.Fatalf("ServingThroughput: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Jobs != distinct*repeats {
+			t.Fatalf("workers %d: %d jobs, want %d", r.Workers, r.Jobs, distinct*repeats)
+		}
+		if r.StoreHits != r.Jobs-distinct {
+			t.Fatalf("workers %d: %d store hits, want %d (single-flight pays each distinct request once)",
+				r.Workers, r.StoreHits, r.Jobs-distinct)
+		}
+		if r.ElapsedMS <= 0 || r.ReqPerSec <= 0 {
+			t.Fatalf("workers %d: non-positive timing %+v", r.Workers, r)
+		}
+	}
+
+	rendered := RenderServingThroughput(res)
+	for _, want := range []string{"tuning-service throughput", "hit ratio", "req/s"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered table lacks %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestServingThroughputRejectsBadShape(t *testing.T) {
+	s := NewSuite()
+	if _, err := s.ServingThroughput([]int{1}, 0, 1, 10); err == nil {
+		t.Fatalf("distinct=0 accepted")
+	}
+	if _, err := s.ServingThroughput([]int{1}, 1, 0, 10); err == nil {
+		t.Fatalf("repeats=0 accepted")
+	}
+}

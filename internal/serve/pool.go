@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Pool.Submit when the bounded queue has no
+// room; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrPoolClosed is returned by Pool.Submit after Shutdown began; the
+// HTTP layer maps it to 503 Service Unavailable.
+var ErrPoolClosed = errors.New("serve: pool shutting down")
+
+// Pool runs submitted jobs on a fixed set of worker goroutines fed from
+// a bounded queue. Submission never blocks: a full queue is reported as
+// ErrQueueFull, which is the service's backpressure signal. Shutdown
+// stops intake and drains — every job accepted before Shutdown, queued
+// or in-flight, still runs to completion.
+type Pool struct {
+	queue chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	depth   atomic.Int64 // jobs accepted but not yet started
+	running atomic.Int64 // jobs currently executing
+}
+
+// NewPool starts workers goroutines over a queue holding up to
+// queueSize pending jobs (minimums of 1 apply to both).
+func NewPool(workers, queueSize int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueSize < 1 {
+		queueSize = 1
+	}
+	p := &Pool{queue: make(chan func(), queueSize)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				p.depth.Add(-1)
+				p.running.Add(1)
+				fn()
+				p.running.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues fn, returning ErrQueueFull when the queue has no room
+// and ErrPoolClosed after Shutdown began.
+func (p *Pool) Submit(fn func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- fn:
+		p.depth.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Shutdown stops intake and waits for every accepted job — queued and
+// in-flight — to finish, or for ctx to expire (in which case workers
+// keep draining in the background and the context error is returned).
+// Shutdown is idempotent.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Depth returns the number of accepted jobs not yet started.
+func (p *Pool) Depth() int64 { return p.depth.Load() }
+
+// Running returns the number of jobs currently executing.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Capacity returns the queue capacity.
+func (p *Pool) Capacity() int { return cap(p.queue) }

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-gate }); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started // the single worker is now busy, queue is empty
+	if err := p.Submit(func() { <-gate }); err != nil {
+		t.Fatalf("second submit (fills the queue): %v", err)
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit got %v, want ErrQueueFull", err)
+	}
+	close(gate)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestPoolShutdownDrains(t *testing.T) {
+	p := NewPool(1, 4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	ran := make([]bool, 3)
+	if err := p.Submit(func() { close(started); <-gate; ran[0] = true }); err != nil {
+		t.Fatalf("submit 0: %v", err)
+	}
+	<-started
+	for i := 1; i < 3; i++ {
+		i := i
+		if err := p.Submit(func() { ran[i] = true }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- p.Shutdown(context.Background()) }()
+
+	// Intake must close promptly even while jobs are still draining.
+	deadline := time.After(5 * time.Second)
+	for {
+		err := p.Submit(func() {})
+		if errors.Is(err, ErrPoolClosed) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("submit after Shutdown never returned ErrPoolClosed (got %v)", err)
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	close(gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("accepted job %d was dropped by shutdown (drain must run queued jobs)", i)
+		}
+	}
+	// Idempotent.
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestPoolShutdownContextExpiry(t *testing.T) {
+	p := NewPool(1, 1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-gate }); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown with stuck job got %v, want DeadlineExceeded", err)
+	}
+	close(gate)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown after release: %v", err)
+	}
+}
+
+func TestPoolCounters(t *testing.T) {
+	p := NewPool(1, 8)
+	if p.Capacity() != 8 {
+		t.Fatalf("capacity %d, want 8", p.Capacity())
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-gate }); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if p.Running() != 1 {
+		t.Fatalf("running %d, want 1", p.Running())
+	}
+	if p.Depth() != 1 {
+		t.Fatalf("depth %d, want 1", p.Depth())
+	}
+	close(gate)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if p.Running() != 0 || p.Depth() != 0 {
+		t.Fatalf("counters after drain: running=%d depth=%d", p.Running(), p.Depth())
+	}
+}

@@ -1,0 +1,684 @@
+// Package serve is the tuning-as-a-service layer: an HTTP/JSON server
+// (stdlib net/http only) that answers the paper's query shape — "what is
+// the near-optimal configuration for workload W under objective O?" —
+// as asynchronous jobs on a bounded worker pool, with a warm-start
+// result store so repeat queries are served from cache, and a batch
+// endpoint that maps a whole time/energy front (a list of alphas) in
+// one call. See DESIGN.md, "The serving layer".
+//
+// Endpoints:
+//
+//	POST /v1/jobs        submit one tune request; 202 + job id
+//	                     (200 with the result when the store already
+//	                     holds it), 429 on queue backpressure
+//	POST /v1/jobs:batch  submit a request list and/or an alpha sweep
+//	GET  /v1/jobs/{id}   poll a job
+//	GET  /v1/healthz     liveness and pool state
+//	GET  /v1/metrics     request/job/store/latency counters
+//
+// Determinism contract: a request is canonicalized (TuneRequest.
+// Normalize) before keying the store, so identical requests — whatever
+// their field order or explicit defaults — produce bit-identical
+// results, the second one marked as a store hit. Concurrent jobs for
+// the same workload share a configuration-keyed evaluation memo (via
+// core.Instance.MeasureCache), so overlapping searches never pay for
+// the same measurement twice.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetopt/internal/core"
+	"hetopt/internal/offload"
+	"hetopt/internal/search"
+	"hetopt/internal/space"
+)
+
+// Options configures a Server. The zero value selects the paper
+// platform and schema, 4 workers, a 64-slot queue and an unbounded
+// store.
+type Options struct {
+	// Platform is the measurement substrate; nil selects the simulated
+	// paper platform.
+	Platform *offload.Platform
+	// Schema is the configuration space; nil selects the paper schema.
+	Schema *space.Schema
+	// Plan is the model-training grid for the ML methods; the zero
+	// value selects the paper plan. Models are trained lazily, once, on
+	// the first EML/SAML job.
+	Plan core.TrainingPlan
+	// TrainOpt configures model fitting.
+	TrainOpt core.TrainOptions
+	// Workers is the worker-pool size; <= 0 selects 4.
+	Workers int
+	// QueueSize bounds the pending-job queue (backpressure beyond it);
+	// <= 0 selects 64.
+	QueueSize int
+	// StoreSize bounds the warm-start store (LRU eviction beyond it);
+	// <= 0 means unbounded.
+	StoreSize int
+	// JobRetention bounds the job-status registry: beyond it the oldest
+	// completed jobs are forgotten (their GET answers 404; queued and
+	// running jobs are never evicted). <= 0 selects 4096.
+	JobRetention int
+	// Parallelism is the per-job search worker count; <= 0 runs each
+	// job sequentially. It never affects results, only wall-clock.
+	Parallelism int
+}
+
+// metrics aggregates the service counters behind GET /v1/metrics.
+type metrics struct {
+	requests  sync.Map // endpoint name -> *atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	storeHits atomic.Int64
+	jobNanos  atomic.Int64
+	jobCount  atomic.Int64
+}
+
+func (m *metrics) request(endpoint string) {
+	c, _ := m.requests.LoadOrStore(endpoint, &atomic.Int64{})
+	c.(*atomic.Int64).Add(1)
+}
+
+func (m *metrics) observeJob(d time.Duration) {
+	m.jobNanos.Add(int64(d))
+	m.jobCount.Add(1)
+}
+
+// job is the server-side state of one submission.
+type job struct {
+	mu     sync.Mutex
+	id     string
+	key    string
+	req    TuneRequest // canonical
+	state  JobState
+	cached bool
+	result *TuneResult
+	err    string
+}
+
+// setDone transitions the job to done/failed.
+func (j *job) setDone(res TuneResult, err error, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state = JobFailed
+		j.err = err.Error()
+		return
+	}
+	j.state = JobDone
+	j.cached = cached
+	j.result = &res
+}
+
+// finished reports whether the job reached a terminal state.
+func (j *job) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == JobDone || j.state == JobFailed
+}
+
+// status snapshots the job's wire form.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.id,
+		State:   j.state,
+		Cached:  j.cached,
+		Request: j.req,
+		Key:     j.key,
+		Error:   j.err,
+	}
+	if j.result != nil {
+		r := *j.result
+		st.Result = &r
+	}
+	return st
+}
+
+// workloadKey identifies the shared evaluation state of one workload.
+type workloadKey struct {
+	name   string
+	sizeMB float64
+}
+
+// Server is the tuning service. Construct with New; it implements
+// http.Handler.
+type Server struct {
+	opt   Options
+	pool  *Pool
+	store *Store
+	mux   *http.ServeMux
+	met   metrics
+
+	jobsMu   sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // registration order, drives retention eviction
+	nextID   atomic.Int64
+
+	draining atomic.Bool
+
+	trainOnce sync.Once
+	models    *core.Models
+	trainErr  error
+
+	evalMu     sync.Mutex
+	memos      map[workloadKey]*search.Memo[space.Config, offload.Measurement]
+	memoOrder  []workloadKey
+	predictors map[workloadKey]*core.Predictor
+	predOrder  []workloadKey
+
+	// runFn executes one canonical request; tests substitute it to
+	// exercise pool/store semantics without real tuning runs.
+	runFn func(TuneRequest) (TuneResult, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(opt Options) *Server {
+	if opt.Platform == nil {
+		opt.Platform = offload.NewPlatform()
+	}
+	if opt.Schema == nil {
+		opt.Schema = space.PaperSchema()
+	}
+	if len(opt.Plan.Genomes) == 0 {
+		opt.Plan = core.PaperTrainingPlan()
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.QueueSize <= 0 {
+		opt.QueueSize = 64
+	}
+	if opt.JobRetention <= 0 {
+		opt.JobRetention = 4096
+	}
+	s := &Server{
+		opt:        opt,
+		pool:       NewPool(opt.Workers, opt.QueueSize),
+		store:      NewStore(opt.StoreSize),
+		jobs:       map[string]*job{},
+		memos:      map[workloadKey]*search.Memo[space.Config, offload.Measurement]{},
+		predictors: map[workloadKey]*core.Predictor{},
+	}
+	s.runFn = s.runTune
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	s.mux.HandleFunc("POST /v1/jobs:batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops job intake and waits for every accepted job — queued and
+// in-flight — to finish, or for ctx to expire. Call after shutting the
+// HTTP listener down.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.Shutdown(ctx)
+}
+
+// writeJSON marshals v with a trailing newline (curl-friendly).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errorJSON is the error envelope of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// submit turns one canonical (already-normalized) request into a
+// registered job: served synchronously from the warm-start store when
+// possible, enqueued on the pool otherwise. A full queue or a draining
+// server is reported as an error with no job registered.
+func (s *Server) submit(req TuneRequest) (JobStatus, error) {
+	if s.draining.Load() {
+		return JobStatus{}, ErrPoolClosed
+	}
+	key := req.Key()
+
+	j := &job{
+		id:    fmt.Sprintf("j-%06d", s.nextID.Add(1)),
+		key:   key,
+		req:   req,
+		state: JobQueued,
+	}
+
+	// Warm start: a completed store entry answers the job right here,
+	// without occupying the pool (cached POSTs are never backpressured).
+	start := time.Now()
+	if res, ok := s.store.Peek(key); ok {
+		j.setDone(res, nil, true)
+		s.met.submitted.Add(1)
+		s.met.storeHits.Add(1)
+		s.met.completed.Add(1)
+		s.met.observeJob(time.Since(start))
+		s.register(j)
+		return j.status(), nil
+	}
+
+	err := s.pool.Submit(func() {
+		j.mu.Lock()
+		j.state = JobRunning
+		j.mu.Unlock()
+		res, err, hit := s.store.Do(key, func() (TuneResult, error) {
+			return s.runFn(req)
+		})
+		j.setDone(res, err, hit)
+		if err != nil {
+			s.met.failed.Add(1)
+		} else {
+			s.met.completed.Add(1)
+			if hit {
+				s.met.storeHits.Add(1)
+			}
+		}
+		s.met.observeJob(time.Since(start))
+	})
+	if err != nil {
+		s.met.rejected.Add(1)
+		return JobStatus{}, err
+	}
+	s.met.submitted.Add(1)
+	s.register(j)
+	return j.status(), nil
+}
+
+// register publishes a job for GET /v1/jobs/{id}, forgetting the
+// oldest completed jobs beyond the retention bound so the registry
+// cannot grow without limit under steady traffic. Queued and running
+// jobs are never evicted.
+func (s *Server) register(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	if len(s.jobs) <= s.opt.JobRetention {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		jj, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) > s.opt.JobRetention && jj.finished() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// lookup resolves a job id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// submitStatus maps a submission error to its HTTP status code.
+func submitStatus(err error) int {
+	switch err {
+	case ErrQueueFull:
+		return http.StatusTooManyRequests
+	case ErrPoolClosed:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	s.met.request("jobs")
+	var raw TuneRequest
+	if err := decodeBody(w, r, &raw); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	req, err := raw.Normalize()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	st, err := s.submit(req)
+	if err != nil {
+		writeJSON(w, submitStatus(err), errorJSON{err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == JobDone {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.request("batch")
+	var batch BatchRequest
+	if err := decodeBody(w, r, &batch); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	reqs, err := batch.expand()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	// Normalize the whole batch before submitting any member: a batch
+	// with a malformed request is rejected atomically, and the
+	// canonical forms are reused for submission and rejection alike.
+	canon := make([]TuneRequest, len(reqs))
+	for i, raw := range reqs {
+		c, err := raw.Normalize()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+			return
+		}
+		canon[i] = c
+	}
+	resp := BatchResponse{Jobs: make([]JobStatus, 0, len(canon))}
+	accepted := 0
+	for _, req := range canon {
+		st, err := s.submit(req)
+		if err != nil {
+			// Queue backpressure mid-batch: report the member rejected
+			// in-line and keep going — accepted members stay valid.
+			resp.Jobs = append(resp.Jobs, JobStatus{
+				State:   JobRejected,
+				Request: req,
+				Key:     req.Key(),
+				Error:   err.Error(),
+			})
+			continue
+		}
+		accepted++
+		resp.Jobs = append(resp.Jobs, st)
+	}
+	code := http.StatusAccepted
+	if accepted == 0 {
+		// Nothing got in: backpressure (429), or shutdown (503).
+		code = http.StatusTooManyRequests
+		if s.draining.Load() {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	s.met.request("get_job")
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("serve: unknown job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.request("healthz")
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	s.jobsMu.Lock()
+	jobs := len(s.jobs)
+	s.jobsMu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:  status,
+		Workers: s.opt.Workers,
+		Jobs:    jobs,
+		Entries: s.store.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.request("metrics")
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// Metrics snapshots the service counters.
+func (s *Server) Metrics() Metrics {
+	var m Metrics
+	m.Requests = map[string]int64{}
+	s.met.requests.Range(func(k, v any) bool {
+		m.Requests[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	m.Jobs.Submitted = s.met.submitted.Load()
+	m.Jobs.Completed = s.met.completed.Load()
+	m.Jobs.Failed = s.met.failed.Load()
+	m.Jobs.Rejected = s.met.rejected.Load()
+	m.Jobs.StoreHits = s.met.storeHits.Load()
+	m.Store.Lookups = int64(s.store.Lookups())
+	m.Store.Hits = int64(s.store.Hits())
+	m.Store.Entries = int64(s.store.Len())
+	m.Store.Evictions = int64(s.store.Evictions())
+	m.Latency.Count = s.met.jobCount.Load()
+	m.Latency.TotalMS = float64(s.met.jobNanos.Load()) / 1e6
+	if m.Latency.Count > 0 {
+		m.Latency.MeanMS = m.Latency.TotalMS / float64(m.Latency.Count)
+	}
+	m.Queue.Workers = s.opt.Workers
+	m.Queue.Capacity = s.pool.Capacity()
+	m.Queue.Depth = s.pool.Depth()
+	m.Queue.Running = s.pool.Running()
+	return m
+}
+
+// decodeBody strictly decodes a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request body: %w", err)
+	}
+	return nil
+}
+
+// maxWorkloadStates bounds the per-workload shared state maps (memos,
+// predictors): workload identity includes the caller-controlled
+// size_mb, so without a bound a size scan would accumulate state
+// forever. Beyond the bound the oldest workload's state is dropped —
+// in-flight jobs keep their pointers (still correct, just no sharing
+// with future jobs for that workload).
+const maxWorkloadStates = 64
+
+// sharedMemo returns the per-workload evaluation memo, creating it on
+// first use. Every concurrent job for the same workload funnels its
+// measurements through this memo, so overlapping searches pay for each
+// configuration once.
+func (s *Server) sharedMemo(k workloadKey) *search.Memo[space.Config, offload.Measurement] {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	m, ok := s.memos[k]
+	if !ok {
+		m = search.NewMemo[space.Config, offload.Measurement]()
+		s.memos[k] = m
+		s.memoOrder = append(s.memoOrder, k)
+		if len(s.memoOrder) > maxWorkloadStates {
+			delete(s.memos, s.memoOrder[0])
+			s.memoOrder = s.memoOrder[1:]
+		}
+	}
+	return m
+}
+
+// memoEval is a per-job evaluator funneling this job's measurer
+// through the workload's shared memo. Two layers keep the accounting
+// deterministic while the physical work is shared: the per-job memo
+// charges this job's effort counter exactly once per distinct
+// configuration it visits — whether the shared memo computes the
+// measurement or replays one another job paid — so a job's Experiments
+// is a pure function of its request, not of cache warmth; the shared
+// memo ensures each configuration is physically measured at most once
+// per workload across the whole server.
+type memoEval struct {
+	jobMemo *search.Memo[space.Config, offload.Measurement]
+	shared  *search.Memo[space.Config, offload.Measurement]
+	meas    *core.Measurer
+}
+
+// newMemoEval builds the two-layer evaluator for one job.
+func newMemoEval(shared *search.Memo[space.Config, offload.Measurement], meas *core.Measurer) *memoEval {
+	return &memoEval{
+		jobMemo: search.NewMemo[space.Config, offload.Measurement](),
+		shared:  shared,
+		meas:    meas,
+	}
+}
+
+// Evaluate implements core.Evaluator.
+func (e *memoEval) Evaluate(cfg space.Config) (offload.Measurement, error) {
+	return e.jobMemo.Do(cfg, func() (offload.Measurement, error) {
+		computed := false
+		m, err := e.shared.Do(cfg, func() (offload.Measurement, error) {
+			computed = true
+			return e.meas.Evaluate(cfg)
+		})
+		if err == nil && !computed {
+			// Served by another job's measurement: charge the logical
+			// experiment without re-running it.
+			e.meas.Charge()
+		}
+		return m, err
+	})
+}
+
+// trainedModels trains the prediction models exactly once (first ML
+// job) and replays the outcome afterwards.
+func (s *Server) trainedModels() (*core.Models, error) {
+	s.trainOnce.Do(func() {
+		s.models, s.trainErr = core.Train(s.opt.Platform, s.opt.Plan, s.opt.TrainOpt)
+	})
+	return s.models, s.trainErr
+}
+
+// Pretrain trains the prediction models eagerly; otherwise the first
+// EML/SAML job pays the one-time training cost.
+func (s *Server) Pretrain() error {
+	_, err := s.trainedModels()
+	return err
+}
+
+// predictor returns the shared per-workload predictor (its internal
+// memo tables are concurrency-safe, so jobs share prediction work too).
+func (s *Server) predictor(k workloadKey, w offload.Workload) (*core.Predictor, error) {
+	models, err := s.trainedModels()
+	if err != nil {
+		return nil, err
+	}
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	if p, ok := s.predictors[k]; ok {
+		return p, nil
+	}
+	p, err := core.NewPredictor(models, w, s.opt.Platform.Model())
+	if err != nil {
+		return nil, err
+	}
+	s.predictors[k] = p
+	s.predOrder = append(s.predOrder, k)
+	if len(s.predOrder) > maxWorkloadStates {
+		delete(s.predictors, s.predOrder[0])
+		s.predOrder = s.predOrder[1:]
+	}
+	return p, nil
+}
+
+// runTune executes one canonical request on the strategy layer.
+func (s *Server) runTune(req TuneRequest) (TuneResult, error) {
+	w, err := req.workload()
+	if err != nil {
+		return TuneResult{}, err
+	}
+	method, err := core.ParseMethod(req.Method)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	strat, err := core.ParseStrategy(req.Strategy)
+	if err != nil {
+		return TuneResult{}, err
+	}
+
+	wk := workloadKey{name: w.Name, sizeMB: w.SizeMB}
+	meas := core.NewMeasurer(s.opt.Platform, w)
+	inst := &core.Instance{
+		Schema:       s.opt.Schema,
+		Measurer:     meas,
+		MeasureCache: newMemoEval(s.sharedMemo(wk), meas),
+	}
+	if method.UsesML() {
+		pred, err := s.predictor(wk, w)
+		if err != nil {
+			return TuneResult{}, err
+		}
+		inst.Predictor = pred
+	}
+
+	opt := core.Options{
+		Iterations:  req.Iterations,
+		Seed:        req.Seed,
+		Restarts:    req.Restarts,
+		Parallelism: s.opt.Parallelism,
+		Strategy:    strat,
+	}
+
+	if req.Objective == "bounded" {
+		timeRes, energyRes, err := core.RunWithTimeSlack(method, inst, opt, req.Slack)
+		if err != nil {
+			return TuneResult{}, err
+		}
+		out := tuneResult(energyRes)
+		ref := tuneResult(timeRes)
+		out.TimeReference = &ref
+		return out, nil
+	}
+
+	obj, err := core.ParseObjective(req.Objective, req.Alpha)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	opt.Objective = obj
+	res, err := core.Run(method, inst, opt)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	return tuneResult(res), nil
+}
+
+// Endpoints lists the service's routes in presentation order (used by
+// the CLI's startup banner).
+func Endpoints() []string {
+	return []string{
+		"POST /v1/jobs",
+		"POST /v1/jobs:batch",
+		"GET  /v1/jobs/{id}",
+		"GET  /v1/healthz",
+		"GET  /v1/metrics",
+	}
+}

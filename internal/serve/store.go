@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the warm-start result store: a concurrency-safe,
+// single-flight, optionally size-bounded table of completed tuning
+// results keyed on the canonicalized request (TuneRequest.Key). Repeat
+// queries are answered from the store with hit accounting, and
+// concurrent first queries for the same key share one computation —
+// the same single-flight discipline as search.Memo, extended with LRU
+// eviction and with "did this call pay?" reporting so jobs can be
+// marked as store hits.
+//
+// Results are pure functions of the canonical request, so serving from
+// the store never changes a returned value — identical requests yield
+// bit-identical results whether computed or replayed.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+	lru     *list.List // front = most recently used; values are keys
+	cap     int
+
+	lookups   atomic.Int64
+	hits      atomic.Int64
+	evictions atomic.Int64
+}
+
+// storeEntry holds one single-flight computation.
+type storeEntry struct {
+	once sync.Once
+	res  TuneResult
+	err  error
+	done bool          // set under Store.mu once the computation finished
+	elem *list.Element // position in the LRU list
+}
+
+// NewStore returns an empty store evicting least-recently-used completed
+// entries beyond capacity; capacity <= 0 means unbounded.
+func NewStore(capacity int) *Store {
+	return &Store{
+		entries: map[string]*storeEntry{},
+		lru:     list.New(),
+		cap:     capacity,
+	}
+}
+
+// Peek returns the completed result for key without computing anything,
+// refreshing its LRU position. It counts a lookup (and a hit) only when
+// it finds one, so a Peek-miss followed by Do still accounts exactly one
+// lookup per served job.
+func (s *Store) Peek(key string) (TuneResult, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok || !e.done || e.err != nil {
+		s.mu.Unlock()
+		return TuneResult{}, false
+	}
+	s.lru.MoveToFront(e.elem)
+	s.mu.Unlock()
+	s.lookups.Add(1)
+	s.hits.Add(1)
+	return e.res, true
+}
+
+// Do returns the stored result for key, computing it with fn on the
+// first call; concurrent first calls block until the single computation
+// finishes and share its outcome. The hit return reports whether this
+// call was served without paying for the computation. Failed
+// computations are not retained: the error is returned to every call
+// sharing the flight, then the entry is dropped so a later request
+// recomputes.
+func (s *Store) Do(key string, fn func() (TuneResult, error)) (res TuneResult, err error, hit bool) {
+	s.lookups.Add(1)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &storeEntry{}
+		e.elem = s.lru.PushFront(key)
+		s.entries[key] = e
+	} else {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+
+	computed := false
+	e.once.Do(func() {
+		computed = true
+		e.res, e.err = fn()
+		s.mu.Lock()
+		if e.err != nil {
+			// Drop failed entries (only if still ours: a concurrent
+			// replacement is someone else's flight).
+			if s.entries[key] == e {
+				delete(s.entries, key)
+				s.lru.Remove(e.elem)
+			}
+		} else {
+			e.done = true
+			s.evictLocked()
+		}
+		s.mu.Unlock()
+	})
+	if !computed {
+		s.hits.Add(1)
+	}
+	return e.res, e.err, !computed
+}
+
+// evictLocked drops least-recently-used completed entries beyond the
+// capacity. In-flight entries are never evicted (their flight must stay
+// shared); callers hold s.mu.
+func (s *Store) evictLocked() {
+	if s.cap <= 0 {
+		return
+	}
+	for elem := s.lru.Back(); elem != nil && len(s.entries) > s.cap; {
+		prev := elem.Prev()
+		key := elem.Value.(string)
+		if e := s.entries[key]; e != nil && e.done {
+			delete(s.entries, key)
+			s.lru.Remove(elem)
+			s.evictions.Add(1)
+		}
+		elem = prev
+	}
+}
+
+// Len returns the number of entries (in-flight included).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Lookups, Hits and Evictions report the store accounting: one lookup
+// per served job, Hits of which were answered without a computation.
+func (s *Store) Lookups() int { return int(s.lookups.Load()) }
+
+// Hits returns the number of lookups served without paying for a run.
+func (s *Store) Hits() int { return int(s.hits.Load()) }
+
+// Evictions returns the number of completed entries dropped by the
+// capacity bound.
+func (s *Store) Evictions() int { return int(s.evictions.Load()) }

@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+	"hetopt/internal/offload"
+	"hetopt/internal/space"
+)
+
+// TuneRequest is the wire form of one tuning query: which workload to
+// tune, with which method/strategy, under which objective, and with how
+// much search budget. Absent fields select the documented defaults, and
+// Normalize folds every request into a canonical form, so two requests
+// that mean the same run — whatever their JSON field order or explicit
+// defaults — share one warm-start store entry.
+type TuneRequest struct {
+	// Genome names the evaluation genome ("human", "mouse", "cat",
+	// "dog"); empty selects "human".
+	Genome string `json:"genome,omitempty"`
+	// SizeMB overrides the workload size; zero selects the genome size.
+	SizeMB float64 `json:"size_mb,omitempty"`
+	// Method is one of the paper's four methods (em, eml, sam, saml);
+	// empty selects "saml".
+	Method string `json:"method,omitempty"`
+	// Strategy selects the search strategy (auto, anneal, exhaustive,
+	// genetic, tabu, local, random, portfolio); empty selects "auto",
+	// the method's preset explorer.
+	Strategy string `json:"strategy,omitempty"`
+	// Objective is time, energy, weighted or bounded; empty selects
+	// "time". "bounded" runs the two-phase constrained pipeline and the
+	// result carries the time-optimal reference alongside.
+	Objective string `json:"objective,omitempty"`
+	// Alpha is the time weight in [0,1] for the weighted objective; it
+	// is ignored (and canonicalized to zero) for every other objective.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Slack is the non-negative makespan slack over the time optimum for
+	// the bounded objective; ignored (canonicalized to zero) otherwise.
+	Slack float64 `json:"slack,omitempty"`
+	// Iterations is the search evaluation budget per worker; zero
+	// selects 1000 (exhaustive enumeration ignores it).
+	Iterations int `json:"iterations,omitempty"`
+	// Restarts is the independent worker count (annealing chains,
+	// heuristic restarts); zero or one runs a single worker.
+	Restarts int `json:"restarts,omitempty"`
+	// Seed drives the strategy's stochastic choices. Identical requests
+	// (same seed included) return bit-identical results.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Normalize validates the request and returns its canonical form:
+// names lower/upper-cased to their parseable spellings, defaults made
+// explicit, and fields that the selected objective ignores zeroed. Two
+// requests describing the same run normalize to equal values (and hence
+// equal Key strings), which is what makes the warm-start store
+// deterministic.
+func (r TuneRequest) Normalize() (TuneRequest, error) {
+	n := r
+
+	n.Genome = strings.ToLower(strings.TrimSpace(r.Genome))
+	if n.Genome == "" {
+		n.Genome = "human"
+	}
+	g, err := dna.GenomeByName(n.Genome)
+	if err != nil {
+		return TuneRequest{}, fmt.Errorf("serve: %w", err)
+	}
+	if n.SizeMB < 0 {
+		return TuneRequest{}, fmt.Errorf("serve: size_mb %g must be non-negative", n.SizeMB)
+	}
+	if n.SizeMB == 0 {
+		n.SizeMB = g.SizeMB
+	}
+
+	if strings.TrimSpace(r.Method) == "" {
+		n.Method = "SAML"
+	} else {
+		m, err := core.ParseMethod(r.Method)
+		if err != nil {
+			return TuneRequest{}, fmt.Errorf("serve: %w", err)
+		}
+		n.Method = m.String()
+	}
+
+	n.Strategy = strings.ToLower(strings.TrimSpace(r.Strategy))
+	if n.Strategy == "" {
+		n.Strategy = "auto"
+	}
+	if _, err := core.ParseStrategy(n.Strategy); err != nil {
+		return TuneRequest{}, fmt.Errorf("serve: %w", err)
+	}
+
+	n.Objective = strings.ToLower(strings.TrimSpace(r.Objective))
+	if n.Objective == "" {
+		n.Objective = "time"
+	}
+	switch n.Objective {
+	case "time", "energy", "weighted", "bounded":
+	default:
+		return TuneRequest{}, fmt.Errorf("serve: unknown objective %q (want time, energy, weighted or bounded)", r.Objective)
+	}
+	if n.Objective == "weighted" {
+		if n.Alpha < 0 || n.Alpha > 1 {
+			return TuneRequest{}, fmt.Errorf("serve: weighted objective needs alpha in [0,1], got %g", n.Alpha)
+		}
+	} else {
+		n.Alpha = 0
+	}
+	if n.Objective == "bounded" {
+		if n.Slack < 0 {
+			return TuneRequest{}, fmt.Errorf("serve: bounded objective needs slack >= 0, got %g", n.Slack)
+		}
+	} else {
+		n.Slack = 0
+	}
+
+	if n.Iterations < 0 {
+		return TuneRequest{}, fmt.Errorf("serve: iterations %d must be non-negative", n.Iterations)
+	}
+	if n.Iterations == 0 {
+		n.Iterations = 1000
+	}
+	if n.Restarts < 0 {
+		return TuneRequest{}, fmt.Errorf("serve: restarts %d must be non-negative", n.Restarts)
+	}
+	if n.Restarts == 0 {
+		n.Restarts = 1
+	}
+	return n, nil
+}
+
+// Key returns the canonical store key of a normalized request. The
+// server's per-job search parallelism is deliberately not part of the
+// key: results are bit-identical at every parallelism level, so runs
+// that differ only in worker count share one store entry.
+func (r TuneRequest) Key() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return strings.Join([]string{
+		"g=" + r.Genome,
+		"mb=" + f(r.SizeMB),
+		"m=" + r.Method,
+		"s=" + r.Strategy,
+		"o=" + r.Objective,
+		"a=" + f(r.Alpha),
+		"sl=" + f(r.Slack),
+		"it=" + strconv.Itoa(r.Iterations),
+		"r=" + strconv.Itoa(r.Restarts),
+		"seed=" + strconv.FormatInt(r.Seed, 10),
+	}, "|")
+}
+
+// workload resolves the normalized request's workload.
+func (r TuneRequest) workload() (offload.Workload, error) {
+	g, err := dna.GenomeByName(r.Genome)
+	if err != nil {
+		return offload.Workload{}, err
+	}
+	w := offload.GenomeWorkload(g)
+	if r.SizeMB > 0 {
+		w = w.Scaled(r.SizeMB)
+	}
+	return w, nil
+}
+
+// ConfigWire is the JSON form of a suggested system configuration.
+type ConfigWire struct {
+	HostThreads    int     `json:"host_threads"`
+	HostAffinity   string  `json:"host_affinity"`
+	DeviceThreads  int     `json:"device_threads"`
+	DeviceAffinity string  `json:"device_affinity"`
+	HostFraction   float64 `json:"host_fraction"`
+}
+
+// configWire converts a space.Config to its wire form.
+func configWire(c space.Config) ConfigWire {
+	return ConfigWire{
+		HostThreads:    c.HostThreads,
+		HostAffinity:   c.HostAffinity.String(),
+		DeviceThreads:  c.DeviceThreads,
+		DeviceAffinity: c.DeviceAffinity.String(),
+		HostFraction:   c.HostFraction,
+	}
+}
+
+// TuneResult is the JSON form of a completed run. It carries no
+// wall-clock fields: every field is a pure function of the canonical
+// request, so identical requests marshal to bit-identical bytes.
+type TuneResult struct {
+	// Method that produced the result.
+	Method string `json:"method"`
+	// Config is the suggested configuration; Distribution renders it
+	// the way the paper writes ratios.
+	Config       ConfigWire `json:"config"`
+	Distribution string     `json:"distribution"`
+	// SearchObjective is the best objective value the search saw
+	// (predictions for EML/SAML, measurements for EM/SAM).
+	SearchObjective float64 `json:"search_objective"`
+	// TimeSec is the measured makespan of the suggested configuration;
+	// HostSec/DeviceSec are the per-side times.
+	TimeSec   float64 `json:"time_sec"`
+	HostSec   float64 `json:"host_sec"`
+	DeviceSec float64 `json:"device_sec"`
+	// EnergyJ is the measured total energy; HostJ/DeviceJ per side.
+	EnergyJ float64 `json:"energy_j"`
+	HostJ   float64 `json:"host_j"`
+	DeviceJ float64 `json:"device_j"`
+	// Objective names what the search minimized and MeasuredObjective
+	// is its value on the fair-comparison measurement.
+	Objective         string  `json:"objective"`
+	MeasuredObjective float64 `json:"measured_objective"`
+	// SearchEvaluations counts evaluator calls; Experiments counts the
+	// distinct configurations this job evaluated on the measurement
+	// path. Both are pure functions of the canonical request (a job is
+	// charged for a configuration even when the cross-job shared memo
+	// served it from another job's measurement, so cache warmth never
+	// leaks into the result); physically, shared measurements are run
+	// once per workload across the whole server.
+	SearchEvaluations int `json:"search_evaluations"`
+	Experiments       int `json:"experiments"`
+	// TimeReference carries the time-optimal reference run of the
+	// bounded objective's two-phase pipeline; nil for every other
+	// objective.
+	TimeReference *TuneResult `json:"time_reference,omitempty"`
+}
+
+// tuneResult converts a core.Result to its wire form.
+func tuneResult(res core.Result) TuneResult {
+	return TuneResult{
+		Method:            res.Method.String(),
+		Config:            configWire(res.Config),
+		Distribution:      res.Config.String(),
+		SearchObjective:   res.SearchE,
+		TimeSec:           res.Measured.E(),
+		HostSec:           res.Measured.Host,
+		DeviceSec:         res.Measured.Device,
+		EnergyJ:           res.MeasuredEnergy.Total(),
+		HostJ:             res.MeasuredEnergy.Host,
+		DeviceJ:           res.MeasuredEnergy.Device,
+		Objective:         res.Objective,
+		MeasuredObjective: res.MeasuredObjective,
+		SearchEvaluations: res.SearchEvaluations,
+		Experiments:       res.Experiments,
+	}
+}
+
+// JobState is the lifecycle phase of an async tuning job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a pool worker.
+	JobQueued JobState = "queued"
+	// JobRunning: executing on a pool worker.
+	JobRunning JobState = "running"
+	// JobDone: completed; Result is set.
+	JobDone JobState = "done"
+	// JobFailed: the run returned an error; Error is set.
+	JobFailed JobState = "failed"
+	// JobRejected: the bounded queue was full (batch submissions report
+	// rejected members in-line; single submissions get a 429 instead).
+	JobRejected JobState = "rejected"
+)
+
+// JobStatus is the wire form of one job, returned by POST /v1/jobs and
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	// ID addresses the job at GET /v1/jobs/{id}; empty for rejected
+	// batch members (they were never registered).
+	ID string `json:"id,omitempty"`
+	// State is the lifecycle phase.
+	State JobState `json:"state"`
+	// Cached reports that Result was served from the warm-start store
+	// rather than paid for by this job.
+	Cached bool `json:"cached"`
+	// Request is the canonical (normalized) request; Key its store key.
+	Request TuneRequest `json:"request"`
+	Key     string      `json:"key"`
+	// Result is set once State is done.
+	Result *TuneResult `json:"result,omitempty"`
+	// Error is set when State is failed or rejected.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchRequest is the wire form of POST /v1/jobs:batch: an explicit
+// request list, a template expanded over a list of alphas (the
+// bi-objective sweep: each alpha becomes one weighted-objective request,
+// so one call maps the time/energy front), or both.
+type BatchRequest struct {
+	// Requests are submitted as-is.
+	Requests []TuneRequest `json:"requests,omitempty"`
+	// Template plus Alphas expands into len(Alphas) weighted-objective
+	// requests sharing every other template field.
+	Template *TuneRequest `json:"template,omitempty"`
+	Alphas   []float64    `json:"alphas,omitempty"`
+}
+
+// expand flattens the batch into the submission list.
+func (b BatchRequest) expand() ([]TuneRequest, error) {
+	reqs := append([]TuneRequest(nil), b.Requests...)
+	if len(b.Alphas) > 0 {
+		if b.Template == nil {
+			return nil, fmt.Errorf("serve: batch alphas need a template request")
+		}
+		for _, a := range b.Alphas {
+			t := *b.Template
+			t.Objective = "weighted"
+			t.Alpha = a
+			reqs = append(reqs, t)
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serve: batch contains no requests")
+	}
+	return reqs, nil
+}
+
+// BatchResponse reports one JobStatus per expanded request, in
+// submission order.
+type BatchResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// Metrics is the wire form of GET /v1/metrics.
+type Metrics struct {
+	// Requests counts HTTP requests per endpoint.
+	Requests map[string]int64 `json:"requests"`
+	// Jobs counts job lifecycle events. StoreHits is the number of jobs
+	// answered from the warm-start store.
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Rejected  int64 `json:"rejected"`
+		StoreHits int64 `json:"store_hits"`
+	} `json:"jobs"`
+	// Store is the warm-start store accounting: one lookup per
+	// submitted job, Hits of which were served without a run.
+	Store struct {
+		Lookups   int64 `json:"lookups"`
+		Hits      int64 `json:"hits"`
+		Entries   int64 `json:"entries"`
+		Evictions int64 `json:"evictions"`
+	} `json:"store"`
+	// Latency aggregates job service times (store hits included, which
+	// is what makes the warm-start speedup visible here).
+	Latency struct {
+		Count   int64   `json:"count"`
+		TotalMS float64 `json:"total_ms"`
+		MeanMS  float64 `json:"mean_ms"`
+	} `json:"latency"`
+	// Queue is the instantaneous pool state.
+	Queue struct {
+		Workers  int   `json:"workers"`
+		Capacity int   `json:"capacity"`
+		Depth    int64 `json:"depth"`
+		Running  int64 `json:"running"`
+	} `json:"queue"`
+}
+
+// Health is the wire form of GET /v1/healthz.
+type Health struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+	Jobs    int    `json:"jobs"`
+	Entries int    `json:"store_entries"`
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// normOrFatal normalizes a request, failing the test on error.
+func normOrFatal(t *testing.T, r TuneRequest) TuneRequest {
+	t.Helper()
+	n, err := r.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize(%+v): %v", r, err)
+	}
+	return n
+}
+
+// TestKeyFieldOrderIndependent is the canonical-keying contract: the
+// same request serialized with different JSON field orders (and with or
+// without explicit defaults) lands on one store key.
+func TestKeyFieldOrderIndependent(t *testing.T) {
+	bodies := []string{
+		`{"genome":"human","method":"sam","iterations":500,"seed":7}`,
+		`{"seed":7,"iterations":500,"method":"sam","genome":"human"}`,
+		`{"seed":7,"method":"SAM","genome":"Human","iterations":500,"strategy":"auto","objective":"time","restarts":1}`,
+		`{"method":"sam","iterations":500,"seed":7}`, // genome defaults to human
+	}
+	var want string
+	for i, body := range bodies {
+		var r TuneRequest
+		if err := json.Unmarshal([]byte(body), &r); err != nil {
+			t.Fatalf("unmarshal %q: %v", body, err)
+		}
+		key := normOrFatal(t, r).Key()
+		if i == 0 {
+			want = key
+			continue
+		}
+		if key != want {
+			t.Fatalf("body %d keyed %q, want %q", i, key, want)
+		}
+	}
+}
+
+// TestKeyDefaultNormalization checks that defaults are folded in: an
+// explicit genome size equal to the genome's own size, the default
+// iteration budget, and case-insensitive names all share the key.
+func TestKeyDefaultNormalization(t *testing.T) {
+	base := normOrFatal(t, TuneRequest{})
+	if base.Genome != "human" || base.Method != "SAML" || base.Strategy != "auto" ||
+		base.Objective != "time" || base.Iterations != 1000 || base.Restarts != 1 {
+		t.Fatalf("unexpected canonical defaults: %+v", base)
+	}
+	if base.SizeMB <= 0 {
+		t.Fatalf("canonical size not resolved: %+v", base)
+	}
+	explicit := normOrFatal(t, TuneRequest{
+		Genome: "HUMAN", SizeMB: base.SizeMB, Method: "saml",
+		Strategy: "AUTO", Objective: "TIME", Iterations: 1000, Restarts: 1,
+	})
+	if explicit.Key() != base.Key() {
+		t.Fatalf("explicit defaults keyed %q, want %q", explicit.Key(), base.Key())
+	}
+}
+
+// TestKeyIgnoredFieldsZeroed: alpha only keys weighted requests, slack
+// only bounded ones.
+func TestKeyIgnoredFieldsZeroed(t *testing.T) {
+	a := normOrFatal(t, TuneRequest{Objective: "time", Alpha: 0.7, Slack: 0.2})
+	b := normOrFatal(t, TuneRequest{Objective: "time"})
+	if a.Key() != b.Key() {
+		t.Fatalf("alpha/slack leaked into a time-objective key:\n%s\n%s", a.Key(), b.Key())
+	}
+	w1 := normOrFatal(t, TuneRequest{Objective: "weighted", Alpha: 0.3})
+	w2 := normOrFatal(t, TuneRequest{Objective: "weighted", Alpha: 0.7})
+	if w1.Key() == w2.Key() {
+		t.Fatalf("weighted requests with different alphas share a key")
+	}
+}
+
+// TestKeyDistinguishesRuns: fields that change the run change the key.
+func TestKeyDistinguishesRuns(t *testing.T) {
+	base := normOrFatal(t, TuneRequest{Method: "sam"})
+	variants := []TuneRequest{
+		{Method: "sam", Seed: 5},
+		{Method: "sam", Iterations: 500},
+		{Method: "sam", Genome: "mouse"},
+		{Method: "sam", Strategy: "genetic"},
+		{Method: "sam", Objective: "energy"},
+		{Method: "sam", Restarts: 4},
+		{Method: "em"},
+		{Method: "sam", SizeMB: 100},
+	}
+	seen := map[string]bool{base.Key(): true}
+	for _, v := range variants {
+		k := normOrFatal(t, v).Key()
+		if seen[k] {
+			t.Fatalf("variant %+v collides with an earlier key %q", v, k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	bad := []TuneRequest{
+		{Genome: "plankton"},
+		{Method: "annealish"},
+		{Strategy: "quantum"},
+		{Objective: "vibes"},
+		{Objective: "weighted", Alpha: 1.5},
+		{Objective: "bounded", Slack: -0.1},
+		{Iterations: -1},
+		{Restarts: -2},
+		{SizeMB: -5},
+	}
+	for _, r := range bad {
+		if _, err := r.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted an invalid request", r)
+		}
+	}
+}
+
+func TestBatchExpand(t *testing.T) {
+	b := BatchRequest{
+		Requests: []TuneRequest{{Method: "sam"}},
+		Template: &TuneRequest{Method: "sam", Iterations: 200},
+		Alphas:   []float64{0, 0.5, 1},
+	}
+	reqs, err := b.expand()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(reqs) != 4 {
+		t.Fatalf("expanded %d requests, want 4", len(reqs))
+	}
+	for i, a := range []float64{0, 0.5, 1} {
+		r := reqs[1+i]
+		if r.Objective != "weighted" || r.Alpha != a || r.Iterations != 200 {
+			t.Fatalf("alpha expansion %d wrong: %+v", i, r)
+		}
+	}
+	if _, err := (BatchRequest{}).expand(); err == nil {
+		t.Fatalf("empty batch accepted")
+	}
+	if _, err := (BatchRequest{Alphas: []float64{0.5}}).expand(); err == nil {
+		t.Fatalf("alphas without template accepted")
+	}
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the tuning service: builds nothing itself —
+# pass the hetserved binary as $1 (default ./hetserved). Starts the
+# server, submits one tune job and one batch (alpha sweep) with curl,
+# polls everything to completion, asserts the cached re-POST is a
+# bit-identical store hit, and shuts the server down gracefully.
+#
+# Local use:
+#   go build -o hetserved ./cmd/hetserved && scripts/e2e_smoke.sh ./hetserved
+#
+# Requires curl and jq.
+set -euo pipefail
+
+BIN=${1:-./hetserved}
+ADDR=127.0.0.1:18080
+BASE="http://$ADDR/v1"
+
+command -v jq >/dev/null || { echo "e2e: jq is required" >&2; exit 1; }
+command -v curl >/dev/null || { echo "e2e: curl is required" >&2; exit 1; }
+[ -x "$BIN" ] || { echo "e2e: $BIN is not executable" >&2; exit 1; }
+
+"$BIN" -addr "$ADDR" -workers 2 -queue 16 -cache-size 64 &
+SERVER_PID=$!
+cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# Liveness: wait for /v1/healthz.
+for i in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 100 ] && { echo "e2e: server never became healthy" >&2; exit 1; }
+  sleep 0.1
+done
+
+# poll JOB_ID -> prints the final status JSON, fails on job failure.
+poll() {
+  local id=$1 st state
+  for i in $(seq 1 600); do
+    st=$(curl -fsS "$BASE/jobs/$id")
+    state=$(echo "$st" | jq -r .state)
+    case "$state" in
+      done) echo "$st"; return 0 ;;
+      failed) echo "e2e: job $id failed: $st" >&2; return 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "e2e: job $id never completed" >&2
+  return 1
+}
+
+REQ='{"genome":"human","method":"sam","iterations":300,"seed":7}'
+
+echo "e2e: submitting one tune job"
+first=$(curl -fsS -X POST "$BASE/jobs" -d "$REQ")
+id1=$(echo "$first" | jq -r .id)
+st1=$(poll "$id1")
+[ "$(echo "$st1" | jq -r .cached)" = "false" ] \
+  || { echo "e2e: first job unexpectedly marked cached: $st1" >&2; exit 1; }
+
+echo "e2e: submitting a batch alpha sweep"
+batch=$(curl -fsS -X POST "$BASE/jobs:batch" \
+  -d '{"template":{"method":"sam","iterations":200,"seed":3},"alphas":[0,0.5,1]}')
+count=$(echo "$batch" | jq '.jobs | length')
+[ "$count" = 3 ] || { echo "e2e: batch accepted $count jobs, want 3" >&2; exit 1; }
+for id in $(echo "$batch" | jq -r '.jobs[].id'); do
+  poll "$id" >/dev/null
+done
+
+echo "e2e: re-POSTing the first request (must be a store hit)"
+second=$(curl -fsS -X POST "$BASE/jobs" -d "$REQ")
+[ "$(echo "$second" | jq -r .state)" = "done" ] \
+  || { echo "e2e: cached re-POST not answered synchronously: $second" >&2; exit 1; }
+[ "$(echo "$second" | jq -r .cached)" = "true" ] \
+  || { echo "e2e: re-POST was not served from the store: $second" >&2; exit 1; }
+
+r1=$(echo "$st1" | jq -cS .result)
+r2=$(echo "$second" | jq -cS .result)
+[ "$r1" = "$r2" ] \
+  || { echo "e2e: identical requests returned different results:" >&2; echo "$r1" >&2; echo "$r2" >&2; exit 1; }
+
+hits=$(curl -fsS "$BASE/metrics" | jq .jobs.store_hits)
+[ "$hits" -ge 1 ] || { echo "e2e: metrics report $hits store hits, want >= 1" >&2; exit 1; }
+
+echo "e2e: graceful shutdown (SIGTERM)"
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "e2e: server exited non-zero on SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+
+echo "e2e: ok (1 job + 3 batch jobs tuned, warm-start hit verified, clean shutdown)"
