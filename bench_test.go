@@ -266,7 +266,7 @@ func BenchmarkFig9MethodComparison(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.MethodComparisonFor(dna.Human); err != nil {
+		if _, err := s.MethodComparisonFor(offload.GenomeWorkload(dna.Human)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -334,7 +334,7 @@ func BenchmarkAblationCoolingRate(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.AblationCoolingRate(dna.Human, 500); err != nil {
+		if _, err := s.AblationCoolingRate(offload.GenomeWorkload(dna.Human), 500); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -345,7 +345,7 @@ func BenchmarkAblationNeighborhood(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.AblationNeighborhood(dna.Human, 500); err != nil {
+		if _, err := s.AblationNeighborhood(offload.GenomeWorkload(dna.Human), 500); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -357,7 +357,7 @@ func BenchmarkAblationRegressors(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.AblationRegressors(dna.Human); err != nil {
+		if _, err := s.AblationRegressors(offload.GenomeWorkload(dna.Human)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -394,7 +394,7 @@ func BenchmarkExtMultiAccelerator(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.ExtMultiDevice(dna.Human, 2, 1500)
+		rows, err := s.ExtMultiDevice(offload.GenomeWorkload(dna.Human), 2, 1500)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -410,7 +410,7 @@ func BenchmarkExtDynamicScheduling(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := s.ExtDynamicScheduling(dna.Human); err != nil {
+		if _, _, err := s.ExtDynamicScheduling(offload.GenomeWorkload(dna.Human)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -422,7 +422,7 @@ func BenchmarkExtHeuristicComparison(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := s.HeuristicComparison(dna.Human, 500); err != nil {
+		if _, _, err := s.HeuristicComparison(offload.GenomeWorkload(dna.Human), 500); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -454,7 +454,7 @@ func BenchmarkExtStrategyComparison(b *testing.B) {
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := s.StrategyComparison(dna.Human, 500)
+		res, err := s.StrategyComparison(offload.GenomeWorkload(dna.Human), 500)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -487,7 +487,7 @@ func BenchmarkExtSizeSweep(b *testing.B) {
 	sizes := []float64{50, 200, 800, 3246}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.ExtSizeSweep(dna.Human, sizes); err != nil {
+		if _, err := s.ExtSizeSweep(offload.GenomeWorkload(dna.Human), sizes); err != nil {
 			b.Fatal(err)
 		}
 	}

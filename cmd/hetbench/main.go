@@ -8,6 +8,7 @@
 //	hetbench -out report.txt # write to a file
 //	hetbench -ablate         # include the ablation studies
 //	hetbench -repeats 10     # average SA over more seeds
+//	hetbench -workload spmv -platform gpu-like   # any registered scenario
 package main
 
 import (
@@ -31,10 +32,12 @@ func main() {
 		jsonMode = flag.Bool("json", false, "emit the machine-readable JSON report instead of text")
 		parallel = flag.Int("parallel", 0, "search worker count (0 = all CPUs); the report is identical at any level")
 		strategy = flag.String("strategy", "auto", "search strategy injected into every method run: auto (method presets), anneal, exhaustive, genetic, tabu, local, random or portfolio")
+		workload = flag.String("workload", "dna:human", `registered workload the report runs on: a family ("spmv"), a preset ("stencil:large"), or a genome name`)
+		platform = flag.String("platform", "paper", "registered platform spec: paper, gpu-like or edge")
 	)
 	flag.Parse()
 
-	if err := validate(*repeats, *parallel, *strategy); err != nil {
+	if err := validate(*repeats, *parallel, *strategy, *workload, *platform); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -42,7 +45,7 @@ func main() {
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	if err := run(*out, *ablate, *repeats, *seed, *jsonMode, *parallel, *strategy); err != nil {
+	if err := run(*out, *ablate, *repeats, *seed, *jsonMode, *parallel, *strategy, *workload, *platform); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		os.Exit(1)
 	}
@@ -50,7 +53,7 @@ func main() {
 
 // validate rejects out-of-range flags before any work, so the user gets
 // a usage error instead of a silently clamped report.
-func validate(repeats, parallel int, strategy string) error {
+func validate(repeats, parallel int, strategy, workload, platform string) error {
 	if repeats < 1 {
 		return fmt.Errorf("-repeats must be >= 1, got %d", repeats)
 	}
@@ -61,11 +64,33 @@ func validate(repeats, parallel int, strategy string) error {
 		return fmt.Errorf("-strategy must be auto or one of %s, got %q",
 			strings.Join(hetopt.StrategyNames(), ", "), strategy)
 	}
+	if _, err := hetopt.ScenarioWorkload(workloadOrDefault(workload)); err != nil {
+		return fmt.Errorf("-workload: %v", err)
+	}
+	if _, err := hetopt.ScenarioPlatformByName(platformOrDefault(platform)); err != nil {
+		return fmt.Errorf("-platform: %v", err)
+	}
 	return nil
 }
 
-func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parallel int, strategyName string) error {
-	if err := validate(repeats, parallel, strategyName); err != nil {
+// workloadOrDefault and platformOrDefault mirror the flag defaults for
+// library-style callers that bypass them.
+func workloadOrDefault(w string) string {
+	if w == "" {
+		return "dna:human"
+	}
+	return w
+}
+
+func platformOrDefault(p string) string {
+	if p == "" {
+		return "paper"
+	}
+	return p
+}
+
+func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parallel int, strategyName, workload, platform string) error {
+	if err := validate(repeats, parallel, strategyName, workload, platform); err != nil {
 		return err
 	}
 	w := os.Stdout
@@ -78,7 +103,10 @@ func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parall
 		w = f
 	}
 
-	suite := experiments.NewSuite()
+	suite, err := experiments.NewScenarioSuite(platformOrDefault(platform), workloadOrDefault(workload))
+	if err != nil {
+		return err
+	}
 	suite.Repeats = repeats
 	suite.Seed = seed
 	suite.Parallelism = parallel
@@ -95,6 +123,6 @@ func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parall
 	if err := suite.RunAll(w, ablate); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "\nreport generated in %v\n", time.Since(start).Round(time.Millisecond))
+	_, err = fmt.Fprintf(w, "\nreport generated in %v\n", time.Since(start).Round(time.Millisecond))
 	return err
 }

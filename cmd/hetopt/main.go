@@ -8,6 +8,8 @@
 //	hetopt -method saml -genome human -iterations 1000
 //	hetopt -method em -genome cat
 //	hetopt -compare -genome mouse
+//	hetopt -workload spmv -platform gpu-like     # any registered scenario
+//	hetopt -workload stencil:large -platform edge
 //	hetopt -strategy genetic                 # explore with the GA instead of SA
 //	hetopt -strategy portfolio -restarts 4   # race all strategies, shared cache
 //	hetopt -objective energy                 # minimize joules, not seconds
@@ -30,6 +32,8 @@ type params struct {
 	method     string
 	strategy   string
 	genome     string
+	workload   string
+	platform   string
 	iterations int
 	seed       int64
 	sizeMB     float64
@@ -58,6 +62,15 @@ func (p *params) validate() error {
 		return fmt.Errorf("-strategy must be auto or one of %s, got %q",
 			strings.Join(hetopt.StrategyNames(), ", "), p.strategy)
 	}
+	if p.workload != "" && p.genome != "" {
+		return fmt.Errorf("-workload %q and -genome %q both set; -genome is a workload alias, set exactly one (the serving layer enforces the same rule)", p.workload, p.genome)
+	}
+	if _, err := hetopt.ScenarioWorkload(p.workloadName()); err != nil {
+		return fmt.Errorf("-workload: %v", err)
+	}
+	if _, err := hetopt.ScenarioPlatformByName(p.platformName()); err != nil {
+		return fmt.Errorf("-platform: %v", err)
+	}
 	if p.alpha < 0 || p.alpha > 1 {
 		return fmt.Errorf("-alpha must be in [0,1], got %g", p.alpha)
 	}
@@ -72,11 +85,34 @@ func (p *params) validate() error {
 	return nil
 }
 
+// platformName resolves the effective platform name; the empty value
+// (library-style callers bypassing flag defaults) selects "paper".
+func (p *params) platformName() string {
+	if p.platform == "" {
+		return "paper"
+	}
+	return p.platform
+}
+
+// workloadName resolves the effective workload name: -workload wins,
+// -genome is the backward-compatible alias, "human" is the default.
+func (p *params) workloadName() string {
+	if p.workload != "" {
+		return p.workload
+	}
+	if p.genome != "" {
+		return p.genome
+	}
+	return "human"
+}
+
 func main() {
 	var p params
 	flag.StringVar(&p.method, "method", "saml", "optimization method: em, eml, sam or saml")
 	flag.StringVar(&p.strategy, "strategy", "auto", "search strategy: auto (method preset), anneal, exhaustive, genetic, tabu, local, random or portfolio")
-	flag.StringVar(&p.genome, "genome", "human", "evaluation genome: human, mouse, cat or dog")
+	flag.StringVar(&p.genome, "genome", "", "evaluation genome (alias for -workload): human, mouse, cat or dog")
+	flag.StringVar(&p.workload, "workload", "", `registered workload: a family ("spmv"), a preset ("stencil:large"), or a genome name (default "human")`)
+	flag.StringVar(&p.platform, "platform", "paper", "registered platform spec: paper, gpu-like or edge")
 	flag.IntVar(&p.iterations, "iterations", 1000, "search evaluation budget per worker, for any strategy (exhaustive enumeration ignores it)")
 	flag.Int64Var(&p.seed, "seed", 1, "base random seed for the search strategy")
 	flag.Float64Var(&p.sizeMB, "size", 0, "override the workload size in MB (0 = genome size)")
@@ -107,16 +143,13 @@ func run(p params) error {
 	if err := p.validate(); err != nil {
 		return err
 	}
-	genome, err := hetopt.GenomeByName(p.genome)
+	tuner, workload, err := hetopt.NewScenarioTuner(p.platformName(), p.workloadName())
 	if err != nil {
 		return err
 	}
-	workload := hetopt.GenomeWorkload(genome)
 	if p.sizeMB > 0 {
 		workload = workload.Scaled(p.sizeMB)
 	}
-
-	tuner := hetopt.NewTuner()
 	if p.modelCache != "" {
 		if models, err := hetopt.LoadModelsFile(p.modelCache); err == nil {
 			tuner.Models = models
@@ -143,9 +176,9 @@ func run(p params) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload: %s (%.0f MB), objective: %s\n", workload.Name, workload.SizeMB, p.objective)
-	fmt.Printf("host-only   (48T):  %.4f s, %.1f J\n", hostOnly.MeasuredE(), hostOnly.MeasuredJ())
-	fmt.Printf("device-only (240T): %.4f s, %.1f J\n\n", deviceOnly.MeasuredE(), deviceOnly.MeasuredJ())
+	fmt.Printf("workload: %s (%.0f MB) on %s, objective: %s\n", workload.Name, workload.SizeMB, p.platformName(), p.objective)
+	fmt.Printf("host-only   (%dT):  %.4f s, %.1f J\n", hostOnly.Config.HostThreads, hostOnly.MeasuredE(), hostOnly.MeasuredJ())
+	fmt.Printf("device-only (%dT): %.4f s, %.1f J\n\n", deviceOnly.Config.DeviceThreads, deviceOnly.MeasuredE(), deviceOnly.MeasuredJ())
 
 	methods := []hetopt.Method{}
 	if p.compare {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"hetopt"
+
 	"os"
 	"path/filepath"
 	"strings"
@@ -130,5 +132,44 @@ func TestRunModelCache(t *testing.T) {
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Error("cached run suspiciously slow; cache likely ignored")
+	}
+}
+
+// TestFlagsRoundTripRegistry: every name the scenario registry
+// advertises is accepted by the -workload/-platform flag validation,
+// and unknown names are rejected with an actionable error.
+func TestFlagsRoundTripRegistry(t *testing.T) {
+	for _, name := range hetopt.Scenarios().WorkloadNames() {
+		p := base()
+		p.genome = ""
+		p.workload = name
+		if err := p.validate(); err != nil {
+			t.Errorf("registered workload %q rejected: %v", name, err)
+		}
+	}
+	for _, name := range hetopt.Scenarios().PlatformNames() {
+		p := base()
+		p.platform = name
+		if err := p.validate(); err != nil {
+			t.Errorf("registered platform %q rejected: %v", name, err)
+		}
+	}
+	p := base()
+	p.genome = ""
+	p.workload = "spnv"
+	err := p.validate()
+	if err == nil || !strings.Contains(err.Error(), "spmv") {
+		t.Errorf("unknown workload error not actionable: %v", err)
+	}
+	p = base()
+	p.platform = "papper"
+	err = p.validate()
+	if err == nil || !strings.Contains(err.Error(), "paper") {
+		t.Errorf("unknown platform error not actionable: %v", err)
+	}
+	p = base()
+	p.genome, p.workload = "human", "spmv"
+	if err := p.validate(); err == nil {
+		t.Error("conflicting -genome and -workload accepted")
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetopt/internal/scenario"
 	"hetopt/internal/serve"
 )
 
@@ -42,21 +43,27 @@ type params struct {
 	parallel     int
 	pretrain     bool
 	drainTimeout time.Duration
+	workload     string
+	platform     string
 }
 
-// validate rejects bad flag values before binding the listener.
+// validate rejects bad flag values before binding the listener. The
+// sizing flags are strictly positive: a zero worker pool, queue or
+// store would silently serve nothing (or grow without bound), so the
+// flag layer rejects them the way hetopt/hetbench reject out-of-range
+// budgets instead of clamping.
 func (p *params) validate() error {
 	if p.addr == "" {
 		return fmt.Errorf("-addr must not be empty")
 	}
-	if p.workers < 0 {
-		return fmt.Errorf("-workers must be >= 0 (0 = default), got %d", p.workers)
+	if p.workers <= 0 {
+		return fmt.Errorf("-workers must be > 0, got %d", p.workers)
 	}
-	if p.queue < 0 {
-		return fmt.Errorf("-queue must be >= 0 (0 = default), got %d", p.queue)
+	if p.queue <= 0 {
+		return fmt.Errorf("-queue must be > 0, got %d", p.queue)
 	}
-	if p.cacheSize < 0 {
-		return fmt.Errorf("-cache-size must be >= 0 (0 = unbounded), got %d", p.cacheSize)
+	if p.cacheSize <= 0 {
+		return fmt.Errorf("-cache-size must be > 0, got %d", p.cacheSize)
 	}
 	if p.parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", p.parallel)
@@ -64,18 +71,30 @@ func (p *params) validate() error {
 	if p.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", p.drainTimeout)
 	}
+	if p.workload != "" {
+		if _, err := scenario.ResolveWorkload(p.workload); err != nil {
+			return fmt.Errorf("-workload: %v", err)
+		}
+	}
+	if p.platform != "" {
+		if _, err := scenario.PlatformByName(p.platform); err != nil {
+			return fmt.Errorf("-platform: %v", err)
+		}
+	}
 	return nil
 }
 
 func main() {
 	var p params
 	flag.StringVar(&p.addr, "addr", ":8080", "listen address")
-	flag.IntVar(&p.workers, "workers", 4, "worker-pool size (0 = default)")
-	flag.IntVar(&p.queue, "queue", 64, "pending-job queue bound; full queue answers 429 (0 = default)")
-	flag.IntVar(&p.cacheSize, "cache-size", 1024, "warm-start store capacity, LRU-evicted beyond it (0 = unbounded)")
+	flag.IntVar(&p.workers, "workers", 4, "worker-pool size (must be positive)")
+	flag.IntVar(&p.queue, "queue", 64, "pending-job queue bound; full queue answers 429 (must be positive)")
+	flag.IntVar(&p.cacheSize, "cache-size", 1024, "warm-start store capacity, LRU-evicted beyond it (must be positive)")
 	flag.IntVar(&p.parallel, "parallel", 1, "per-job search worker count; never affects results")
 	flag.BoolVar(&p.pretrain, "pretrain", false, "train the prediction models at startup instead of on the first EML/SAML job")
 	flag.DurationVar(&p.drainTimeout, "drain-timeout", 60*time.Second, "graceful-shutdown budget for draining accepted jobs")
+	flag.StringVar(&p.workload, "workload", "", `default workload for requests naming none (empty = "dna:human")`)
+	flag.StringVar(&p.platform, "platform", "", `default platform for requests naming none (empty = "paper")`)
 	flag.Parse()
 
 	if err := p.validate(); err != nil {
@@ -94,10 +113,12 @@ func run(p params) error {
 		return err
 	}
 	s := serve.New(serve.Options{
-		Workers:     p.workers,
-		QueueSize:   p.queue,
-		StoreSize:   p.cacheSize,
-		Parallelism: p.parallel,
+		Workers:         p.workers,
+		QueueSize:       p.queue,
+		StoreSize:       p.cacheSize,
+		Parallelism:     p.parallel,
+		DefaultWorkload: p.workload,
+		DefaultPlatform: p.platform,
 	})
 	if p.pretrain {
 		fmt.Println("hetserved: training prediction models...")

@@ -19,16 +19,30 @@ func valid() params {
 }
 
 func TestValidateAccepts(t *testing.T) {
-	p := valid()
-	if err := p.validate(); err != nil {
-		t.Fatalf("valid params rejected: %v", err)
+	cases := []struct {
+		name string
+		mut  func(*params)
+	}{
+		{"defaults", func(p *params) {}},
+		{"minimum sizing", func(p *params) { p.workers, p.queue, p.cacheSize = 1, 1, 1 }},
+		{"sequential search", func(p *params) { p.parallel = 0 }},
+		{"scenario defaults", func(p *params) { p.workload, p.platform = "spmv:large", "gpu-like" }},
+		{"genome alias default", func(p *params) { p.workload = "human" }},
 	}
-	p.workers, p.queue, p.cacheSize, p.parallel = 0, 0, 0, 0 // all mean "default/unbounded"
-	if err := p.validate(); err != nil {
-		t.Fatalf("zero defaults rejected: %v", err)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid()
+			tc.mut(&p)
+			if err := p.validate(); err != nil {
+				t.Fatalf("valid params rejected: %v", err)
+			}
+		})
 	}
 }
 
+// TestValidateRejects pins the strictly-positive sizing contract: a
+// zero or negative worker pool, queue bound or store capacity is a
+// flag-level usage error, never a silently substituted default.
 func TestValidateRejects(t *testing.T) {
 	cases := []struct {
 		name string
@@ -36,11 +50,16 @@ func TestValidateRejects(t *testing.T) {
 		want string
 	}{
 		{"empty addr", func(p *params) { p.addr = "" }, "-addr"},
+		{"zero workers", func(p *params) { p.workers = 0 }, "-workers"},
 		{"negative workers", func(p *params) { p.workers = -1 }, "-workers"},
+		{"zero queue", func(p *params) { p.queue = 0 }, "-queue"},
 		{"negative queue", func(p *params) { p.queue = -2 }, "-queue"},
+		{"zero cache", func(p *params) { p.cacheSize = 0 }, "-cache-size"},
 		{"negative cache", func(p *params) { p.cacheSize = -1 }, "-cache-size"},
 		{"negative parallel", func(p *params) { p.parallel = -3 }, "-parallel"},
 		{"zero drain timeout", func(p *params) { p.drainTimeout = 0 }, "-drain-timeout"},
+		{"unknown workload", func(p *params) { p.workload = "plankton" }, "-workload"},
+		{"unknown platform", func(p *params) { p.platform = "mainframe" }, "-platform"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -56,6 +56,7 @@ import (
 	"hetopt/internal/multi"
 	"hetopt/internal/offload"
 	"hetopt/internal/perf"
+	"hetopt/internal/scenario"
 	"hetopt/internal/serve"
 	"hetopt/internal/space"
 	"hetopt/internal/strategy"
@@ -175,6 +176,15 @@ type (
 	TuneJobStatus    = serve.JobStatus
 	TuneBatchRequest = serve.BatchRequest
 	ServerMetrics    = serve.Metrics
+	// ScenarioFamily is a registered workload family (traits plus named
+	// size presets); ScenarioPreset one of its sizes; ScenarioPlatform a
+	// registered platform spec (topology + calibration + configuration
+	// space); ScenarioRegistry a catalog of both. See internal/scenario
+	// and DESIGN.md, "The scenario layer".
+	ScenarioFamily   = scenario.Family
+	ScenarioPreset   = scenario.SizePreset
+	ScenarioPlatform = scenario.PlatformSpec
+	ScenarioRegistry = scenario.Registry
 )
 
 // Affinity values (Table I).
@@ -318,6 +328,39 @@ func TuneMultiParallel(p *MultiProblem, opt MultiTuneOptions) (MultiResult, erro
 // NewDynamicScheduler returns the dynamic self-scheduling baseline on the
 // paper platform's performance model.
 func NewDynamicScheduler() *DynamicScheduler { return dynsched.NewScheduler() }
+
+// Scenarios returns the process-wide scenario registry: the built-in
+// catalog (the paper's DNA-on-paper default plus the spmv, stencil and
+// crypto families and the gpu-like and edge platforms), extensible via
+// its Register methods.
+func Scenarios() *ScenarioRegistry { return scenario.Default() }
+
+// ScenarioWorkload resolves a registered workload name ("spmv",
+// "dna:human", a genome name, ...) into a tunable workload.
+func ScenarioWorkload(name string) (Workload, error) { return scenario.ResolveWorkload(name) }
+
+// ScenarioPlatformByName resolves a registered platform name ("paper",
+// "gpu-like", "edge") into its spec; spec.Platform() and spec.Schema()
+// produce the tuner inputs.
+func ScenarioPlatformByName(name string) (ScenarioPlatform, error) {
+	return scenario.PlatformByName(name)
+}
+
+// NewScenarioTuner assembles a Tuner for a registered workload family
+// on a registered platform: the platform's substrate, schema and the
+// family-specific training plan.
+func NewScenarioTuner(platformName, workloadName string) (*Tuner, Workload, error) {
+	sc, err := scenario.Lookup(platformName, workloadName)
+	if err != nil {
+		return nil, Workload{}, err
+	}
+	return &Tuner{
+		Platform: sc.Platform.Platform(),
+		Schema:   sc.Schema,
+		Plan:     sc.TrainingPlan(),
+		TrainOpt: TrainOptions{SplitSeed: 7},
+	}, sc.Workload, nil
+}
 
 // NewServer builds the tuning service handler: mount it on any
 // http.Server (or use cmd/hetserved), POST tune jobs to /v1/jobs, and

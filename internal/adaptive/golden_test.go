@@ -1,0 +1,34 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hetopt/internal/core"
+	"hetopt/internal/dna"
+)
+
+// afp64 renders a float64 by its exact bit pattern.
+func afp64(x float64) string { return fmt.Sprintf("%016x", math.Float64bits(x)) }
+
+// TestDNAPaperPlatformGolden pins the adaptive pipeline's
+// DNA-on-paper-platform outcome to a golden value captured before the
+// scenario-layer refactor: the scenario plumbing must leave the default
+// scenario bit-identical.
+func TestDNAPaperPlatformGolden(t *testing.T) {
+	inst := fixture(t, dna.Human)
+	saml, refined, err := TuneAndRefine(inst, core.Options{Iterations: 300, Seed: 5}, Options{MeasureBudget: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%v|%s|%v|%s|%v|%s|%d|%d",
+		saml.Config, afp64(saml.MeasuredE()),
+		refined.Start, afp64(refined.StartE),
+		refined.Config, afp64(refined.MeasuredE),
+		refined.Measurements, refined.Rounds)
+	const golden = "57.5/42.5 host(48T,scatter) device(240T,balanced)|3fd8867e1c6f80aa|57.5/42.5 host(48T,scatter) device(240T,balanced)|3fd8867e1c6f80aa|60/40 host(48T,compact) device(240T,balanced)|3fd77e3deaee3406|25|2"
+	if got != golden {
+		t.Errorf("adaptive pipeline diverged from the pre-scenario-layer golden:\n got  %s\n want %s", got, golden)
+	}
+}

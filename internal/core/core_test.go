@@ -36,7 +36,7 @@ func smallPlan() TrainingPlan {
 		fractions = append(fractions, f)
 	}
 	return TrainingPlan{
-		Genomes:          []dna.Genome{dna.Human, dna.Cat},
+		Workloads:        []offload.Workload{offload.GenomeWorkload(dna.Human), offload.GenomeWorkload(dna.Cat)},
 		Fractions:        fractions,
 		HostThreads:      []int{4, 24, 48},
 		HostAffinities:   []machine.Affinity{machine.AffinityNone, machine.AffinityScatter},
@@ -143,9 +143,9 @@ func TestTrainingPlanCountsMatchPaper(t *testing.T) {
 
 func TestTrainingPlanValidation(t *testing.T) {
 	plan := PaperTrainingPlan()
-	plan.Genomes = nil
+	plan.Workloads = nil
 	if err := plan.Validate(); err == nil {
-		t.Error("no genomes should fail")
+		t.Error("no workloads should fail")
 	}
 	plan = PaperTrainingPlan()
 	plan.Fractions = []float64{0}

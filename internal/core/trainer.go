@@ -14,8 +14,10 @@ import (
 // data for the performance-prediction models (Section III-B: "In total the
 // data of about 7200 experiments were used").
 type TrainingPlan struct {
-	// Genomes are the inputs to measure.
-	Genomes []dna.Genome
+	// Workloads are the inputs to measure. The paper plan lists the four
+	// evaluation genomes; scenario plans list a workload family's size
+	// presets so the per-side models learn that family's signature.
+	Workloads []offload.Workload
 	// Fractions are the input percentages measured per side (the paper
 	// uses 2.5-100 in 2.5% steps).
 	Fractions []float64
@@ -38,7 +40,7 @@ func PaperTrainingPlan() TrainingPlan {
 		fractions = append(fractions, f)
 	}
 	return TrainingPlan{
-		Genomes:          dna.Genomes(),
+		Workloads:        GenomeWorkloads(),
 		Fractions:        fractions,
 		HostThreads:      []int{2, 6, 12, 24, 36, 48},
 		HostAffinities:   []machine.Affinity{machine.AffinityNone, machine.AffinityScatter, machine.AffinityCompact},
@@ -47,11 +49,22 @@ func PaperTrainingPlan() TrainingPlan {
 	}
 }
 
+// GenomeWorkloads returns the paper's four evaluation genomes as
+// workloads, in the paper's order.
+func GenomeWorkloads() []offload.Workload {
+	gs := dna.Genomes()
+	out := make([]offload.Workload, len(gs))
+	for i, g := range gs {
+		out[i] = offload.GenomeWorkload(g)
+	}
+	return out
+}
+
 // Validate checks the plan is non-empty on every axis.
 func (p TrainingPlan) Validate() error {
 	switch {
-	case len(p.Genomes) == 0:
-		return fmt.Errorf("core: training plan has no genomes")
+	case len(p.Workloads) == 0:
+		return fmt.Errorf("core: training plan has no workloads")
 	case len(p.Fractions) == 0:
 		return fmt.Errorf("core: training plan has no fractions")
 	case len(p.HostThreads) == 0 || len(p.HostAffinities) == 0:
@@ -69,12 +82,12 @@ func (p TrainingPlan) Validate() error {
 
 // HostExperiments returns the host-side experiment count.
 func (p TrainingPlan) HostExperiments() int {
-	return len(p.Genomes) * len(p.Fractions) * len(p.HostThreads) * len(p.HostAffinities)
+	return len(p.Workloads) * len(p.Fractions) * len(p.HostThreads) * len(p.HostAffinities)
 }
 
 // DeviceExperiments returns the device-side experiment count.
 func (p TrainingPlan) DeviceExperiments() int {
-	return len(p.Genomes) * len(p.Fractions) * len(p.DeviceThreads) * len(p.DeviceAffinities)
+	return len(p.Workloads) * len(p.Fractions) * len(p.DeviceThreads) * len(p.DeviceAffinities)
 }
 
 // GenerateHostData measures the host grid and assembles the training
@@ -84,10 +97,9 @@ func GenerateHostData(platform *offload.Platform, plan TrainingPlan) (*ml.Datase
 		return nil, err
 	}
 	d := &ml.Dataset{FeatureNames: HostFeatureNames()}
-	for _, g := range plan.Genomes {
-		w := offload.GenomeWorkload(g)
+	for _, w := range plan.Workloads {
 		for _, f := range plan.Fractions {
-			sizeMB := g.SizeMB * f / 100
+			sizeMB := w.SizeMB * f / 100
 			for _, n := range plan.HostThreads {
 				for _, aff := range plan.HostAffinities {
 					cfg := space.Config{
@@ -99,7 +111,7 @@ func GenerateHostData(platform *offload.Platform, plan TrainingPlan) (*ml.Datase
 					}
 					t, err := platform.Measure(w.Scaled(sizeMB), cfg, plan.Trial)
 					if err != nil {
-						return nil, fmt.Errorf("core: host sample (%s %g%% %dT %s): %w", g.Name, f, n, aff, err)
+						return nil, fmt.Errorf("core: host sample (%s %g%% %dT %s): %w", w.Name, f, n, aff, err)
 					}
 					d.Append(hostFeatures(n, aff, sizeMB), t.Host)
 				}
@@ -115,10 +127,9 @@ func GenerateDeviceData(platform *offload.Platform, plan TrainingPlan) (*ml.Data
 		return nil, err
 	}
 	d := &ml.Dataset{FeatureNames: DeviceFeatureNames()}
-	for _, g := range plan.Genomes {
-		w := offload.GenomeWorkload(g)
+	for _, w := range plan.Workloads {
 		for _, f := range plan.Fractions {
-			sizeMB := g.SizeMB * f / 100
+			sizeMB := w.SizeMB * f / 100
 			for _, n := range plan.DeviceThreads {
 				for _, aff := range plan.DeviceAffinities {
 					cfg := space.Config{
@@ -128,7 +139,7 @@ func GenerateDeviceData(platform *offload.Platform, plan TrainingPlan) (*ml.Data
 					}
 					t, err := platform.Measure(w.Scaled(sizeMB), cfg, plan.Trial)
 					if err != nil {
-						return nil, fmt.Errorf("core: device sample (%s %g%% %dT %s): %w", g.Name, f, n, aff, err)
+						return nil, fmt.Errorf("core: device sample (%s %g%% %dT %s): %w", w.Name, f, n, aff, err)
 					}
 					d.Append(deviceFeatures(n, aff, sizeMB), t.Device)
 				}

@@ -173,15 +173,26 @@ func Genomes() []Genome {
 	return []Genome{Human, Mouse, Cat, Dog}
 }
 
+// GenomeNames lists the evaluation genomes' names in the paper's order.
+func GenomeNames() []string {
+	gs := Genomes()
+	names := make([]string, len(gs))
+	for i, g := range gs {
+		names[i] = g.Name
+	}
+	return names
+}
+
 // GenomeByName looks up one of the evaluation genomes by case-insensitive
-// name.
+// name. Unknown names fail with the full list of valid names, derived
+// from the genome set itself so the error can never go stale.
 func GenomeByName(name string) (Genome, error) {
 	for _, g := range Genomes() {
 		if strings.EqualFold(g.Name, name) {
 			return g, nil
 		}
 	}
-	return Genome{}, fmt.Errorf("dna: unknown genome %q (want human, mouse, cat or dog)", name)
+	return Genome{}, fmt.Errorf("dna: unknown genome %q (valid: %s)", name, strings.Join(GenomeNames(), ", "))
 }
 
 // Motif is a named nucleotide pattern to search for. Pattern may contain

@@ -44,7 +44,7 @@ type Scheduler struct {
 
 // NewScheduler wraps the paper platform's model.
 func NewScheduler() *Scheduler {
-	return &Scheduler{Model: perf.NewModel()}
+	return &Scheduler{Model: perf.NewPaperModel()}
 }
 
 func (s *Scheduler) perChunkLaunch() float64 {
@@ -83,11 +83,14 @@ func (s *Scheduler) Simulate(w offload.Workload, cfg Config) (Result, error) {
 	if cfg.ChunkMB <= 0 {
 		return Result{}, fmt.Errorf("dynsched: chunk size %g must be positive", cfg.ChunkMB)
 	}
-	hostRate, err := s.Model.HostThroughputMBs(cfg.HostThreads, cfg.HostAffinity)
+	// Throughput honors the workload's traits (bytes-per-byte roofline,
+	// per-side rate factors) so the simulated dynamic run and the static
+	// optimum it is compared against execute the same workload.
+	hostRate, err := s.Model.HostThroughputFor(cfg.HostThreads, cfg.HostAffinity, w.Traits())
 	if err != nil {
 		return Result{}, err
 	}
-	devRate, err := s.Model.DeviceThroughputMBs(cfg.DeviceThreads, cfg.DeviceAffinity)
+	devRate, err := s.Model.DeviceThroughputFor(cfg.DeviceThreads, cfg.DeviceAffinity, w.Traits())
 	if err != nil {
 		return Result{}, err
 	}

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
 	"hetopt/internal/ml"
 	"hetopt/internal/offload"
 	"hetopt/internal/space"
@@ -20,8 +19,8 @@ import (
 // AblationCoolingRate compares SAML outcomes across initial temperatures
 // (the cooling rate follows from the budget, so temperature sets the
 // explore/exploit balance).
-func (s *Suite) AblationCoolingRate(g dna.Genome, iterations int) (string, error) {
-	inst, err := s.instance(g)
+func (s *Suite) AblationCoolingRate(w offload.Workload, iterations int) (string, error) {
+	inst, err := s.instance(w)
 	if err != nil {
 		return "", err
 	}
@@ -30,7 +29,7 @@ func (s *Suite) AblationCoolingRate(g dna.Genome, iterations int) (string, error
 		return "", err
 	}
 	tb := tables.New(fmt.Sprintf("Ablation: SA initial temperature (genome %s, %d iterations, %d seeds)",
-		g.Name, iterations, s.repeats()),
+		w.Name, iterations, s.repeats()),
 		"initial temp", "mean SAML E [s]", "pct diff vs EM")
 	for _, t0 := range []float64{0.05, 0.5, core.DefaultInitialTemp, 50, 10000} {
 		sum := 0.0
@@ -55,8 +54,8 @@ func (s *Suite) AblationCoolingRate(g dna.Genome, iterations int) (string, error
 
 // AblationNeighborhood compares the step-move neighborhood against
 // uniform resampling.
-func (s *Suite) AblationNeighborhood(g dna.Genome, iterations int) (string, error) {
-	inst, err := s.instance(g)
+func (s *Suite) AblationNeighborhood(w offload.Workload, iterations int) (string, error) {
+	inst, err := s.instance(w)
 	if err != nil {
 		return "", err
 	}
@@ -65,7 +64,7 @@ func (s *Suite) AblationNeighborhood(g dna.Genome, iterations int) (string, erro
 		return "", err
 	}
 	tb := tables.New(fmt.Sprintf("Ablation: SA neighborhood (genome %s, %d iterations, %d seeds)",
-		g.Name, iterations, s.repeats()),
+		w.Name, iterations, s.repeats()),
 		"neighborhood", "mean SAML E [s]", "pct diff vs EM")
 	for _, mode := range []struct {
 		name string
@@ -94,7 +93,7 @@ func (s *Suite) AblationNeighborhood(g dna.Genome, iterations int) (string, erro
 // AblationRegressors compares BDTR with the linear and Poisson
 // alternatives the paper considered (Section III-B), both on prediction
 // accuracy and on the quality of the SAML result they induce.
-func (s *Suite) AblationRegressors(g dna.Genome) (string, error) {
+func (s *Suite) AblationRegressors(w offload.Workload) (string, error) {
 	hostData, err := core.GenerateHostData(s.Platform, s.Plan)
 	if err != nil {
 		return "", err
@@ -103,13 +102,12 @@ func (s *Suite) AblationRegressors(g dna.Genome) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	w := dnaWorkload(g)
 	meas := core.NewMeasurer(s.Platform, w)
 	em, err := core.Run(core.EM, &core.Instance{Schema: s.Schema, Measurer: meas}, s.coreOpts(0, 0))
 	if err != nil {
 		return "", err
 	}
-	tb := tables.New(fmt.Sprintf("Ablation: regressor family (genome %s, 1000 iterations)", g.Name),
+	tb := tables.New(fmt.Sprintf("Ablation: regressor family (%s, 1000 iterations)", w.Name),
 		"regressor", "host pct err", "device pct err", "SAML pct diff vs EM")
 	for _, kind := range []core.RegressorKind{core.BoostedTrees, core.Linear, core.Poisson} {
 		models, err := core.TrainOnData(hostData, devData, core.TrainOptions{Kind: kind, SplitSeed: s.TrainOpt.SplitSeed})
@@ -169,19 +167,19 @@ func (s *Suite) AblationBoosting() (string, error) {
 // RenderAblations runs every ablation and concatenates the reports.
 func (s *Suite) RenderAblations() (string, error) {
 	var sb strings.Builder
-	cool, err := s.AblationCoolingRate(dna.Human, 1000)
+	cool, err := s.AblationCoolingRate(s.reference(), 1000)
 	if err != nil {
 		return "", err
 	}
 	sb.WriteString(cool)
 	sb.WriteByte('\n')
-	nb, err := s.AblationNeighborhood(dna.Human, 1000)
+	nb, err := s.AblationNeighborhood(s.reference(), 1000)
 	if err != nil {
 		return "", err
 	}
 	sb.WriteString(nb)
 	sb.WriteByte('\n')
-	reg, err := s.AblationRegressors(dna.Human)
+	reg, err := s.AblationRegressors(s.reference())
 	if err != nil {
 		return "", err
 	}
@@ -193,8 +191,4 @@ func (s *Suite) RenderAblations() (string, error) {
 	}
 	sb.WriteString(boost)
 	return sb.String(), nil
-}
-
-func dnaWorkload(g dna.Genome) offload.Workload {
-	return offload.GenomeWorkload(g)
 }

@@ -5,7 +5,6 @@ import (
 
 	"hetopt/internal/adaptive"
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
 	"hetopt/internal/offload"
 	"hetopt/internal/tables"
 )
@@ -28,8 +27,8 @@ type AdaptiveRow struct {
 // plus measured local refinement, per genome.
 func (s *Suite) ExtAdaptive(iterations, refineBudget int) ([]AdaptiveRow, error) {
 	var rows []AdaptiveRow
-	for _, g := range s.Plan.Genomes {
-		inst, err := s.instance(g)
+	for _, w := range s.Plan.Workloads {
+		inst, err := s.instance(w)
 		if err != nil {
 			return nil, err
 		}
@@ -42,10 +41,10 @@ func (s *Suite) ExtAdaptive(iterations, refineBudget int) ([]AdaptiveRow, error)
 		for r := 0; r < s.repeats(); r++ {
 			inst.Measurer.ResetCount()
 			saml, refined, err := adaptive.TuneAndRefine(inst,
-				s.coreOpts(iterations, s.Seed+int64(r)+genomeSeed(g.Name)),
+				s.coreOpts(iterations, s.Seed+int64(r)+genomeSeed(w.Name)),
 				adaptive.Options{MeasureBudget: refineBudget, Parallelism: s.Parallelism})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: adaptive on %s: %w", g.Name, err)
+				return nil, fmt.Errorf("experiments: adaptive on %s: %w", w.Name, err)
 			}
 			samlSum += saml.MeasuredE()
 			refinedSum += refined.MeasuredE
@@ -54,7 +53,7 @@ func (s *Suite) ExtAdaptive(iterations, refineBudget int) ([]AdaptiveRow, error)
 		samlMean := samlSum / float64(s.repeats())
 		refinedMean := refinedSum / float64(s.repeats())
 		rows = append(rows, AdaptiveRow{
-			Genome:      g.Name,
+			Genome:      w.Name,
 			SAMLE:       samlMean,
 			RefinedE:    refinedMean,
 			EME:         em.MeasuredE(),
@@ -94,7 +93,7 @@ type SizeSweepRow struct {
 // uses EML — once the models are trained, enumerating predictions is
 // nearly free (the per-side inputs memoize), deterministic, and exactly
 // the "prediction" capability Table II credits the ML-based methods with.
-func (s *Suite) ExtSizeSweep(g dna.Genome, sizesMB []float64) ([]SizeSweepRow, error) {
+func (s *Suite) ExtSizeSweep(ref offload.Workload, sizesMB []float64) ([]SizeSweepRow, error) {
 	if len(sizesMB) == 0 {
 		return nil, fmt.Errorf("experiments: no sizes to sweep")
 	}
@@ -104,7 +103,7 @@ func (s *Suite) ExtSizeSweep(g dna.Genome, sizesMB []float64) ([]SizeSweepRow, e
 	}
 	var rows []SizeSweepRow
 	for _, size := range sizesMB {
-		w := offload.GenomeWorkload(g).Scaled(size)
+		w := ref.Scaled(size)
 		pred, err := core.NewPredictor(models, w, s.Platform.Model())
 		if err != nil {
 			return nil, err
@@ -129,8 +128,8 @@ func (s *Suite) ExtSizeSweep(g dna.Genome, sizesMB []float64) ([]SizeSweepRow, e
 }
 
 // RenderSizeSweep formats the size sweep.
-func RenderSizeSweep(rows []SizeSweepRow, g dna.Genome) string {
-	tb := tables.New(fmt.Sprintf("Extension: tuned distribution vs input size (genome %s composition)", g.Name),
+func RenderSizeSweep(rows []SizeSweepRow, ref offload.Workload) string {
+	tb := tables.New(fmt.Sprintf("Extension: tuned distribution vs input size (%s composition)", ref.Name),
 		"size [MB]", "host fraction", "E [s]", "mode")
 	for _, r := range rows {
 		mode := "split"

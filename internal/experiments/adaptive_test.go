@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hetopt/internal/dna"
+	"hetopt/internal/offload"
 )
 
 func TestExtAdaptiveClosesTheGap(t *testing.T) {
@@ -45,7 +46,7 @@ func TestExtAdaptiveClosesTheGap(t *testing.T) {
 
 func TestExtSizeSweepShowsCrossover(t *testing.T) {
 	s := testSuite(t)
-	rows, err := s.ExtSizeSweep(dna.Human, []float64{100, 400, 1600, 3200})
+	rows, err := s.ExtSizeSweep(offload.GenomeWorkload(dna.Human), []float64{100, 400, 1600, 3200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,10 +70,10 @@ func TestExtSizeSweepShowsCrossover(t *testing.T) {
 			t.Errorf("E not increasing with size: %v", rows)
 		}
 	}
-	if _, err := s.ExtSizeSweep(dna.Human, nil); err == nil {
+	if _, err := s.ExtSizeSweep(offload.GenomeWorkload(dna.Human), nil); err == nil {
 		t.Error("empty size list should fail")
 	}
-	text := RenderSizeSweep(rows, dna.Human)
+	text := RenderSizeSweep(rows, offload.GenomeWorkload(dna.Human))
 	if !strings.Contains(text, "CPU only") || !strings.Contains(text, "split") {
 		t.Error("rendered sweep missing modes")
 	}

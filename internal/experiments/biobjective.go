@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
 	"hetopt/internal/offload"
 	"hetopt/internal/space"
 	"hetopt/internal/tables"
@@ -27,8 +26,7 @@ type BiObjectiveRow struct {
 // objective, the energy objective, the weighted sum with the given
 // alpha, and the constrained minimum-energy mode within the given
 // makespan slack. The first row is always the time-optimal reference.
-func (s *Suite) BiObjective(g dna.Genome, alpha, slack float64) ([]BiObjectiveRow, error) {
-	w := offload.GenomeWorkload(g)
+func (s *Suite) BiObjective(w offload.Workload, alpha, slack float64) ([]BiObjectiveRow, error) {
 	inst := &core.Instance{Schema: s.Schema, Measurer: core.NewMeasurer(s.Platform, w)}
 
 	timeRes, boundedRes, err := core.RunWithTimeSlack(core.EM, inst, s.coreOpts(0, s.Seed), slack)
@@ -66,9 +64,9 @@ func (s *Suite) BiObjective(g dna.Genome, alpha, slack float64) ([]BiObjectiveRo
 
 // RenderBiObjective formats the bi-objective comparison; deltas are
 // relative to the time-optimal reference in the first row.
-func RenderBiObjective(rows []BiObjectiveRow, g dna.Genome) string {
+func RenderBiObjective(rows []BiObjectiveRow, w offload.Workload) string {
 	var sb strings.Builder
-	tb := tables.New(fmt.Sprintf("Bi-objective: time-optimal vs energy-optimal distributions (genome %s, EM)", g.Name),
+	tb := tables.New(fmt.Sprintf("Bi-objective: time-optimal vs energy-optimal distributions (%s, EM)", w.Name),
 		"objective", "distribution", "T [s]", "E [J]", "dT vs time-opt", "dE vs time-opt")
 	if len(rows) == 0 {
 		return tb.String()

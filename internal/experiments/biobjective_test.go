@@ -5,12 +5,13 @@ import (
 	"testing"
 
 	"hetopt/internal/dna"
+	"hetopt/internal/offload"
 )
 
 func TestBiObjective(t *testing.T) {
 	s := NewSuite()
 	s.Parallelism = 4
-	rows, err := s.BiObjective(dna.Human, 0.5, 0.10)
+	rows, err := s.BiObjective(offload.GenomeWorkload(dna.Human), 0.5, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestBiObjective(t *testing.T) {
 		t.Fatalf("bounded row %g s violates the 10%% slack over %g s", bounded.TimeSec, ref.TimeSec)
 	}
 
-	text := RenderBiObjective(rows, dna.Human)
+	text := RenderBiObjective(rows, offload.GenomeWorkload(dna.Human))
 	for _, want := range []string{"Bi-objective", "time", "energy", "weighted", "bounded", "dT vs time-opt"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("rendered table missing %q:\n%s", want, text)

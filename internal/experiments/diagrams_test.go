@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hetopt/internal/dna"
+	"hetopt/internal/offload"
 	"hetopt/internal/stats"
 )
 
@@ -35,7 +36,7 @@ func TestRenderFig3And4(t *testing.T) {
 
 func TestRenderSATrace(t *testing.T) {
 	s := testSuite(t)
-	out, err := s.RenderSATrace(dna.Cat, 300)
+	out, err := s.RenderSATrace(offload.GenomeWorkload(dna.Cat), 300)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hetopt/internal/dna"
+	"hetopt/internal/offload"
 )
 
 // sharedSuite is trained once and reused across tests: model training
@@ -112,7 +113,7 @@ func TestFig5HostCurves(t *testing.T) {
 	}
 	for _, n := range pc.ThreadCounts {
 		pts := pc.Curves[n]
-		if len(pts) != len(s.Plan.Genomes)*len(s.Plan.Fractions) {
+		if len(pts) != len(s.Plan.Workloads)*len(s.Plan.Fractions) {
 			t.Fatalf("%dT: %d points", n, len(pts))
 		}
 		// Sizes sorted; predictions track measurements.
@@ -221,7 +222,7 @@ func TestTables4And5(t *testing.T) {
 
 func TestMethodComparisonSingleGenome(t *testing.T) {
 	s := testSuite(t)
-	mc, err := s.MethodComparisonFor(dna.Cat)
+	mc, err := s.MethodComparisonFor(offload.GenomeWorkload(dna.Cat))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,11 +5,11 @@ import (
 	"strings"
 
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
 	"hetopt/internal/dynsched"
 	"hetopt/internal/machine"
 	"hetopt/internal/multi"
 	"hetopt/internal/offload"
+	"hetopt/internal/perf"
 	"hetopt/internal/tables"
 )
 
@@ -24,17 +24,54 @@ type MultiDeviceResult struct {
 	E            float64
 }
 
-// ExtMultiDevice tunes the workload on platforms with 1..maxDevices Phi
-// cards (the paper's future-work scenario: nodes carry several
-// accelerators) and reports the scaling of the tuned execution time.
-func (s *Suite) ExtMultiDevice(g dna.Genome, maxDevices, iterations int) ([]MultiDeviceResult, error) {
+// multiProblem builds the multi-device tuning problem for n copies of
+// the suite platform's accelerator over the suite schema's value sets.
+// On the paper suite this reproduces multi.PaperProblem exactly (same
+// models, same Table I grids); on a scenario suite the cards, the
+// calibration and the thread grids are the selected platform's.
+func (s *Suite) multiProblem(n int, w offload.Workload) (*multi.Problem, error) {
+	// Device names key per-card measurement noise; the Phi keeps the
+	// "phi" prefix so the paper suite's table is bit-identical to the
+	// multi.PaperWithPhis numbers it reproduced before the scenario
+	// layer.
+	prefix := "dev"
+	if strings.Contains(s.Platform.Device().Name, "Phi") {
+		prefix = "phi"
+	}
+	devices := make([]*perf.Model, n)
+	names := make([]string, n)
+	for i := range devices {
+		m := *s.Platform.Model()
+		// Decorrelate per-card noise: same silicon, different card.
+		m.Cal.NoiseSeed ^= uint64(i+1) * 0x9E3779B97F4A7C15
+		devices[i] = &m
+		names[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	platform, err := multi.NewPlatform(s.Platform.Model(), names, devices)
+	if err != nil {
+		return nil, err
+	}
+	return &multi.Problem{
+		Platform:         platform,
+		Workload:         w,
+		HostThreads:      s.Schema.HostThreadValues(),
+		HostAffinities:   s.Schema.HostAffinityValues(),
+		DeviceThreads:    s.Schema.DeviceThreadValues(),
+		DeviceAffinities: s.Schema.DeviceAffinityValues(),
+	}, nil
+}
+
+// ExtMultiDevice tunes the workload on platforms with 1..maxDevices
+// copies of the suite platform's accelerator (the paper's future-work
+// scenario: nodes carry several cards) and reports the scaling of the
+// tuned execution time.
+func (s *Suite) ExtMultiDevice(w offload.Workload, maxDevices, iterations int) ([]MultiDeviceResult, error) {
 	if maxDevices < 1 {
 		return nil, fmt.Errorf("experiments: need at least one device")
 	}
 	var out []MultiDeviceResult
-	w := offload.GenomeWorkload(g)
 	for n := 1; n <= maxDevices; n++ {
-		problem, err := multi.PaperProblem(n, w)
+		problem, err := s.multiProblem(n, w)
 		if err != nil {
 			return nil, err
 		}
@@ -67,8 +104,8 @@ func (s *Suite) ExtMultiDevice(g dna.Genome, maxDevices, iterations int) ([]Mult
 }
 
 // RenderMultiDevice formats the multi-accelerator scaling table.
-func RenderMultiDevice(rows []MultiDeviceResult, g dna.Genome) string {
-	tb := tables.New(fmt.Sprintf("Extension: multi-accelerator scaling (genome %s, tuned per platform)", g.Name),
+func RenderMultiDevice(rows []MultiDeviceResult, w offload.Workload) string {
+	tb := tables.New(fmt.Sprintf("Extension: multi-accelerator scaling (%s, tuned per platform)", w.Name),
 		"phis", "tuned E [s]", "speedup vs 1 phi", "distribution")
 	if len(rows) == 0 {
 		return tb.String()
@@ -95,8 +132,8 @@ type DynamicRow struct {
 // against the paper's static optimum: it sweeps the chunk size on the
 // same modeled platform and reports makespans next to the EM optimum for
 // the same genome.
-func (s *Suite) ExtDynamicScheduling(g dna.Genome) ([]DynamicRow, float64, error) {
-	inst, err := s.instance(g)
+func (s *Suite) ExtDynamicScheduling(w offload.Workload) ([]DynamicRow, float64, error) {
+	inst, err := s.instance(w)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -105,11 +142,24 @@ func (s *Suite) ExtDynamicScheduling(g dna.Genome) ([]DynamicRow, float64, error
 		return nil, 0, err
 	}
 
+	// Both sides run maximally threaded under scatter (falling back to
+	// the side's first affinity) — the natural untuned choice a runtime
+	// would make. The values come from the suite's schema, so a scenario
+	// suite simulates the selected platform, not the paper's.
+	scatterOr := func(affs []machine.Affinity) machine.Affinity {
+		for _, a := range affs {
+			if a == machine.AffinityScatter {
+				return a
+			}
+		}
+		return affs[0]
+	}
+	hostThreads := s.Schema.HostThreadValues()
+	devThreads := s.Schema.DeviceThreadValues()
 	sched := dynsched.Scheduler{Model: s.Platform.Model()}
-	w := offload.GenomeWorkload(g)
 	cfg := dynsched.Config{
-		HostThreads: 48, HostAffinity: machine.AffinityScatter,
-		DeviceThreads: 240, DeviceAffinity: machine.AffinityBalanced,
+		HostThreads: hostThreads[len(hostThreads)-1], HostAffinity: scatterOr(s.Schema.HostAffinityValues()),
+		DeviceThreads: devThreads[len(devThreads)-1], DeviceAffinity: s.Schema.DeviceAffinityValues()[0],
 	}
 	var rows []DynamicRow
 	for _, chunk := range []float64{1, 4, 16, 64, 128, 256, 512, 1024} {
@@ -124,9 +174,9 @@ func (s *Suite) ExtDynamicScheduling(g dna.Genome) ([]DynamicRow, float64, error
 }
 
 // RenderDynamicScheduling formats the dynamic-vs-static comparison.
-func RenderDynamicScheduling(rows []DynamicRow, emE float64, g dna.Genome) string {
+func RenderDynamicScheduling(rows []DynamicRow, emE float64, w offload.Workload) string {
 	var sb strings.Builder
-	tb := tables.New(fmt.Sprintf("Extension: dynamic self-scheduling baseline (genome %s, static EM optimum %.4f s)", g.Name, emE),
+	tb := tables.New(fmt.Sprintf("Extension: dynamic self-scheduling baseline (%s, static EM optimum %.4f s)", w.Name, emE),
 		"chunk [MB]", "makespan [s]", "vs static EM", "host share")
 	for _, r := range rows {
 		tb.AddRow(tables.F(r.ChunkMB, 0), tables.F(r.Makespan, 4),

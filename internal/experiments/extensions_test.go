@@ -1,15 +1,18 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"hetopt/internal/dna"
+	"hetopt/internal/multi"
+	"hetopt/internal/offload"
 )
 
 func TestExtMultiDeviceScaling(t *testing.T) {
 	s := testSuite(t)
-	rows, err := s.ExtMultiDevice(dna.Human, 2, 1500)
+	rows, err := s.ExtMultiDevice(offload.GenomeWorkload(dna.Human), 2, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,25 +26,25 @@ func TestExtMultiDeviceScaling(t *testing.T) {
 	if rows[1].E >= rows[0].E {
 		t.Errorf("2 Phis (%.4f) should beat 1 Phi (%.4f)", rows[1].E, rows[0].E)
 	}
-	text := RenderMultiDevice(rows, dna.Human)
+	text := RenderMultiDevice(rows, offload.GenomeWorkload(dna.Human))
 	if !strings.Contains(text, "speedup vs 1 phi") || !strings.Contains(text, "host") {
 		t.Error("rendered multi-device table incomplete")
 	}
-	if RenderMultiDevice(nil, dna.Human) == "" {
+	if RenderMultiDevice(nil, offload.GenomeWorkload(dna.Human)) == "" {
 		t.Error("empty render should still emit a header")
 	}
 }
 
 func TestExtMultiDeviceValidation(t *testing.T) {
 	s := testSuite(t)
-	if _, err := s.ExtMultiDevice(dna.Human, 0, 100); err == nil {
+	if _, err := s.ExtMultiDevice(offload.GenomeWorkload(dna.Human), 0, 100); err == nil {
 		t.Error("zero devices should fail")
 	}
 }
 
 func TestExtDynamicScheduling(t *testing.T) {
 	s := testSuite(t)
-	rows, emE, err := s.ExtDynamicScheduling(dna.Human)
+	rows, emE, err := s.ExtDynamicScheduling(offload.GenomeWorkload(dna.Human))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,8 +72,37 @@ func TestExtDynamicScheduling(t *testing.T) {
 	if rows[len(rows)-1].Makespan <= bestMakespan {
 		t.Error("1 GB chunks should be worse than the best chunk size")
 	}
-	text := RenderDynamicScheduling(rows, emE, dna.Human)
+	text := RenderDynamicScheduling(rows, emE, offload.GenomeWorkload(dna.Human))
 	if !strings.Contains(text, "chunk [MB]") || !strings.Contains(text, "vs static EM") {
 		t.Error("rendered dynamic table incomplete")
+	}
+}
+
+// TestMultiProblemMatchesPaperOnDefaultSuite: the suite-derived
+// multi-device problem reproduces multi.PaperProblem bit-identically on
+// the default (paper) suite — the scenario generalization must not
+// drift the paper's multi-accelerator table.
+func TestMultiProblemMatchesPaperOnDefaultSuite(t *testing.T) {
+	s := NewSuite()
+	w := offload.GenomeWorkload(dna.Human)
+	mine, err := s.multiProblem(2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := multi.PaperProblem(2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := multi.TuneOptions{Iterations: 300, Seed: 4, Restarts: 2}
+	a, err := multi.TuneParallel(mine, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := multi.TuneParallel(paper, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("suite-derived multi problem diverges from PaperProblem:\n%+v\n%+v", a, b)
 	}
 }

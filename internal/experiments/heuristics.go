@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
 	"hetopt/internal/heuristics"
+	"hetopt/internal/offload"
 	"hetopt/internal/space"
 	"hetopt/internal/tables"
 )
@@ -56,8 +56,8 @@ type HeuristicResult struct {
 // configuration space with ML evaluation under an equal budget, and their
 // suggestions are measured for fair comparison. Simulated annealing (the
 // paper's choice) is included via the regular SAML path.
-func (s *Suite) HeuristicComparison(g dna.Genome, budget int) ([]HeuristicResult, float64, error) {
-	inst, err := s.instance(g)
+func (s *Suite) HeuristicComparison(w offload.Workload, budget int) ([]HeuristicResult, float64, error) {
+	inst, err := s.instance(w)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -164,9 +164,9 @@ func (s *Suite) HeuristicComparison(g dna.Genome, budget int) ([]HeuristicResult
 }
 
 // RenderHeuristicComparison formats the explorer comparison.
-func RenderHeuristicComparison(rows []HeuristicResult, emE float64, g dna.Genome, budget, repeats int) string {
+func RenderHeuristicComparison(rows []HeuristicResult, emE float64, w offload.Workload, budget, repeats int) string {
 	tb := tables.New(fmt.Sprintf("Extension: metaheuristic comparison (genome %s, budget %d evaluations, %d seeds, EM optimum %.4f s)",
-		g.Name, budget, repeats, emE),
+		w.Name, budget, repeats, emE),
 		"heuristic", "mean measured E [s]", "pct diff vs EM")
 	for _, r := range rows {
 		tb.AddRow(r.Name, tables.F(r.MeanMeasuredE, 4), tables.Percent(r.PercentVsEM))

@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"hetopt/internal/dna"
+	"hetopt/internal/offload"
 )
 
 func TestHeuristicComparison(t *testing.T) {
 	s := testSuite(t)
-	rows, emE, err := s.HeuristicComparison(dna.Human, 500)
+	rows, emE, err := s.HeuristicComparison(offload.GenomeWorkload(dna.Human), 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestHeuristicComparison(t *testing.T) {
 	if byName["genetic-algorithm"].MeanMeasuredE >= byName["random-search"].MeanMeasuredE {
 		t.Error("genetic algorithm should beat random search")
 	}
-	text := RenderHeuristicComparison(rows, emE, dna.Human, 500, s.repeats())
+	text := RenderHeuristicComparison(rows, emE, offload.GenomeWorkload(dna.Human), 500, s.repeats())
 	if !strings.Contains(text, "tabu-search") || !strings.Contains(text, "EM optimum") {
 		t.Error("rendered comparison incomplete")
 	}

@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
+	"hetopt/internal/offload"
 	"hetopt/internal/stats"
 	"hetopt/internal/tables"
 )
@@ -34,24 +34,24 @@ type MethodComparison struct {
 	HostOnly, DeviceOnly float64
 }
 
-// MethodComparisonFor runs the full comparison for one genome.
-func (s *Suite) MethodComparisonFor(g dna.Genome) (MethodComparison, error) {
-	inst, err := s.instance(g)
+// MethodComparisonFor runs the full comparison for one workload.
+func (s *Suite) MethodComparisonFor(w offload.Workload) (MethodComparison, error) {
+	inst, err := s.instance(w)
 	if err != nil {
 		return MethodComparison{}, err
 	}
-	mc := MethodComparison{Genome: g.Name, Iterations: PaperIterations()}
+	mc := MethodComparison{Genome: w.Name, Iterations: PaperIterations()}
 
 	em, err := core.Run(core.EM, inst, s.coreOpts(0, 0))
 	if err != nil {
-		return MethodComparison{}, fmt.Errorf("experiments: EM on %s: %w", g.Name, err)
+		return MethodComparison{}, fmt.Errorf("experiments: EM on %s: %w", w.Name, err)
 	}
 	mc.EM = em.MeasuredE()
 	mc.EMExperiments = em.SearchEvaluations
 
 	eml, err := core.Run(core.EML, inst, s.coreOpts(0, 0))
 	if err != nil {
-		return MethodComparison{}, fmt.Errorf("experiments: EML on %s: %w", g.Name, err)
+		return MethodComparison{}, fmt.Errorf("experiments: EML on %s: %w", w.Name, err)
 	}
 	mc.EML = eml.MeasuredE()
 
@@ -72,15 +72,15 @@ func (s *Suite) MethodComparisonFor(g dna.Genome) (MethodComparison, error) {
 			// Seeds are paired across budgets (the same seed set per
 			// column) so the iteration-count effect is not drowned in
 			// between-run variance.
-			seed := s.Seed + int64(r) + genomeSeed(g.Name)
+			seed := s.Seed + int64(r) + genomeSeed(w.Name)
 			saml, err := core.Run(core.SAML, inst, s.coreOpts(iters, seed))
 			if err != nil {
-				return MethodComparison{}, fmt.Errorf("experiments: SAML on %s: %w", g.Name, err)
+				return MethodComparison{}, fmt.Errorf("experiments: SAML on %s: %w", w.Name, err)
 			}
 			samlSum += saml.MeasuredE()
 			sam, err := core.Run(core.SAM, inst, s.coreOpts(iters, seed))
 			if err != nil {
-				return MethodComparison{}, fmt.Errorf("experiments: SAM on %s: %w", g.Name, err)
+				return MethodComparison{}, fmt.Errorf("experiments: SAM on %s: %w", w.Name, err)
 			}
 			samSum += sam.MeasuredE()
 		}
@@ -99,13 +99,23 @@ func genomeSeed(name string) int64 {
 	return h
 }
 
-// Fig9 runs the method comparison for all four genomes.
+// Fig9 runs the method comparison for every training-plan workload (the
+// paper's four genomes by default; a scenario family's size presets
+// otherwise). Workloads sharing one family name are labeled with their
+// size so the rendered rows stay distinguishable.
 func (s *Suite) Fig9() ([]MethodComparison, error) {
+	names := map[string]int{}
+	for _, w := range s.Plan.Workloads {
+		names[w.Name]++
+	}
 	var out []MethodComparison
-	for _, g := range s.Plan.Genomes {
-		mc, err := s.MethodComparisonFor(g)
+	for _, w := range s.Plan.Workloads {
+		mc, err := s.MethodComparisonFor(w)
 		if err != nil {
 			return nil, err
+		}
+		if names[w.Name] > 1 {
+			mc.Genome = fmt.Sprintf("%s %.0fMB", w.Name, w.SizeMB)
 		}
 		out = append(out, mc)
 	}

@@ -8,7 +8,6 @@ import (
 	"hetopt/internal/core"
 	"hetopt/internal/machine"
 	"hetopt/internal/ml"
-	"hetopt/internal/offload"
 	"hetopt/internal/space"
 	"hetopt/internal/stats"
 	"hetopt/internal/tables"
@@ -55,10 +54,9 @@ func (s *Suite) predictionCurves(side string, aff machine.Affinity, threadCounts
 	out := PredictionCurves{Side: side, Affinity: aff, Curves: map[int][]PredictionPoint{}, ThreadCounts: threadCounts}
 	for _, n := range threadCounts {
 		var points []PredictionPoint
-		for _, g := range s.Plan.Genomes {
-			w := offload.GenomeWorkload(g)
+		for _, w := range s.Plan.Workloads {
 			for _, f := range s.Plan.Fractions {
-				sizeMB := g.SizeMB * f / 100
+				sizeMB := w.SizeMB * f / 100
 				var measured, predicted float64
 				if side == "host" {
 					t, err := s.Platform.Measure(w.Scaled(sizeMB), hostOnlyConfig(n, aff), s.Plan.Trial)

@@ -3,12 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
-
-	"hetopt/internal/dna"
 )
-
-// dnaHuman returns the reference genome for extension experiments.
-func dnaHuman() dna.Genome { return dna.Human }
 
 // RunAll regenerates every paper artifact and writes the full report to
 // w: Tables I-IX and Figures 2, 5-9, followed by the Result 1-5
@@ -142,11 +137,19 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		return err
 	}
 
-	bi, err := s.BiObjective(dnaHuman(), 0.5, 0.10)
+	bi, err := s.BiObjective(s.reference(), 0.5, 0.10)
 	if err != nil {
 		return err
 	}
-	if err := section(RenderBiObjective(bi, dnaHuman())); err != nil {
+	if err := section(RenderBiObjective(bi, s.reference())); err != nil {
+		return err
+	}
+
+	scen, err := s.ScenarioTable()
+	if err != nil {
+		return err
+	}
+	if err := section(RenderScenarioTable(scen)); err != nil {
 		return err
 	}
 
@@ -158,18 +161,18 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		if err := section(ab); err != nil {
 			return err
 		}
-		rows, emE, err := s.HeuristicComparison(dnaHuman(), 1000)
+		rows, emE, err := s.HeuristicComparison(s.reference(), 1000)
 		if err != nil {
 			return err
 		}
-		if err := section(RenderHeuristicComparison(rows, emE, dnaHuman(), 1000, s.repeats())); err != nil {
+		if err := section(RenderHeuristicComparison(rows, emE, s.reference(), 1000, s.repeats())); err != nil {
 			return err
 		}
-		sc, err := s.StrategyComparison(dnaHuman(), 1000)
+		sc, err := s.StrategyComparison(s.reference(), 1000)
 		if err != nil {
 			return err
 		}
-		if err := section(RenderStrategyComparison(sc, dnaHuman(), 1000, s.repeats())); err != nil {
+		if err := section(RenderStrategyComparison(sc, s.reference(), 1000, s.repeats())); err != nil {
 			return err
 		}
 		tp, err := s.ServingThroughput([]int{1, 4, 8}, 4, 3, 200)
@@ -179,18 +182,18 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		if err := section(RenderServingThroughput(tp)); err != nil {
 			return err
 		}
-		md, err := s.ExtMultiDevice(dnaHuman(), 3, 2500)
+		md, err := s.ExtMultiDevice(s.reference(), 3, 2500)
 		if err != nil {
 			return err
 		}
-		if err := section(RenderMultiDevice(md, dnaHuman())); err != nil {
+		if err := section(RenderMultiDevice(md, s.reference())); err != nil {
 			return err
 		}
-		dyn, dynEM, err := s.ExtDynamicScheduling(dnaHuman())
+		dyn, dynEM, err := s.ExtDynamicScheduling(s.reference())
 		if err != nil {
 			return err
 		}
-		if err := section(RenderDynamicScheduling(dyn, dynEM, dnaHuman())); err != nil {
+		if err := section(RenderDynamicScheduling(dyn, dynEM, s.reference())); err != nil {
 			return err
 		}
 		ad, err := s.ExtAdaptive(1000, 60)
@@ -200,14 +203,14 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		if err := section(RenderAdaptive(ad, 1000, 60)); err != nil {
 			return err
 		}
-		sweep, err := s.ExtSizeSweep(dnaHuman(), []float64{50, 100, 200, 400, 800, 1600, 3246})
+		sweep, err := s.ExtSizeSweep(s.reference(), []float64{50, 100, 200, 400, 800, 1600, 3246})
 		if err != nil {
 			return err
 		}
-		if err := section(RenderSizeSweep(sweep, dnaHuman())); err != nil {
+		if err := section(RenderSizeSweep(sweep, s.reference())); err != nil {
 			return err
 		}
-		saTrace, err := s.RenderSATrace(dnaHuman(), 1000)
+		saTrace, err := s.RenderSATrace(s.reference(), 1000)
 		if err != nil {
 			return err
 		}

@@ -7,7 +7,7 @@ import (
 
 	"hetopt/internal/anneal"
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
+	"hetopt/internal/offload"
 	"hetopt/internal/space"
 	"hetopt/internal/trace"
 )
@@ -51,8 +51,8 @@ func (a *annealAdapter) Energy(state []int) float64 {
 // convergence trajectory with acceptance statistics — the observability
 // view behind the Figure 9 discussion ("sometimes it accepts a worse
 // system configuration ... to avoid ending at a local optima").
-func (s *Suite) RenderSATrace(g dna.Genome, iterations int) (string, error) {
-	inst, err := s.instance(g)
+func (s *Suite) RenderSATrace(w offload.Workload, iterations int) (string, error) {
+	inst, err := s.instance(w)
 	if err != nil {
 		return "", err
 	}
@@ -76,6 +76,6 @@ func (s *Suite) RenderSATrace(g dna.Genome, iterations int) (string, error) {
 		return "", err
 	}
 	title := fmt.Sprintf("Extension: instrumented SAML trace (genome %s, %d iterations, best %v at predicted E %.4f s)",
-		g.Name, iterations, cfg, res.BestEnergy)
+		w.Name, iterations, cfg, res.BestEnergy)
 	return rec.RenderConvergence(title), nil
 }

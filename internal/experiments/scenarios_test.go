@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hetopt/internal/scenario"
+)
+
+// TestScenarioTableCoverage: the cross-scenario table covers every
+// registered workload family on every registered platform, and the
+// optimizer genuinely distributes differently per scenario — at least
+// two cells' tuned host fractions differ by >= 20 points.
+func TestScenarioTableCoverage(t *testing.T) {
+	s := NewSuite()
+	s.Parallelism = 8
+	cells, err := s.ScenarioTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	families, platforms := scenario.Families(), scenario.Platforms()
+	if want := len(families) * len(platforms); len(cells) != want {
+		t.Fatalf("table has %d cells, want %d (families x platforms)", len(cells), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		seen[c.Platform+"/"+c.Workload] = true
+		if c.Speedup < 1 {
+			// EM's optimum can never be slower than the host-only
+			// baseline it dominates.
+			t.Errorf("%s/%s: speedup %.2f < 1", c.Platform, c.Workload, c.Speedup)
+		}
+		if c.TimeSec <= 0 || c.HostOnlySec <= 0 {
+			t.Errorf("%s/%s: non-positive times %+v", c.Platform, c.Workload, c)
+		}
+	}
+	for _, p := range platforms {
+		for _, f := range families {
+			if !seen[p.Name+"/"+f.Name] {
+				t.Errorf("table misses scenario %s/%s", p.Name, f.Name)
+			}
+		}
+	}
+	if spread := HostFractionSpread(cells); spread < 20 {
+		t.Fatalf("tuned host fractions span only %.1f points; the scenario layer must produce visibly different distributions", spread)
+	}
+	// The spread must come from workload identity, not only platform
+	// identity: on at least one single platform two families differ by
+	// >= 20 points.
+	perPlatform := map[string][]float64{}
+	for _, c := range cells {
+		perPlatform[c.Platform] = append(perPlatform[c.Platform], c.Config.HostFraction)
+	}
+	bestSpread := 0.0
+	for _, fr := range perPlatform {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, f := range fr {
+			lo, hi = math.Min(lo, f), math.Max(hi, f)
+		}
+		bestSpread = math.Max(bestSpread, hi-lo)
+	}
+	if bestSpread < 20 {
+		t.Fatalf("no single platform shows a >= 20-point spread across families (best %.1f)", bestSpread)
+	}
+}
+
+// TestRenderScenarioTable smoke-checks the rendering.
+func TestRenderScenarioTable(t *testing.T) {
+	s := NewSuite()
+	s.Parallelism = 8
+	cells, err := s.ScenarioTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RenderScenarioTable(cells)
+	for _, want := range []string{"Cross-scenario", "spmv", "stencil", "crypto", "dna", "gpu-like", "edge", "paper", "host fraction spans"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestScenarioSuiteDefaultsMatchPaper: the default scenario resolves to
+// the exact suite NewSuite builds, so every golden paper artifact is
+// reachable through the scenario path.
+func TestScenarioSuiteDefaultsMatchPaper(t *testing.T) {
+	def := NewSuite()
+	sc, err := NewScenarioSuite("paper", "dna:human")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Schema.Size() != def.Schema.Size() {
+		t.Fatalf("scenario schema has %d configurations, paper %d", sc.Schema.Size(), def.Schema.Size())
+	}
+	if len(sc.Plan.Workloads) != len(def.Plan.Workloads) {
+		t.Fatalf("scenario plan trains %d workloads, paper %d", len(sc.Plan.Workloads), len(def.Plan.Workloads))
+	}
+	for i := range sc.Plan.Workloads {
+		if sc.Plan.Workloads[i] != def.Plan.Workloads[i] {
+			t.Fatalf("plan workload %d differs: %+v vs %+v", i, sc.Plan.Workloads[i], def.Plan.Workloads[i])
+		}
+	}
+	if sc.reference() != def.reference() {
+		t.Fatalf("reference workload differs: %+v vs %+v", sc.reference(), def.reference())
+	}
+	if _, err := NewScenarioSuite("mainframe", "dna"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if _, err := NewScenarioSuite("paper", "plankton"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

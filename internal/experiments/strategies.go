@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
 	"hetopt/internal/offload"
 	"hetopt/internal/search"
 	"hetopt/internal/space"
@@ -54,8 +53,7 @@ type StrategyComparisonResult struct {
 // shared evaluation cache. Evaluation is measurement-driven (the SAM
 // column's regime), so rankings compare search quality, not prediction
 // error.
-func (s *Suite) StrategyComparison(g dna.Genome, budget int) (*StrategyComparisonResult, error) {
-	w := offload.GenomeWorkload(g)
+func (s *Suite) StrategyComparison(w offload.Workload, budget int) (*StrategyComparisonResult, error) {
 	// One configuration-keyed cache serves the whole comparison:
 	// measurement is objective-independent (the cache stores the full
 	// Measurement) and seeds repeat across members and objectives, so
@@ -142,7 +140,7 @@ func (s *Suite) StrategyComparison(g dna.Genome, budget int) (*StrategyCompariso
 
 // RenderStrategyComparison formats the strategy x objective ranking
 // with the portfolio's cache accounting.
-func RenderStrategyComparison(res *StrategyComparisonResult, g dna.Genome, budget, repeats int) string {
+func RenderStrategyComparison(res *StrategyComparisonResult, w offload.Workload, budget, repeats int) string {
 	cols := []string{"strategy"}
 	for _, o := range res.Objectives {
 		cols = append(cols, "mean "+o, "pct vs best")
@@ -150,7 +148,7 @@ func RenderStrategyComparison(res *StrategyComparisonResult, g dna.Genome, budge
 	cols = append(cols, "mean evals")
 	tb := tables.New(fmt.Sprintf(
 		"Extension: strategy x objective ranking (genome %s, budget %d evaluations per worker, %d seeds, measurement-driven)",
-		g.Name, budget, repeats), cols...)
+		w.Name, budget, repeats), cols...)
 	for si, name := range res.Strategies {
 		row := []string{name}
 		for oi := range res.Objectives {

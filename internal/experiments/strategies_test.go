@@ -5,12 +5,13 @@ import (
 	"testing"
 
 	"hetopt/internal/dna"
+	"hetopt/internal/offload"
 )
 
 func TestStrategyComparison(t *testing.T) {
 	s := NewSuite()
 	s.Repeats = 2
-	res, err := s.StrategyComparison(dna.Human, 150)
+	res, err := s.StrategyComparison(offload.GenomeWorkload(dna.Human), 150)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestStrategyComparison(t *testing.T) {
 		}
 	}
 
-	text := RenderStrategyComparison(res, dna.Human, 150, s.Repeats)
+	text := RenderStrategyComparison(res, offload.GenomeWorkload(dna.Human), 150, s.Repeats)
 	for _, want := range []string{"strategy x objective", "anneal", "portfolio", "shared cache", "never worse"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("rendering missing %q:\n%s", want, text)

@@ -11,6 +11,7 @@ import (
 	"hetopt/internal/core"
 	"hetopt/internal/dna"
 	"hetopt/internal/offload"
+	"hetopt/internal/scenario"
 	"hetopt/internal/space"
 	"hetopt/internal/strategy"
 )
@@ -44,6 +45,11 @@ type Suite struct {
 	// racing portfolio). Nil keeps the paper presets: enumeration for
 	// EM/EML, simulated annealing for SAM/SAML.
 	Strategy strategy.Strategy
+	// Reference, when non-zero, replaces the human genome as the
+	// workload of the single-workload experiments (bi-objective,
+	// strategy comparison, extensions, ablations). cmd/hetbench sets it
+	// from -workload.
+	Reference offload.Workload
 
 	models *core.Models
 }
@@ -58,6 +64,35 @@ func NewSuite() *Suite {
 		Seed:     1,
 		Repeats:  7,
 	}
+}
+
+// NewScenarioSuite returns a Suite regenerating the report for a
+// registered scenario: the platform's substrate, schema and
+// family-specific training plan, with the resolved workload as the
+// single-workload reference. The default scenario ("paper",
+// "dna:human") reproduces NewSuite exactly.
+func NewScenarioSuite(platformName, workloadName string) (*Suite, error) {
+	sc, err := scenario.Lookup(platformName, workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Platform:  sc.Platform.Platform(),
+		Schema:    sc.Schema,
+		Plan:      sc.TrainingPlan(),
+		TrainOpt:  core.TrainOptions{SplitSeed: 7},
+		Seed:      1,
+		Repeats:   7,
+		Reference: sc.Workload,
+	}, nil
+}
+
+// reference returns the workload of the single-workload experiments.
+func (s *Suite) reference() offload.Workload {
+	if s.Reference.Name != "" {
+		return s.Reference
+	}
+	return offload.GenomeWorkload(dna.Human)
 }
 
 // coreOpts assembles method-run options carrying the suite's
@@ -79,13 +114,12 @@ func (s *Suite) Models() (*core.Models, error) {
 	return m, nil
 }
 
-// instance assembles a method-run instance for a genome.
-func (s *Suite) instance(g dna.Genome) (*core.Instance, error) {
+// instance assembles a method-run instance for a workload.
+func (s *Suite) instance(w offload.Workload) (*core.Instance, error) {
 	models, err := s.Models()
 	if err != nil {
 		return nil, err
 	}
-	w := offload.GenomeWorkload(g)
 	pred, err := core.NewPredictor(models, w, s.Platform.Model())
 	if err != nil {
 		return nil, err

@@ -58,11 +58,11 @@ func PaperWithPhis(n int) (*Platform, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("multi: need at least one Phi, got %d", n)
 	}
-	host := perf.NewModel()
+	host := perf.NewPaperModel()
 	devices := make([]*perf.Model, n)
 	names := make([]string, n)
 	for i := range devices {
-		m := perf.NewModel()
+		m := perf.NewPaperModel()
 		// Decorrelate per-card noise: same silicon, different card.
 		m.Cal.NoiseSeed ^= uint64(i+1) * 0x9E3779B97F4A7C15
 		devices[i] = m
@@ -214,7 +214,7 @@ func (p *Platform) MeasureFull(w offload.Workload, cfg Config, trial int) (Measu
 	if err := cfg.Validate(p.NumDevices()); err != nil {
 		return Measurement{}, err
 	}
-	traits := perf.Traits{Name: w.Name, Complexity: w.Complexity}
+	traits := w.Traits()
 	hostA := perf.Assignment{
 		SizeMB:   w.SizeMB * cfg.Host.FractionPct / 100,
 		Threads:  cfg.Host.Threads,
@@ -239,7 +239,10 @@ func (p *Platform) MeasureFull(w offload.Workload, cfg Config, trial int) (Measu
 			Threads:  d.Threads,
 			Affinity: d.Affinity,
 		}
-		devTraits[i] = perf.Traits{Name: w.Name + ":" + p.names[i], Complexity: w.Complexity}
+		devTraits[i] = w.Traits()
+		// Per-device noise decorrelation: each card observes its own
+		// perturbations, keyed by the device name.
+		devTraits[i].Name = w.Name + ":" + p.names[i]
 		if d.FractionPct == 0 {
 			continue
 		}

@@ -31,13 +31,13 @@ func TestNewPlatformValidation(t *testing.T) {
 	if _, err := NewPlatform(nil, nil, nil); err == nil {
 		t.Error("nil host should fail")
 	}
-	if _, err := NewPlatform(perf.NewModel(), nil, nil); err == nil {
+	if _, err := NewPlatform(perf.NewPaperModel(), nil, nil); err == nil {
 		t.Error("no devices should fail")
 	}
-	if _, err := NewPlatform(perf.NewModel(), []string{"a"}, []*perf.Model{perf.NewModel(), perf.NewModel()}); err == nil {
+	if _, err := NewPlatform(perf.NewPaperModel(), []string{"a"}, []*perf.Model{perf.NewPaperModel(), perf.NewPaperModel()}); err == nil {
 		t.Error("name/device mismatch should fail")
 	}
-	if _, err := NewPlatform(perf.NewModel(), []string{"a"}, []*perf.Model{nil}); err == nil {
+	if _, err := NewPlatform(perf.NewPaperModel(), []string{"a"}, []*perf.Model{nil}); err == nil {
 		t.Error("nil device should fail")
 	}
 	if _, err := PaperWithPhis(0); err == nil {

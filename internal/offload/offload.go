@@ -72,7 +72,9 @@ func (m Measurement) E() float64 { return m.Times.E() }
 // Joules is the energy objective, the total across engaged units.
 func (m Measurement) Joules() float64 { return m.Energy.Total() }
 
-// Workload identifies a divisible input.
+// Workload identifies a divisible input. The fields beyond Name, SizeMB
+// and Complexity are the scenario layer's workload-family traits; their
+// zero values reproduce the paper's DNA workload behaviour exactly.
 type Workload struct {
 	// Name keys measurement noise and reports.
 	Name string
@@ -80,6 +82,14 @@ type Workload struct {
 	SizeMB float64
 	// Complexity is the matching-cost multiplier (1.0 = human genome).
 	Complexity float64
+	// BytesPerByte, when positive, is the workload's memory traffic per
+	// input byte (overrides the platform calibration's default of 1.0) —
+	// the arithmetic-intensity knob of scenario workload families.
+	BytesPerByte float64
+	// HostRateFactor and DeviceRateFactor, when positive, scale the
+	// per-core streaming rates relative to the reference workload (1.0),
+	// modeling how well the kernel maps onto each side.
+	HostRateFactor, DeviceRateFactor float64
 }
 
 // GenomeWorkload converts a dna.Genome into a Workload.
@@ -94,9 +104,17 @@ func (w Workload) Scaled(sizeMB float64) Workload {
 	return w
 }
 
-// traits converts the workload to the perf model's view.
-func (w Workload) traits() perf.Traits {
-	return perf.Traits{Name: w.Name, Complexity: w.Complexity}
+// Traits converts the workload to the perf model's view; consumers that
+// price throughput directly (e.g. the dynamic-scheduling baseline) must
+// pass it so workload families keep their compute/bandwidth signature.
+func (w Workload) Traits() perf.Traits {
+	return perf.Traits{
+		Name:             w.Name,
+		Complexity:       w.Complexity,
+		BytesPerByte:     w.BytesPerByte,
+		HostRateFactor:   w.HostRateFactor,
+		DeviceRateFactor: w.DeviceRateFactor,
+	}
 }
 
 // Validate checks the workload.
@@ -119,7 +137,7 @@ type Platform struct {
 // NewPlatform returns the paper's platform (2x Xeon E5 + Xeon Phi 7120P)
 // with default calibration.
 func NewPlatform() *Platform {
-	return &Platform{model: perf.NewModel()}
+	return &Platform{model: perf.NewPaperModel()}
 }
 
 // NewPlatformWithModel wraps a custom performance model (used by tests and
@@ -172,23 +190,23 @@ func (p *Platform) MeasureFull(w Workload, cfg space.Config, trial int) (Measure
 	devA := perf.Assignment{SizeMB: devMB, Threads: cfg.DeviceThreads, Affinity: cfg.DeviceAffinity}
 	var m Measurement
 	if hostMB > 0 {
-		m.Times.Host, err = p.model.HostTime(hostA, w.traits(), trial)
+		m.Times.Host, err = p.model.HostTime(hostA, w.Traits(), trial)
 		if err != nil {
 			return Measurement{}, err
 		}
 	}
 	if devMB > 0 {
-		m.Times.Device, err = p.model.DeviceTime(devA, w.traits(), trial)
+		m.Times.Device, err = p.model.DeviceTime(devA, w.Traits(), trial)
 		if err != nil {
 			return Measurement{}, err
 		}
 	}
 	makespan := m.Times.E()
-	m.Energy.Host, err = p.model.HostEnergy(hostA, w.traits(), trial, m.Times.Host, makespan)
+	m.Energy.Host, err = p.model.HostEnergy(hostA, w.Traits(), trial, m.Times.Host, makespan)
 	if err != nil {
 		return Measurement{}, err
 	}
-	m.Energy.Device, err = p.model.DeviceEnergy(devA, w.traits(), trial, m.Times.Device, makespan)
+	m.Energy.Device, err = p.model.DeviceEnergy(devA, w.Traits(), trial, m.Times.Device, makespan)
 	if err != nil {
 		return Measurement{}, err
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func BenchmarkHostTime(b *testing.B) {
-	m := NewModel()
+	m := NewPaperModel()
 	a := Assignment{SizeMB: 1948, Threads: 48, Affinity: machine.AffinityScatter}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -18,7 +18,7 @@ func BenchmarkHostTime(b *testing.B) {
 }
 
 func BenchmarkDeviceTime(b *testing.B) {
-	m := NewModel()
+	m := NewPaperModel()
 	a := Assignment{SizeMB: 1298, Threads: 240, Affinity: machine.AffinityBalanced}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -29,7 +29,7 @@ func BenchmarkDeviceTime(b *testing.B) {
 }
 
 func BenchmarkThroughputPlacement(b *testing.B) {
-	m := NewModel()
+	m := NewPaperModel()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.HostThroughputMBs(36, machine.AffinityCompact); err != nil {

@@ -40,7 +40,9 @@ import (
 )
 
 // Traits describes workload-level properties that scale execution time
-// independently of the assigned size.
+// independently of the assigned size. The zero value (beyond Name)
+// reproduces the reference workload — the paper's DNA matching — so
+// genome workloads are bit-identical to the pre-scenario-layer model.
 type Traits struct {
 	// Name identifies the input (e.g. the genome); it keys measurement
 	// noise so distinct inputs observe distinct perturbations.
@@ -48,6 +50,19 @@ type Traits struct {
 	// Complexity multiplies execution time relative to the reference
 	// input (human = 1.0). It models composition-dependent matching cost.
 	Complexity float64
+	// BytesPerByte, when positive, overrides Calibration.BytesPerByte:
+	// the workload's memory traffic per input byte. It is the
+	// arithmetic-intensity knob of the scenario layer — bandwidth-bound
+	// kernels (SpMV, stencils) move several bytes per input byte and hit
+	// the roofline, compute-bound kernels barely touch memory.
+	BytesPerByte float64
+	// HostRateFactor and DeviceRateFactor, when positive, scale the
+	// per-core streaming rates relative to the reference workload (1.0).
+	// They model how well the workload maps onto each side's
+	// microarchitecture: an irregular-access kernel may run at a
+	// fraction of the reference rate on a throughput-oriented device
+	// while a vector-friendly one exceeds it.
+	HostRateFactor, DeviceRateFactor float64
 }
 
 // complexityOrDefault treats a zero Complexity as 1.0 so that a zero-value
@@ -57,6 +72,23 @@ func (t Traits) complexityOrDefault() float64 {
 		return 1
 	}
 	return t.Complexity
+}
+
+// factorOrDefault treats a non-positive rate factor as 1.0.
+func factorOrDefault(f float64) float64 {
+	if f <= 0 {
+		return 1
+	}
+	return f
+}
+
+// bytesPerByteOr returns the workload's traffic ratio, falling back to
+// the calibration default.
+func (t Traits) bytesPerByteOr(def float64) float64 {
+	if t.BytesPerByte > 0 {
+		return t.BytesPerByte
+	}
+	return def
 }
 
 // Assignment is the share of work mapped to one processor together with
@@ -203,14 +235,18 @@ type Model struct {
 	Cal    Calibration
 }
 
-// NewModel returns a model of the paper's platform with default
-// calibration.
-func NewModel() *Model {
-	return &Model{
-		Host:   machine.XeonE5Host(),
-		Device: machine.XeonPhi7120P(),
-		Cal:    DefaultCalibration(),
-	}
+// NewModel builds a model from a platform description: host and device
+// processors plus the calibration constants. The scenario layer
+// (internal/scenario) constructs models from registered platform specs
+// through this constructor.
+func NewModel(host, device *machine.Processor, cal Calibration) *Model {
+	return &Model{Host: host, Device: device, Cal: cal}
+}
+
+// NewPaperModel returns a model of the paper's platform (2x Xeon
+// E5-2695v2 + Xeon Phi 7120P) with default calibration.
+func NewPaperModel() *Model {
+	return NewModel(machine.XeonE5Host(), machine.XeonPhi7120P(), DefaultCalibration())
 }
 
 // throughput computes the placement-aware streaming rate in MB/s.
@@ -247,8 +283,17 @@ func throughput(p *machine.Processor, pl machine.Placement, coreRate float64, sm
 }
 
 // HostThroughputMBs returns the modeled host streaming rate for a thread
-// count and affinity.
+// count and affinity, for the reference workload.
 func (m *Model) HostThroughputMBs(threads int, aff machine.Affinity) (float64, error) {
+	return m.HostThroughputFor(threads, aff, Traits{})
+}
+
+// HostThroughputFor returns the modeled host streaming rate for a thread
+// count and affinity under a workload's traits: the per-core rate scales
+// with HostRateFactor and the roofline with the workload's
+// bytes-per-byte traffic ratio. Zero-value traits reproduce
+// HostThroughputMBs exactly.
+func (m *Model) HostThroughputFor(threads int, aff machine.Affinity, w Traits) (float64, error) {
 	pl, err := machine.Place(m.Host, threads, aff)
 	if err != nil {
 		return 0, err
@@ -260,14 +305,19 @@ func (m *Model) HostThroughputMBs(threads int, aff machine.Affinity) (float64, e
 	case machine.AffinityNone:
 		factor = m.Cal.HostNonePenalty
 	}
-	return throughput(m.Host, pl, m.Cal.HostCoreRateMBs, m.Cal.HostSMTGain,
-		m.Cal.HostCoreScalingExp, factor, m.Cal.BandwidthEfficiency,
-		m.Cal.BytesPerByte, m.Cal.OversubscriptionDecay), nil
+	return throughput(m.Host, pl, m.Cal.HostCoreRateMBs*factorOrDefault(w.HostRateFactor),
+		m.Cal.HostSMTGain, m.Cal.HostCoreScalingExp, factor, m.Cal.BandwidthEfficiency,
+		w.bytesPerByteOr(m.Cal.BytesPerByte), m.Cal.OversubscriptionDecay), nil
 }
 
 // DeviceThroughputMBs returns the modeled device streaming rate for a
-// thread count and affinity.
+// thread count and affinity, for the reference workload.
 func (m *Model) DeviceThroughputMBs(threads int, aff machine.Affinity) (float64, error) {
+	return m.DeviceThroughputFor(threads, aff, Traits{})
+}
+
+// DeviceThroughputFor is the device analogue of HostThroughputFor.
+func (m *Model) DeviceThroughputFor(threads int, aff machine.Affinity, w Traits) (float64, error) {
 	pl, err := machine.Place(m.Device, threads, aff)
 	if err != nil {
 		return 0, err
@@ -281,9 +331,9 @@ func (m *Model) DeviceThroughputMBs(threads int, aff machine.Affinity) (float64,
 	case machine.AffinityCompact:
 		factor = m.Cal.DeviceCompactBonus
 	}
-	return throughput(m.Device, pl, m.Cal.DeviceCoreRateMBs, m.Cal.DeviceSMTGain,
-		m.Cal.DeviceCoreScalingExp, factor, m.Cal.BandwidthEfficiency,
-		m.Cal.BytesPerByte, m.Cal.OversubscriptionDecay), nil
+	return throughput(m.Device, pl, m.Cal.DeviceCoreRateMBs*factorOrDefault(w.DeviceRateFactor),
+		m.Cal.DeviceSMTGain, m.Cal.DeviceCoreScalingExp, factor, m.Cal.BandwidthEfficiency,
+		w.bytesPerByteOr(m.Cal.BytesPerByte), m.Cal.OversubscriptionDecay), nil
 }
 
 // HostTime returns the modeled execution time in seconds of the host share.
@@ -296,7 +346,7 @@ func (m *Model) HostTime(a Assignment, w Traits, trial int) (float64, error) {
 	if a.SizeMB == 0 {
 		return 0, nil
 	}
-	rate, err := m.HostThroughputMBs(a.Threads, a.Affinity)
+	rate, err := m.HostThroughputFor(a.Threads, a.Affinity, w)
 	if err != nil {
 		return 0, err
 	}
@@ -319,7 +369,7 @@ func (m *Model) DeviceTime(a Assignment, w Traits, trial int) (float64, error) {
 	if a.SizeMB == 0 {
 		return 0, nil
 	}
-	rate, err := m.DeviceThroughputMBs(a.Threads, a.Affinity)
+	rate, err := m.DeviceThroughputFor(a.Threads, a.Affinity, w)
 	if err != nil {
 		return 0, err
 	}

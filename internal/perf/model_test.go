@@ -11,7 +11,7 @@ import (
 // quiet returns a model with noise disabled, for deterministic assertions
 // about the mean behaviour.
 func quiet() *Model {
-	m := NewModel()
+	m := NewPaperModel()
 	m.Cal.NoiseStdHost = 0
 	m.Cal.NoiseStdDevice = 0
 	return m
@@ -229,7 +229,7 @@ func TestZeroComplexityDefaultsToOne(t *testing.T) {
 }
 
 func TestNoiseDeterminism(t *testing.T) {
-	m := NewModel()
+	m := NewPaperModel()
 	a := Assignment{SizeMB: 1234, Threads: 24, Affinity: machine.AffinityScatter}
 	x1, _ := m.HostTime(a, human, 3)
 	x2, _ := m.HostTime(a, human, 3)
@@ -243,7 +243,7 @@ func TestNoiseDeterminism(t *testing.T) {
 }
 
 func TestNoiseDistinctAcrossConfigs(t *testing.T) {
-	m := NewModel()
+	m := NewPaperModel()
 	a := Assignment{SizeMB: 1234, Threads: 24, Affinity: machine.AffinityScatter}
 	b := Assignment{SizeMB: 1234, Threads: 36, Affinity: machine.AffinityScatter}
 	q := quiet()
@@ -257,7 +257,7 @@ func TestNoiseDistinctAcrossConfigs(t *testing.T) {
 }
 
 func TestNoiseBounded(t *testing.T) {
-	m := NewModel()
+	m := NewPaperModel()
 	q := quiet()
 	for trial := 0; trial < 200; trial++ {
 		a := Assignment{SizeMB: 500, Threads: 12, Affinity: machine.AffinityScatter}

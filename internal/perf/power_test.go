@@ -8,7 +8,7 @@ import (
 )
 
 func TestActivePowerMonotoneInThreads(t *testing.T) {
-	m := NewModel()
+	m := NewPaperModel()
 	prev := 0.0
 	for _, threads := range []int{2, 6, 12, 24, 36, 48} {
 		p, err := m.HostActivePowerW(threads, machine.AffinityScatter)
@@ -39,7 +39,7 @@ func TestActivePowerMonotoneInThreads(t *testing.T) {
 func TestActivePowerPlausibleRange(t *testing.T) {
 	// Full load must land near the hardware's sustained draw: below the
 	// combined TDP, above the idle floor.
-	m := NewModel()
+	m := NewPaperModel()
 	host, err := m.HostActivePowerW(48, machine.AffinityScatter)
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +57,7 @@ func TestActivePowerPlausibleRange(t *testing.T) {
 }
 
 func TestAffinityNonePowerPenalty(t *testing.T) {
-	m := NewModel()
+	m := NewPaperModel()
 	scatter, err := m.HostActivePowerW(24, machine.AffinityScatter)
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestAffinityNonePowerPenalty(t *testing.T) {
 }
 
 func TestEnergyDeterministicAndKeyed(t *testing.T) {
-	m := NewModel()
+	m := NewPaperModel()
 	a := Assignment{SizeMB: 1000, Threads: 48, Affinity: machine.AffinityScatter}
 	w := Traits{Name: "human"}
 	e1, err := m.HostEnergy(a, w, 0, 2.0, 2.5)
@@ -106,7 +106,7 @@ func TestEnergyDeterministicAndKeyed(t *testing.T) {
 }
 
 func TestEnergyDisengagedUnit(t *testing.T) {
-	m := NewModel()
+	m := NewPaperModel()
 	w := Traits{Name: "human"}
 	e, err := m.HostEnergy(Assignment{SizeMB: 0, Threads: 48}, w, 0, 0, 3.0)
 	if err != nil {
@@ -125,7 +125,7 @@ func TestEnergyDisengagedUnit(t *testing.T) {
 }
 
 func TestEnergyRejectsInvalidPlacement(t *testing.T) {
-	m := NewModel()
+	m := NewPaperModel()
 	w := Traits{Name: "human"}
 	if _, err := m.HostEnergy(Assignment{SizeMB: 10, Threads: -1, Affinity: machine.AffinityScatter}, w, 0, 1, 1); err == nil {
 		t.Error("negative thread count should fail")

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"hetopt/internal/core"
+	"hetopt/internal/machine"
+	"hetopt/internal/space"
+	"hetopt/internal/strategy"
+)
+
+// thinSpec reduces a platform's configuration space to a few levels per
+// axis (first, middle, last) so the determinism sweep over every
+// scenario stays fast — including under -race — while preserving the
+// space's structure.
+func thinSpec(s space.SchemaSpec) space.SchemaSpec {
+	thinInts := func(xs []int) []int {
+		if len(xs) <= 3 {
+			return xs
+		}
+		return []int{xs[0], xs[len(xs)/2], xs[len(xs)-1]}
+	}
+	thinFloats := func(xs []float64) []float64 {
+		if len(xs) <= 5 {
+			return xs
+		}
+		return []float64{xs[0], xs[len(xs)/4], xs[len(xs)/2], xs[3*len(xs)/4], xs[len(xs)-1]}
+	}
+	thinAffs := func(xs []machine.Affinity) []machine.Affinity {
+		if len(xs) <= 2 {
+			return xs
+		}
+		return xs[:2]
+	}
+	return space.SchemaSpec{
+		HostThreads:      thinInts(s.HostThreads),
+		HostAffinities:   thinAffs(s.HostAffinities),
+		DeviceThreads:    thinInts(s.DeviceThreads),
+		DeviceAffinities: thinAffs(s.DeviceAffinities),
+		Fractions:        thinFloats(s.Fractions),
+	}
+}
+
+// TestEveryScenarioDeterministicAcrossParallelism extends the engine's
+// core determinism contract (see core's parallel tests) to the whole
+// catalog: for every registered workload family x platform and each of
+// {EM, SAM, portfolio}, the Result is bit-identical at parallelism
+// 1, 4 and 8. Run under -race in CI, this also guards the shared
+// evaluation caches on every scenario's substrate.
+func TestEveryScenarioDeterministicAcrossParallelism(t *testing.T) {
+	strategies := []struct {
+		name  string
+		m     core.Method
+		strat strategy.Strategy
+		opt   core.Options
+	}{
+		{"EM", core.EM, nil, core.Options{}},
+		{"SAM", core.SAM, nil, core.Options{Iterations: 150, Seed: 5, Restarts: 2}},
+		{"portfolio", core.SAM, strategy.DefaultPortfolio(), core.Options{Iterations: 80, Seed: 5}},
+	}
+	for _, spec := range Platforms() {
+		schema, err := space.NewSchema(thinSpec(spec.Space))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		platform := spec.Platform()
+		for _, fam := range Families() {
+			w := fam.DefaultWorkload()
+			for _, tc := range strategies {
+				t.Run(spec.Name+"/"+fam.Name+"/"+tc.name, func(t *testing.T) {
+					var want core.Result
+					for i, p := range []int{1, 4, 8} {
+						inst := &core.Instance{Schema: schema, Measurer: core.NewMeasurer(platform, w)}
+						opt := tc.opt
+						opt.Parallelism = p
+						opt.Strategy = tc.strat
+						res, err := core.Run(tc.m, inst, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if i == 0 {
+							want = res
+							continue
+						}
+						if !reflect.DeepEqual(want, res) {
+							t.Fatalf("parallelism %d diverged:\nwant %+v\ngot  %+v", p, want, res)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNormalize fuzzes request canonicalization with two properties the
+// warm-start store depends on:
+//
+//  1. Normalize is idempotent: normalizing a canonical request returns
+//     it unchanged (same struct, same key).
+//  2. Key-equal requests have identical normalized forms: a respelled
+//     variant of the same request (case, surrounding whitespace) must
+//     canonicalize to the very same struct, never to a different
+//     request that happens to share the key.
+//
+// The seed corpus covers every name axis: scenario workloads, genome
+// aliases, platforms, methods, strategies and all four objectives.
+func FuzzNormalize(f *testing.F) {
+	seeds := []struct {
+		workload, platform, genome, method, strat, objective string
+		alpha, slack, sizeMB                                 float64
+		iters, restarts                                      int
+		seed                                                 int64
+	}{
+		{"", "", "", "", "", "", 0, 0, 0, 0, 0, 0},
+		{"dna:human", "paper", "", "saml", "auto", "time", 0, 0, 0, 1000, 1, 1},
+		{"human", "", "", "sam", "anneal", "energy", 0, 0, 0, 500, 2, 7},
+		{"", "", "mouse", "em", "exhaustive", "time", 0, 0, 0, 0, 0, 0},
+		{"spmv", "gpu-like", "", "eml", "portfolio", "weighted", 0.5, 0, 0, 250, 4, 3},
+		{"stencil:large", "edge", "", "sam", "genetic", "bounded", 0, 0.1, 0, 100, 1, 9},
+		{"crypto:small", "paper", "", "sam", "tabu", "time", 0, 0, 512, 300, 1, 2},
+		{"SPMV:LARGE", "EDGE", "", "SAM", "LOCAL", "ENERGY", 0, 0, 0, 0, 0, -5},
+		{"unknown-workload", "unknown-platform", "", "bad", "bad", "bad", -1, -1, -1, -1, -1, 0},
+		{" dna ", " paper ", "", " sam ", " random ", " time ", 2, 5, 1.5, 10, 10, 10},
+	}
+	for _, s := range seeds {
+		f.Add(s.workload, s.platform, s.genome, s.method, s.strat, s.objective,
+			s.alpha, s.slack, s.sizeMB, s.iters, s.restarts, s.seed)
+	}
+	f.Fuzz(func(t *testing.T, workload, platform, genome, method, strat, objective string,
+		alpha, slack, sizeMB float64, iters, restarts int, seed int64) {
+		r := TuneRequest{
+			Workload: workload, Platform: platform, Genome: genome,
+			Method: method, Strategy: strat, Objective: objective,
+			Alpha: alpha, Slack: slack, SizeMB: sizeMB,
+			Iterations: iters, Restarts: restarts, Seed: seed,
+		}
+		n, err := r.Normalize()
+		if err != nil {
+			return // invalid requests are rejected, not canonicalized
+		}
+
+		// Idempotence: canonical forms are fixed points.
+		n2, err := n.Normalize()
+		if err != nil {
+			t.Fatalf("canonical request rejected on re-normalization: %+v: %v", n, err)
+		}
+		if n2 != n {
+			t.Fatalf("Normalize not idempotent:\nonce  %+v\ntwice %+v", n, n2)
+		}
+		if n2.Key() != n.Key() {
+			t.Fatalf("key changed across re-normalization: %q vs %q", n.Key(), n2.Key())
+		}
+
+		// A respelled variant of the same request (case and whitespace)
+		// must normalize to the identical struct — key-equal requests
+		// always share one canonical form.
+		v := r
+		v.Workload = "  " + strings.ToUpper(r.Workload) + " "
+		v.Platform = strings.ToUpper(r.Platform) + "\t"
+		v.Genome = " " + strings.ToUpper(r.Genome)
+		v.Method = strings.ToLower(r.Method)
+		v.Strategy = strings.ToUpper(r.Strategy)
+		v.Objective = " " + strings.ToUpper(r.Objective) + " "
+		nv, err := v.Normalize()
+		if err != nil {
+			t.Fatalf("respelled variant of a valid request rejected: %+v: %v", v, err)
+		}
+		if nv != n {
+			t.Fatalf("respelled variant canonicalized differently:\noriginal %+v\nvariant  %+v", n, nv)
+		}
+		if nv.Key() != n.Key() {
+			t.Fatalf("respelled variant keyed differently: %q vs %q", n.Key(), nv.Key())
+		}
+	})
+}

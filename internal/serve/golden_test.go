@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestWarmStartGoldenDNA pins the wire-level result of a DNA tuning
+// request on the default (paper) platform to golden JSON captured
+// before the scenario-layer refactor, and asserts the warm-started
+// re-POST returns the same bytes. The scenario plumbing must leave the
+// default scenario's served results bit-identical.
+func TestWarmStartGoldenDNA(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueSize: 8})
+	first := submitAndWait(t, ts.URL,
+		`{"genome":"human","method":"sam","iterations":300,"seed":9}`)
+	if first.State != JobDone || first.Result == nil {
+		t.Fatalf("first job did not complete: %+v", first)
+	}
+	firstJSON, err := json.Marshal(first.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"method":"SAM","config":{"host_threads":24,"host_affinity":"none","device_threads":240,"device_affinity":"balanced","host_fraction":35},"distribution":"35/65 host(24T,none) device(240T,balanced)","search_objective":0.5003671457120341,"time_sec":0.5003671457120341,"host_sec":0.30843769407705945,"device_sec":0.5003671457120341,"energy_j":223.04093071913522,"host_j":71.27296153011292,"device_j":151.7679691890223,"objective":"time","measured_objective":0.5003671457120341,"search_evaluations":301,"experiments":206}`
+	if string(firstJSON) != golden {
+		t.Errorf("served result diverged from the pre-scenario-layer golden:\n got  %s\n want %s", firstJSON, golden)
+	}
+
+	second := submitAndWait(t, ts.URL,
+		`{"seed":9,"method":"SAM","iterations":300,"genome":"Human"}`)
+	if second.State != JobDone || !second.Cached || second.Result == nil {
+		t.Fatalf("re-POST not served from the warm-start store: %+v", second)
+	}
+	secondJSON, err := json.Marshal(second.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(secondJSON) != string(firstJSON) {
+		t.Errorf("warm-started result differs from the first run:\n first  %s\n second %s", firstJSON, secondJSON)
+	}
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"hetopt/internal/scenario"
+)
+
+// TestScenariosEndpoint: GET /v1/scenarios advertises the full catalog,
+// and every advertised workload/platform name round-trips through
+// request normalization — what the endpoint offers, POST /v1/jobs
+// accepts.
+func TestScenariosEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueSize: 4})
+	var resp ScenariosResponse
+	if code := getJSON(t, ts.URL+"/v1/scenarios", &resp); code != http.StatusOK {
+		t.Fatalf("GET /v1/scenarios: status %d", code)
+	}
+	if len(resp.Workloads) != len(scenario.Families()) {
+		t.Fatalf("endpoint lists %d workload families, registry has %d", len(resp.Workloads), len(scenario.Families()))
+	}
+	if len(resp.Platforms) != len(scenario.Platforms()) {
+		t.Fatalf("endpoint lists %d platforms, registry has %d", len(resp.Platforms), len(scenario.Platforms()))
+	}
+	for _, w := range resp.Workloads {
+		if w.Name == "" || w.Description == "" || len(w.Presets) == 0 || w.Default == "" {
+			t.Errorf("incomplete workload entry: %+v", w)
+		}
+		for _, p := range w.Presets {
+			n, err := (TuneRequest{Workload: p.Workload}).Normalize()
+			if err != nil {
+				t.Errorf("advertised workload %q rejected by Normalize: %v", p.Workload, err)
+				continue
+			}
+			if n.Workload != p.Workload {
+				t.Errorf("advertised workload %q canonicalizes to %q; the endpoint must advertise canonical names", p.Workload, n.Workload)
+			}
+			if p.SizeMB <= 0 {
+				t.Errorf("preset %q advertises size %g", p.Workload, p.SizeMB)
+			}
+		}
+		for _, alias := range w.Aliases {
+			n, err := (TuneRequest{Workload: alias}).Normalize()
+			if err != nil {
+				t.Errorf("advertised alias %q rejected: %v", alias, err)
+				continue
+			}
+			if got, want := n.Workload, w.Name+":"+alias; got != want {
+				t.Errorf("alias %q canonicalized to %q, want %q", alias, got, want)
+			}
+		}
+	}
+	for _, p := range resp.Platforms {
+		if p.Name == "" || p.Description == "" || p.Host == "" || p.Device == "" || p.Configurations <= 0 {
+			t.Errorf("incomplete platform entry: %+v", p)
+		}
+		if _, err := (TuneRequest{Platform: p.Name}).Normalize(); err != nil {
+			t.Errorf("advertised platform %q rejected by Normalize: %v", p.Name, err)
+		}
+	}
+}
+
+// TestScenarioJobsAcrossPlatforms: the same workload tuned on two
+// platforms yields distinct store keys and genuinely different tuned
+// configurations; re-POSTing either is a warm-start hit.
+func TestScenarioJobsAcrossPlatforms(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueSize: 8, Parallelism: 4})
+	paper := submitAndWait(t, ts.URL, `{"workload":"spmv","method":"sam","iterations":80,"seed":3}`)
+	if paper.State != JobDone || paper.Result == nil {
+		t.Fatalf("spmv-on-paper failed: %+v", paper)
+	}
+	edge := submitAndWait(t, ts.URL, `{"workload":"spmv","platform":"edge","method":"sam","iterations":80,"seed":3}`)
+	if edge.State != JobDone || edge.Result == nil {
+		t.Fatalf("spmv-on-edge failed: %+v", edge)
+	}
+	if paper.Key == edge.Key {
+		t.Fatalf("platform not part of the store key: %q", paper.Key)
+	}
+	if paper.Request.Platform != "paper" || edge.Request.Platform != "edge" {
+		t.Fatalf("canonical platforms wrong: %q, %q", paper.Request.Platform, edge.Request.Platform)
+	}
+	// The edge schema has no 48-thread host level; a result carrying
+	// one would mean the paper substrate leaked across platforms.
+	if edge.Result.Config.HostThreads > 8 {
+		t.Fatalf("edge result uses %d host threads, beyond the edge platform's 8", edge.Result.Config.HostThreads)
+	}
+	again := submitAndWait(t, ts.URL, `{"seed":3,"iterations":80,"method":"SAM","platform":"Edge","workload":"SPMV:medium"}`)
+	if !again.Cached {
+		t.Fatalf("respelled edge request missed the store: %+v", again)
+	}
+	if again.Key != edge.Key {
+		t.Fatalf("respelled request keyed %q, want %q", again.Key, edge.Key)
+	}
+}
+
+// TestServerDefaultScenarioOptions: DefaultWorkload/DefaultPlatform fill
+// requests that name neither, and explicit fields still win.
+func TestServerDefaultScenarioOptions(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers: 1, QueueSize: 4,
+		DefaultWorkload: "crypto:small", DefaultPlatform: "edge",
+	})
+	st := submitAndWait(t, ts.URL, `{"method":"sam","iterations":40,"seed":1}`)
+	if st.State != JobDone {
+		t.Fatalf("defaulted job failed: %+v", st)
+	}
+	if st.Request.Workload != "crypto:small" || st.Request.Platform != "edge" {
+		t.Fatalf("server defaults not applied: %+v", st.Request)
+	}
+	explicit := submitAndWait(t, ts.URL, `{"method":"sam","iterations":40,"seed":1,"workload":"human","platform":"paper"}`)
+	if explicit.Request.Workload != "dna:human" || explicit.Request.Platform != "paper" {
+		t.Fatalf("explicit fields overridden by server defaults: %+v", explicit.Request)
+	}
+}

@@ -30,12 +30,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hetopt/internal/core"
 	"hetopt/internal/offload"
+	"hetopt/internal/scenario"
 	"hetopt/internal/search"
 	"hetopt/internal/space"
 )
@@ -44,15 +46,24 @@ import (
 // platform and schema, 4 workers, a 64-slot queue and an unbounded
 // store.
 type Options struct {
-	// Platform is the measurement substrate; nil selects the simulated
-	// paper platform.
+	// Platform overrides the measurement substrate of the "paper"
+	// platform (tests and embedders); nil resolves every platform,
+	// "paper" included, from the scenario registry.
 	Platform *offload.Platform
-	// Schema is the configuration space; nil selects the paper schema.
+	// Schema overrides the configuration space of the "paper" platform;
+	// nil resolves it from the scenario registry.
 	Schema *space.Schema
-	// Plan is the model-training grid for the ML methods; the zero
-	// value selects the paper plan. Models are trained lazily, once, on
-	// the first EML/SAML job.
+	// Plan overrides the model-training grid for the ML methods on every
+	// scenario; the zero value derives a per-(platform, family) plan
+	// from the scenario registry. Models are trained lazily, once per
+	// (platform, family), on the first EML/SAML job for it.
 	Plan core.TrainingPlan
+	// DefaultWorkload and DefaultPlatform fill requests that name
+	// neither a workload nor a genome / no platform; empty keeps the
+	// wire defaults ("dna:human" on "paper"). cmd/hetserved sets them
+	// from -workload and -platform.
+	DefaultWorkload string
+	DefaultPlatform string
 	// TrainOpt configures model fitting.
 	TrainOpt core.TrainOptions
 	// Workers is the worker-pool size; <= 0 selects 4.
@@ -146,10 +157,12 @@ func (j *job) status() JobStatus {
 	return st
 }
 
-// workloadKey identifies the shared evaluation state of one workload.
+// workloadKey identifies the shared evaluation state of one workload on
+// one platform.
 type workloadKey struct {
-	name   string
-	sizeMB float64
+	platform string
+	name     string
+	sizeMB   float64
 }
 
 // Server is the tuning service. Construct with New; it implements
@@ -168,9 +181,11 @@ type Server struct {
 
 	draining atomic.Bool
 
-	trainOnce sync.Once
-	models    *core.Models
-	trainErr  error
+	platMu    sync.Mutex
+	platforms map[string]*platformState
+
+	trainMu sync.Mutex
+	trained map[trainKey]*trainState
 
 	evalMu     sync.Mutex
 	memos      map[workloadKey]*search.Memo[space.Config, offload.Measurement]
@@ -185,15 +200,6 @@ type Server struct {
 
 // New builds a Server and starts its worker pool.
 func New(opt Options) *Server {
-	if opt.Platform == nil {
-		opt.Platform = offload.NewPlatform()
-	}
-	if opt.Schema == nil {
-		opt.Schema = space.PaperSchema()
-	}
-	if len(opt.Plan.Genomes) == 0 {
-		opt.Plan = core.PaperTrainingPlan()
-	}
 	if opt.Workers <= 0 {
 		opt.Workers = 4
 	}
@@ -208,6 +214,8 @@ func New(opt Options) *Server {
 		pool:       NewPool(opt.Workers, opt.QueueSize),
 		store:      NewStore(opt.StoreSize),
 		jobs:       map[string]*job{},
+		platforms:  map[string]*platformState{},
+		trained:    map[trainKey]*trainState{},
 		memos:      map[workloadKey]*search.Memo[space.Config, offload.Measurement]{},
 		predictors: map[workloadKey]*core.Predictor{},
 	}
@@ -216,9 +224,50 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	s.mux.HandleFunc("POST /v1/jobs:batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
+}
+
+// platformState is the lazily built per-platform substrate shared by
+// every job on that platform.
+type platformState struct {
+	spec     scenario.PlatformSpec
+	platform *offload.Platform
+	schema   *space.Schema
+}
+
+// platformFor resolves a canonical platform name into its shared state,
+// building it on first use. Options.Platform/Schema, when set, override
+// the "paper" platform so embedders and tests can substitute their own
+// substrate without touching the registry.
+func (s *Server) platformFor(name string) (*platformState, error) {
+	s.platMu.Lock()
+	defer s.platMu.Unlock()
+	if st, ok := s.platforms[name]; ok {
+		return st, nil
+	}
+	spec, err := scenario.PlatformByName(name)
+	if err != nil {
+		return nil, err
+	}
+	st := &platformState{spec: spec}
+	if name == "paper" && s.opt.Platform != nil {
+		st.platform = s.opt.Platform
+	} else {
+		st.platform = spec.Platform()
+	}
+	if name == "paper" && s.opt.Schema != nil {
+		st.schema = s.opt.Schema
+	} else {
+		st.schema, err = spec.Schema()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.platforms[name] = st
+	return st, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -358,6 +407,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
+	s.applyDefaults(&raw)
 	req, err := raw.Normalize()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
@@ -392,6 +442,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// canonical forms are reused for submission and rejection alike.
 	canon := make([]TuneRequest, len(reqs))
 	for i, raw := range reqs {
+		s.applyDefaults(&raw)
 		c, err := raw.Normalize()
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
@@ -569,26 +620,114 @@ func (e *memoEval) Evaluate(cfg space.Config) (offload.Measurement, error) {
 	})
 }
 
-// trainedModels trains the prediction models exactly once (first ML
-// job) and replays the outcome afterwards.
-func (s *Server) trainedModels() (*core.Models, error) {
-	s.trainOnce.Do(func() {
-		s.models, s.trainErr = core.Train(s.opt.Platform, s.opt.Plan, s.opt.TrainOpt)
-	})
-	return s.models, s.trainErr
+// trainKey identifies one (platform, workload family) model pair.
+type trainKey struct {
+	platform string
+	family   string
 }
 
-// Pretrain trains the prediction models eagerly; otherwise the first
-// EML/SAML job pays the one-time training cost.
+// trainState trains once per key and replays the outcome afterwards.
+type trainState struct {
+	once   sync.Once
+	models *core.Models
+	err    error
+}
+
+// trainedModels trains the prediction models for one (platform, family)
+// pair exactly once (first ML job for it) and replays the outcome
+// afterwards. Options.Plan, when set, overrides the registry-derived
+// training grid.
+func (s *Server) trainedModels(st *platformState, fam scenario.Family) (*core.Models, error) {
+	key := trainKey{platform: strings.ToLower(st.spec.Name), family: strings.ToLower(fam.Name)}
+	s.trainMu.Lock()
+	ts, ok := s.trained[key]
+	if !ok {
+		ts = &trainState{}
+		s.trained[key] = ts
+	}
+	s.trainMu.Unlock()
+	ts.once.Do(func() {
+		plan := s.opt.Plan
+		if len(plan.Workloads) == 0 {
+			plan = st.spec.TrainingPlan(fam)
+		}
+		ts.models, ts.err = core.Train(st.platform, plan, s.opt.TrainOpt)
+	})
+	return ts.models, ts.err
+}
+
+// Pretrain trains the default scenario's prediction models (the DNA
+// family on the paper platform) eagerly; otherwise the first EML/SAML
+// job for a scenario pays that scenario's one-time training cost.
 func (s *Server) Pretrain() error {
-	_, err := s.trainedModels()
+	st, err := s.platformFor("paper")
+	if err != nil {
+		return err
+	}
+	fam, err := scenario.FamilyByName("dna")
+	if err != nil {
+		return err
+	}
+	_, err = s.trainedModels(st, fam)
 	return err
+}
+
+// applyDefaults fills a raw request's workload/platform from the
+// server's configured defaults before normalization.
+func (s *Server) applyDefaults(r *TuneRequest) {
+	if r.Workload == "" && r.Genome == "" {
+		r.Workload = s.opt.DefaultWorkload
+	}
+	if r.Platform == "" {
+		r.Platform = s.opt.DefaultPlatform
+	}
+}
+
+// handleScenarios answers GET /v1/scenarios with the catalog of
+// registered workload families and platform specs — every valid value
+// of TuneRequest.Workload and TuneRequest.Platform.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	s.met.request("scenarios")
+	writeJSON(w, http.StatusOK, Scenarios())
+}
+
+// Scenarios assembles the wire form of the registered scenario catalog.
+func Scenarios() ScenariosResponse {
+	var resp ScenariosResponse
+	for _, f := range scenario.Families() {
+		ww := WorkloadWire{
+			Name:        f.Name,
+			Description: f.Description,
+			Default:     f.Presets[0].Name,
+		}
+		for _, p := range f.Presets {
+			qualified := strings.ToLower(f.Name) + ":" + strings.ToLower(p.Name)
+			ww.Presets = append(ww.Presets, PresetWire{Name: p.Name, Workload: qualified, SizeMB: p.SizeMB})
+			if canon, err := scenario.CanonicalWorkloadName(p.Name); err == nil && canon == qualified {
+				ww.Aliases = append(ww.Aliases, strings.ToLower(p.Name))
+			}
+		}
+		resp.Workloads = append(resp.Workloads, ww)
+	}
+	for _, p := range scenario.Platforms() {
+		pw := PlatformWire{
+			Name:        p.Name,
+			Description: p.Description,
+			Host:        p.Host().Name,
+			Device:      p.Device().Name,
+		}
+		if schema, err := p.Schema(); err == nil {
+			pw.Configurations = schema.Size()
+		}
+		resp.Platforms = append(resp.Platforms, pw)
+	}
+	return resp
 }
 
 // predictor returns the shared per-workload predictor (its internal
 // memo tables are concurrency-safe, so jobs share prediction work too).
-func (s *Server) predictor(k workloadKey, w offload.Workload) (*core.Predictor, error) {
-	models, err := s.trainedModels()
+func (s *Server) predictor(k workloadKey, st *platformState, fam scenario.Family, w offload.Workload) (*core.Predictor, error) {
+	models, err := s.trainedModels(st, fam)
 	if err != nil {
 		return nil, err
 	}
@@ -597,7 +736,7 @@ func (s *Server) predictor(k workloadKey, w offload.Workload) (*core.Predictor, 
 	if p, ok := s.predictors[k]; ok {
 		return p, nil
 	}
-	p, err := core.NewPredictor(models, w, s.opt.Platform.Model())
+	p, err := core.NewPredictor(models, w, st.platform.Model())
 	if err != nil {
 		return nil, err
 	}
@@ -612,7 +751,11 @@ func (s *Server) predictor(k workloadKey, w offload.Workload) (*core.Predictor, 
 
 // runTune executes one canonical request on the strategy layer.
 func (s *Server) runTune(req TuneRequest) (TuneResult, error) {
-	w, err := req.workload()
+	fam, w, err := req.workload()
+	if err != nil {
+		return TuneResult{}, err
+	}
+	st, err := s.platformFor(req.Platform)
 	if err != nil {
 		return TuneResult{}, err
 	}
@@ -625,15 +768,15 @@ func (s *Server) runTune(req TuneRequest) (TuneResult, error) {
 		return TuneResult{}, err
 	}
 
-	wk := workloadKey{name: w.Name, sizeMB: w.SizeMB}
-	meas := core.NewMeasurer(s.opt.Platform, w)
+	wk := workloadKey{platform: req.Platform, name: w.Name, sizeMB: w.SizeMB}
+	meas := core.NewMeasurer(st.platform, w)
 	inst := &core.Instance{
-		Schema:       s.opt.Schema,
+		Schema:       st.schema,
 		Measurer:     meas,
 		MeasureCache: newMemoEval(s.sharedMemo(wk), meas),
 	}
 	if method.UsesML() {
-		pred, err := s.predictor(wk, w)
+		pred, err := s.predictor(wk, st, fam, w)
 		if err != nil {
 			return TuneResult{}, err
 		}
@@ -678,6 +821,7 @@ func Endpoints() []string {
 		"POST /v1/jobs",
 		"POST /v1/jobs:batch",
 		"GET  /v1/jobs/{id}",
+		"GET  /v1/scenarios",
 		"GET  /v1/healthz",
 		"GET  /v1/metrics",
 	}

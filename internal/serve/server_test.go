@@ -369,7 +369,7 @@ func TestSharedEvaluationMemo(t *testing.T) {
 	if second.State != JobDone {
 		t.Fatalf("second job failed: %+v", second)
 	}
-	memo := s.sharedMemo(workloadKey{name: first.Request.Genome, sizeMB: first.Request.SizeMB})
+	memo := s.sharedMemo(workloadKey{platform: first.Request.Platform, name: "human", sizeMB: first.Request.SizeMB})
 	if memo.Hits() == 0 {
 		t.Fatalf("shared memo saw no hits across overlapping jobs (lookups=%d unique=%d)",
 			memo.Lookups(), memo.Unique())

@@ -2,12 +2,13 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"hetopt/internal/core"
-	"hetopt/internal/dna"
 	"hetopt/internal/offload"
+	"hetopt/internal/scenario"
 	"hetopt/internal/space"
 )
 
@@ -18,10 +19,21 @@ import (
 // that mean the same run — whatever their JSON field order or explicit
 // defaults — share one warm-start store entry.
 type TuneRequest struct {
-	// Genome names the evaluation genome ("human", "mouse", "cat",
-	// "dog"); empty selects "human".
+	// Workload names a registered scenario workload: a family ("spmv"),
+	// a qualified preset ("spmv:large", "dna:human"), or a bare preset
+	// alias such as a genome name ("human"). Normalize canonicalizes it
+	// to the "family:preset" form; empty defers to Genome, then to the
+	// default "dna:human".
+	Workload string `json:"workload,omitempty"`
+	// Platform names a registered platform spec ("paper", "gpu-like",
+	// "edge"); empty selects "paper".
+	Platform string `json:"platform,omitempty"`
+	// Genome names an evaluation genome ("human", "mouse", "cat",
+	// "dog"). It predates the scenario catalog and remains accepted as a
+	// workload alias; Normalize folds it into Workload.
 	Genome string `json:"genome,omitempty"`
-	// SizeMB overrides the workload size; zero selects the genome size.
+	// SizeMB overrides the workload size; zero selects the resolved
+	// preset's size.
 	SizeMB float64 `json:"size_mb,omitempty"`
 	// Method is one of the paper's four methods (em, eml, sam, saml);
 	// empty selects "saml".
@@ -60,19 +72,41 @@ type TuneRequest struct {
 func (r TuneRequest) Normalize() (TuneRequest, error) {
 	n := r
 
+	n.Workload = strings.ToLower(strings.TrimSpace(r.Workload))
 	n.Genome = strings.ToLower(strings.TrimSpace(r.Genome))
-	if n.Genome == "" {
-		n.Genome = "human"
+	if n.Workload != "" && n.Genome != "" {
+		return TuneRequest{}, fmt.Errorf("serve: set workload %q or genome %q, not both (genome is a workload alias)", r.Workload, r.Genome)
 	}
-	g, err := dna.GenomeByName(n.Genome)
+	if n.Workload == "" {
+		n.Workload = n.Genome // genome names are workload aliases
+	}
+	if n.Workload == "" {
+		n.Workload = "dna:human"
+	}
+	canon, err := scenario.CanonicalWorkloadName(n.Workload)
 	if err != nil {
 		return TuneRequest{}, fmt.Errorf("serve: %w", err)
 	}
-	if n.SizeMB < 0 {
-		return TuneRequest{}, fmt.Errorf("serve: size_mb %g must be non-negative", n.SizeMB)
+	n.Workload = canon
+	n.Genome = "" // folded into the canonical workload
+
+	n.Platform = strings.ToLower(strings.TrimSpace(r.Platform))
+	if n.Platform == "" {
+		n.Platform = "paper"
+	}
+	if _, err := scenario.PlatformByName(n.Platform); err != nil {
+		return TuneRequest{}, fmt.Errorf("serve: %w", err)
+	}
+
+	if n.SizeMB < 0 || math.IsNaN(n.SizeMB) || math.IsInf(n.SizeMB, 0) {
+		return TuneRequest{}, fmt.Errorf("serve: size_mb %g must be finite and non-negative", n.SizeMB)
 	}
 	if n.SizeMB == 0 {
-		n.SizeMB = g.SizeMB
+		w, err := scenario.ResolveWorkload(n.Workload)
+		if err != nil {
+			return TuneRequest{}, fmt.Errorf("serve: %w", err)
+		}
+		n.SizeMB = w.SizeMB
 	}
 
 	if strings.TrimSpace(r.Method) == "" {
@@ -101,6 +135,9 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 	case "time", "energy", "weighted", "bounded":
 	default:
 		return TuneRequest{}, fmt.Errorf("serve: unknown objective %q (want time, energy, weighted or bounded)", r.Objective)
+	}
+	if math.IsNaN(n.Alpha) || math.IsInf(n.Alpha, 0) || math.IsNaN(n.Slack) || math.IsInf(n.Slack, 0) {
+		return TuneRequest{}, fmt.Errorf("serve: alpha %g and slack %g must be finite", n.Alpha, n.Slack)
 	}
 	if n.Objective == "weighted" {
 		if n.Alpha < 0 || n.Alpha > 1 {
@@ -139,7 +176,8 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 func (r TuneRequest) Key() string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	return strings.Join([]string{
-		"g=" + r.Genome,
+		"w=" + r.Workload,
+		"p=" + r.Platform,
 		"mb=" + f(r.SizeMB),
 		"m=" + r.Method,
 		"s=" + r.Strategy,
@@ -152,17 +190,20 @@ func (r TuneRequest) Key() string {
 	}, "|")
 }
 
-// workload resolves the normalized request's workload.
-func (r TuneRequest) workload() (offload.Workload, error) {
-	g, err := dna.GenomeByName(r.Genome)
+// workload resolves the normalized request's workload and family.
+func (r TuneRequest) workload() (scenario.Family, offload.Workload, error) {
+	fam, preset, err := scenario.Resolve(r.Workload)
 	if err != nil {
-		return offload.Workload{}, err
+		return scenario.Family{}, offload.Workload{}, err
 	}
-	w := offload.GenomeWorkload(g)
+	w, err := fam.Workload(preset.Name)
+	if err != nil {
+		return scenario.Family{}, offload.Workload{}, err
+	}
 	if r.SizeMB > 0 {
 		w = w.Scaled(r.SizeMB)
 	}
-	return w, nil
+	return fam, w, nil
 }
 
 // ConfigWire is the JSON form of a suggested system configuration.
@@ -365,4 +406,43 @@ type Health struct {
 	Workers int    `json:"workers"`
 	Jobs    int    `json:"jobs"`
 	Entries int    `json:"store_entries"`
+}
+
+// PresetWire is the JSON form of one workload size preset.
+type PresetWire struct {
+	// Name addresses the preset; Workload is the fully qualified
+	// "family:preset" name accepted by TuneRequest.Workload.
+	Name     string  `json:"name"`
+	Workload string  `json:"workload"`
+	SizeMB   float64 `json:"size_mb"`
+}
+
+// WorkloadWire is the JSON form of one registered workload family.
+type WorkloadWire struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Default is the preset selected when only the family is named.
+	Default string       `json:"default"`
+	Presets []PresetWire `json:"presets"`
+	// Aliases lists bare preset names that resolve to this family
+	// (e.g. the genome names for "dna").
+	Aliases []string `json:"aliases,omitempty"`
+}
+
+// PlatformWire is the JSON form of one registered platform spec.
+type PlatformWire struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Host        string `json:"host"`
+	Device      string `json:"device"`
+	// Configurations is the size of the platform's configuration space.
+	Configurations int `json:"configurations"`
+}
+
+// ScenariosResponse is the wire form of GET /v1/scenarios: the full
+// catalog a client can tune against, i.e. every valid value of
+// TuneRequest.Workload and TuneRequest.Platform.
+type ScenariosResponse struct {
+	Workloads []WorkloadWire `json:"workloads"`
+	Platforms []PlatformWire `json:"platforms"`
 }

@@ -47,7 +47,8 @@ func TestKeyFieldOrderIndependent(t *testing.T) {
 // iteration budget, and case-insensitive names all share the key.
 func TestKeyDefaultNormalization(t *testing.T) {
 	base := normOrFatal(t, TuneRequest{})
-	if base.Genome != "human" || base.Method != "SAML" || base.Strategy != "auto" ||
+	if base.Workload != "dna:human" || base.Platform != "paper" || base.Genome != "" ||
+		base.Method != "SAML" || base.Strategy != "auto" ||
 		base.Objective != "time" || base.Iterations != 1000 || base.Restarts != 1 {
 		t.Fatalf("unexpected canonical defaults: %+v", base)
 	}
@@ -60,6 +61,18 @@ func TestKeyDefaultNormalization(t *testing.T) {
 	})
 	if explicit.Key() != base.Key() {
 		t.Fatalf("explicit defaults keyed %q, want %q", explicit.Key(), base.Key())
+	}
+	// The genome alias, the bare preset, the family-qualified form and
+	// the platform default all canonicalize to one key.
+	for _, alias := range []TuneRequest{
+		{Workload: "human"},
+		{Workload: "DNA:Human"},
+		{Workload: "dna"},
+		{Genome: "human", Platform: "PAPER"},
+	} {
+		if k := normOrFatal(t, alias).Key(); k != base.Key() {
+			t.Fatalf("alias %+v keyed %q, want %q", alias, k, base.Key())
+		}
 	}
 }
 

@@ -80,6 +80,23 @@ r2=$(echo "$second" | jq -cS .result)
 hits=$(curl -fsS "$BASE/metrics" | jq .jobs.store_hits)
 [ "$hits" -ge 1 ] || { echo "e2e: metrics report $hits store hits, want >= 1" >&2; exit 1; }
 
+echo "e2e: discovering the scenario catalog"
+scen=$(curl -fsS "$BASE/scenarios")
+echo "$scen" | jq -e '.workloads | map(.name) | index("spmv")' >/dev/null \
+  || { echo "e2e: /v1/scenarios does not list spmv: $scen" >&2; exit 1; }
+echo "$scen" | jq -e '.platforms | map(.name) | index("gpu-like")' >/dev/null \
+  || { echo "e2e: /v1/scenarios does not list gpu-like: $scen" >&2; exit 1; }
+
+echo "e2e: tuning a non-default scenario (spmv on gpu-like)"
+sjob=$(curl -fsS -X POST "$BASE/jobs" \
+  -d '{"workload":"spmv","platform":"gpu-like","method":"sam","iterations":150,"seed":5}')
+sid=$(echo "$sjob" | jq -r .id)
+sres=$(poll "$sid")
+[ "$(echo "$sres" | jq -r .request.workload)" = "spmv:medium" ] \
+  || { echo "e2e: scenario workload not canonicalized: $sres" >&2; exit 1; }
+[ "$(echo "$sres" | jq -r .request.platform)" = "gpu-like" ] \
+  || { echo "e2e: scenario platform lost: $sres" >&2; exit 1; }
+
 echo "e2e: graceful shutdown (SIGTERM)"
 kill -TERM "$SERVER_PID"
 if ! wait "$SERVER_PID"; then
@@ -88,4 +105,4 @@ if ! wait "$SERVER_PID"; then
 fi
 trap - EXIT
 
-echo "e2e: ok (1 job + 3 batch jobs tuned, warm-start hit verified, clean shutdown)"
+echo "e2e: ok (1 job + 3 batch jobs + 1 scenario job tuned, warm-start hit verified, clean shutdown)"
