@@ -57,6 +57,7 @@ func fig9ForBench(b *testing.B) []experiments.MethodComparison {
 
 // BenchmarkFig2 regenerates the motivational sweep (Figure 2 a-c).
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -73,6 +74,7 @@ func BenchmarkFig2(b *testing.B) {
 // BenchmarkTable1Enumeration measures a full enumeration (EM) of the
 // 19,926-configuration space (Table I / Section IV-C).
 func BenchmarkTable1Enumeration(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	w := offload.GenomeWorkload(dna.Human)
 	inst := &core.Instance{Schema: s.Schema, Measurer: core.NewMeasurer(s.Platform, w)}
@@ -92,11 +94,13 @@ func BenchmarkTable1Enumeration(b *testing.B) {
 // enumeration of the full 19,926-configuration space: identical results,
 // wall-clock scaling with workers (see DESIGN.md, "The search layer").
 func BenchmarkEnumerationParallel(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	w := offload.GenomeWorkload(dna.Human)
 	inst := &core.Instance{Schema: s.Schema, Measurer: core.NewMeasurer(s.Platform, w)}
 	for _, p := range []int{1, 2, 4, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.Run(core.EM, inst, core.Options{Parallelism: p})
 				if err != nil {
@@ -114,11 +118,13 @@ func BenchmarkEnumerationParallel(b *testing.B) {
 // 4 independent SAM annealing chains sharing the evaluation cache; the
 // winner is identical at every parallelism level.
 func BenchmarkSAMMultiChain(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	w := offload.GenomeWorkload(dna.Human)
 	inst := &core.Instance{Schema: s.Schema, Measurer: core.NewMeasurer(s.Platform, w)}
 	for _, p := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.Run(core.SAM, inst, core.Options{
 					Iterations:  2000,
@@ -140,6 +146,7 @@ func BenchmarkSAMMultiChain(b *testing.B) {
 // BenchmarkSAMLMultiChain is the prediction-driven variant: 4 SAML
 // chains over the shared memoized predictor.
 func BenchmarkSAMLMultiChain(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	w := offload.GenomeWorkload(dna.Human)
 	models, err := s.Models()
@@ -153,6 +160,7 @@ func BenchmarkSAMLMultiChain(b *testing.B) {
 	inst := &core.Instance{Schema: s.Schema, Measurer: core.NewMeasurer(s.Platform, w), Predictor: pred}
 	for _, p := range []int{1, 4} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Run(core.SAML, inst, core.Options{
 					Iterations:  2000,
@@ -170,6 +178,7 @@ func BenchmarkSAMLMultiChain(b *testing.B) {
 // BenchmarkModelTraining measures the full Figure 4 pipeline: generating
 // 7,200 experiments and fitting both BDTR models.
 func BenchmarkModelTraining(b *testing.B) {
+	b.ReportAllocs()
 	platform := offload.NewPlatform()
 	plan := core.PaperTrainingPlan()
 	b.ResetTimer()
@@ -183,6 +192,7 @@ func BenchmarkModelTraining(b *testing.B) {
 // BenchmarkFig5HostPrediction regenerates the host measured-vs-predicted
 // curves.
 func BenchmarkFig5HostPrediction(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -194,6 +204,7 @@ func BenchmarkFig5HostPrediction(b *testing.B) {
 
 // BenchmarkFig6DevicePrediction regenerates the device curves.
 func BenchmarkFig6DevicePrediction(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -205,6 +216,7 @@ func BenchmarkFig6DevicePrediction(b *testing.B) {
 
 // BenchmarkFig7ErrorHistogram regenerates the host error histogram.
 func BenchmarkFig7ErrorHistogram(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -220,6 +232,7 @@ func BenchmarkFig7ErrorHistogram(b *testing.B) {
 
 // BenchmarkFig8ErrorHistogram regenerates the device error histogram.
 func BenchmarkFig8ErrorHistogram(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -232,6 +245,7 @@ func BenchmarkFig8ErrorHistogram(b *testing.B) {
 // BenchmarkTable4HostAccuracy regenerates the per-thread-count host
 // accuracy table and reports the average percent error as a metric.
 func BenchmarkTable4HostAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	var last experiments.AccuracyTable
@@ -247,6 +261,7 @@ func BenchmarkTable4HostAccuracy(b *testing.B) {
 
 // BenchmarkTable5DeviceAccuracy regenerates the device accuracy table.
 func BenchmarkTable5DeviceAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	var last experiments.AccuracyTable
@@ -263,6 +278,7 @@ func BenchmarkTable5DeviceAccuracy(b *testing.B) {
 // BenchmarkFig9MethodComparison runs the full per-genome method
 // comparison (EM, EML, SAM, SAML across all budgets) for one genome.
 func BenchmarkFig9MethodComparison(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -276,6 +292,7 @@ func BenchmarkFig9MethodComparison(b *testing.B) {
 // cached comparison, reporting the 1000-iteration average percent
 // difference (paper: 10.13%).
 func BenchmarkTable6PercentDifference(b *testing.B) {
+	b.ReportAllocs()
 	mcs := fig9ForBench(b)
 	b.ResetTimer()
 	var dt experiments.DifferenceTable
@@ -294,6 +311,7 @@ func BenchmarkTable6PercentDifference(b *testing.B) {
 
 // BenchmarkTable7AbsoluteDifference derives Table VII.
 func BenchmarkTable7AbsoluteDifference(b *testing.B) {
+	b.ReportAllocs()
 	mcs := fig9ForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -307,6 +325,7 @@ func BenchmarkTable7AbsoluteDifference(b *testing.B) {
 // BenchmarkTable8SpeedupVsHost derives Table VIII, reporting the maximal
 // 1000-iteration speedup (paper: 1.74x).
 func BenchmarkTable8SpeedupVsHost(b *testing.B) {
+	b.ReportAllocs()
 	mcs := fig9ForBench(b)
 	b.ResetTimer()
 	var st experiments.SpeedupTable
@@ -318,6 +337,7 @@ func BenchmarkTable8SpeedupVsHost(b *testing.B) {
 
 // BenchmarkTable9SpeedupVsDevice derives Table IX (paper: 2.18x).
 func BenchmarkTable9SpeedupVsDevice(b *testing.B) {
+	b.ReportAllocs()
 	mcs := fig9ForBench(b)
 	b.ResetTimer()
 	var st experiments.SpeedupTable
@@ -331,6 +351,7 @@ func BenchmarkTable9SpeedupVsDevice(b *testing.B) {
 
 // BenchmarkAblationCoolingRate probes SA initial-temperature sensitivity.
 func BenchmarkAblationCoolingRate(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -342,6 +363,7 @@ func BenchmarkAblationCoolingRate(b *testing.B) {
 
 // BenchmarkAblationNeighborhood probes the SA neighborhood structure.
 func BenchmarkAblationNeighborhood(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -354,6 +376,7 @@ func BenchmarkAblationNeighborhood(b *testing.B) {
 // BenchmarkAblationRegressors compares BDTR vs linear vs Poisson end to
 // end (Section III-B).
 func BenchmarkAblationRegressors(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -365,6 +388,7 @@ func BenchmarkAblationRegressors(b *testing.B) {
 
 // BenchmarkAblationBoostingRounds probes boosted-tree capacity.
 func BenchmarkAblationBoostingRounds(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -377,6 +401,7 @@ func BenchmarkAblationBoostingRounds(b *testing.B) {
 // BenchmarkFullReport regenerates the entire evaluation (all tables and
 // figures, no ablations), the equivalent of cmd/hetbench.
 func BenchmarkFullReport(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -391,6 +416,7 @@ func BenchmarkFullReport(b *testing.B) {
 // BenchmarkExtMultiAccelerator tunes the multi-Phi extension (1 and 2
 // cards).
 func BenchmarkExtMultiAccelerator(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -407,6 +433,7 @@ func BenchmarkExtMultiAccelerator(b *testing.B) {
 // BenchmarkExtDynamicScheduling sweeps the dynamic self-scheduling
 // baseline against the static EM optimum.
 func BenchmarkExtDynamicScheduling(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -419,6 +446,7 @@ func BenchmarkExtDynamicScheduling(b *testing.B) {
 // BenchmarkExtHeuristicComparison ranks SA against tabu, local search,
 // genetic and random search under an equal evaluation budget.
 func BenchmarkExtHeuristicComparison(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -432,6 +460,7 @@ func BenchmarkExtHeuristicComparison(b *testing.B) {
 // over HTTP: a mix of repeated tune jobs against servers with 1 and 4
 // workers, measuring throughput and the warm-start hit ratio.
 func BenchmarkExtServingThroughput(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -451,6 +480,7 @@ func BenchmarkExtServingThroughput(b *testing.B) {
 // racing portfolio over the shared evaluation cache — across the three
 // objectives under an equal per-worker budget.
 func BenchmarkExtStrategyComparison(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -467,6 +497,7 @@ func BenchmarkExtStrategyComparison(b *testing.B) {
 // BenchmarkExtAdaptiveRefinement runs the adaptive pipeline (SAML + 60
 // measured refinements) for all genomes.
 func BenchmarkExtAdaptiveRefinement(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -483,6 +514,7 @@ func BenchmarkExtAdaptiveRefinement(b *testing.B) {
 // BenchmarkExtSizeSweep tunes the distribution across input sizes via
 // EML.
 func BenchmarkExtSizeSweep(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	sizes := []float64{50, 200, 800, 3246}
 	b.ResetTimer()
@@ -495,6 +527,7 @@ func BenchmarkExtSizeSweep(b *testing.B) {
 
 // BenchmarkJSONReport builds and encodes the machine-readable report.
 func BenchmarkJSONReport(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -509,6 +542,7 @@ func BenchmarkJSONReport(b *testing.B) {
 // BenchmarkParemStrategies compares the parallel matching strategies on
 // 8 MiB of synthetic DNA (the PaREM substrate the workload is built on).
 func BenchmarkParemStrategies(b *testing.B) {
+	b.ReportAllocs()
 	d, err := automata.CompileMotifs(dna.DefaultMotifs())
 	if err != nil {
 		b.Fatal(err)
@@ -517,6 +551,7 @@ func BenchmarkParemStrategies(b *testing.B) {
 	want := d.CountMatches(text)
 	for _, s := range []parem.Strategy{parem.Sequential, parem.WarmUp, parem.Enumerative} {
 		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(text)))
 			for i := 0; i < b.N; i++ {
 				res, err := parem.Count(d, text, parem.Options{Strategy: s, Workers: 8})
@@ -533,6 +568,7 @@ func BenchmarkParemStrategies(b *testing.B) {
 
 // BenchmarkMeasurement measures the cost of one simulated experiment.
 func BenchmarkMeasurement(b *testing.B) {
+	b.ReportAllocs()
 	platform := offload.NewPlatform()
 	w := offload.GenomeWorkload(dna.Human)
 	cfg := space.Config{
@@ -550,6 +586,7 @@ func BenchmarkMeasurement(b *testing.B) {
 
 // BenchmarkPrediction measures one memoised-miss BDTR prediction.
 func BenchmarkPrediction(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	models, err := s.Models()
 	if err != nil {
@@ -566,6 +603,7 @@ func BenchmarkPrediction(b *testing.B) {
 // BenchmarkBoostedTraining measures fitting one BDTR model on the host
 // half-grid.
 func BenchmarkBoostedTraining(b *testing.B) {
+	b.ReportAllocs()
 	platform := offload.NewPlatform()
 	data, err := core.GenerateHostData(platform, core.PaperTrainingPlan())
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 )
 
 func BenchmarkMinimize1000Iters(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := &quadProblem{levels: 41, target: []int{20, 5, 33, 11, 40}}
 		if _, err := Minimize(p, Options{MaxIters: 1000, Seed: int64(i)}); err != nil {
@@ -18,8 +19,10 @@ func BenchmarkMinimize1000Iters(b *testing.B) {
 // increasing parallelism; the result is identical at every level, only
 // wall-clock changes.
 func BenchmarkMinimizeMultiChains(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, err := MinimizeMulti(func(int) Problem {
 					return &quadProblem{levels: 41, target: []int{20, 5, 33, 11, 40}}
@@ -37,6 +40,7 @@ func BenchmarkMinimizeMultiChains(b *testing.B) {
 }
 
 func BenchmarkMinimizePaperSchedule(b *testing.B) {
+	b.ReportAllocs()
 	// The paper's literal schedule: T0 = 10^4 cooled by 0.003 until T<1.
 	for i := 0; i < b.N; i++ {
 		p := &quadProblem{levels: 41, target: []int{20, 5, 33, 11, 40}}

@@ -11,6 +11,7 @@ func benchText(n int) []byte {
 }
 
 func BenchmarkCompileMotifs(b *testing.B) {
+	b.ReportAllocs()
 	set := dna.DefaultMotifs()
 	for i := 0; i < b.N; i++ {
 		if _, err := CompileMotifs(set); err != nil {
@@ -20,6 +21,7 @@ func BenchmarkCompileMotifs(b *testing.B) {
 }
 
 func BenchmarkCompileMotifsBothStrands(b *testing.B) {
+	b.ReportAllocs()
 	set := dna.DefaultMotifs()
 	for i := 0; i < b.N; i++ {
 		if _, err := CompileMotifsBothStrands(set); err != nil {
@@ -29,6 +31,7 @@ func BenchmarkCompileMotifsBothStrands(b *testing.B) {
 }
 
 func BenchmarkCompilePattern(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := CompilePattern("GCC(A|G)CCATGG"); err != nil {
 			b.Fatal(err)
@@ -37,6 +40,7 @@ func BenchmarkCompilePattern(b *testing.B) {
 }
 
 func BenchmarkDeterminizeMinimize(b *testing.B) {
+	b.ReportAllocs()
 	nfa, err := CompileNFA("GCCRCC(A|T)TGG", true)
 	if err != nil {
 		b.Fatal(err)
@@ -48,6 +52,7 @@ func BenchmarkDeterminizeMinimize(b *testing.B) {
 }
 
 func BenchmarkCountMatches(b *testing.B) {
+	b.ReportAllocs()
 	d, err := CompileMotifs(dna.DefaultMotifs())
 	if err != nil {
 		b.Fatal(err)
@@ -61,6 +66,7 @@ func BenchmarkCountMatches(b *testing.B) {
 }
 
 func BenchmarkScanWithMatches(b *testing.B) {
+	b.ReportAllocs()
 	d, err := CompileMotifs(dna.DefaultMotifs())
 	if err != nil {
 		b.Fatal(err)
@@ -77,6 +83,7 @@ func BenchmarkScanWithMatches(b *testing.B) {
 }
 
 func BenchmarkNaiveMotifCount(b *testing.B) {
+	b.ReportAllocs()
 	set := dna.DefaultMotifs()
 	text := benchText(1 << 16) // the oracle is quadratic-ish; keep small
 	b.SetBytes(int64(len(text)))

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"hetopt/internal/dna"
+	"hetopt/internal/machine"
+	"hetopt/internal/offload"
+	"hetopt/internal/space"
+)
+
+// TestPredictorEvaluateSteadyStateZeroAllocs pins the steady-state
+// prediction path as allocation-free: with both per-side memos warm and
+// the power tables built, Evaluate is lookups and arithmetic only. The
+// model-based methods (EML, SAML) spend their entire search budget on
+// this path.
+func TestPredictorEvaluateSteadyStateZeroAllocs(t *testing.T) {
+	platform := offload.NewPlatform()
+	w := offload.GenomeWorkload(dna.Human)
+	models := testModels(t, platform)
+	pred, err := NewPredictor(models, w, platform.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := space.Config{
+		HostThreads: 48, HostAffinity: machine.AffinityScatter,
+		DeviceThreads: 240, DeviceAffinity: machine.AffinityBalanced,
+		HostFraction: 60,
+	}
+	if _, err := pred.Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := pred.Evaluate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Evaluate allocates %g allocs/op, want 0", allocs)
+	}
+}

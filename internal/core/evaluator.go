@@ -66,6 +66,22 @@ func (m *Measurer) Evaluate(cfg space.Config) (offload.Measurement, error) {
 	return m.Platform.MeasureFull(m.Workload, cfg, m.Trial)
 }
 
+// EvaluateBatch implements search.BatchEvaluator by running one
+// experiment per configuration into out. Semantics match a sequential
+// Evaluate loop exactly: each attempt is charged and the first error
+// stops the batch.
+func (m *Measurer) EvaluateBatch(cfgs []space.Config, out []offload.Measurement) error {
+	for i, cfg := range cfgs {
+		m.count.Add(1)
+		v, err := m.Platform.MeasureFull(m.Workload, cfg, m.Trial)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
 // Count returns the number of experiments performed so far.
 func (m *Measurer) Count() int { return int(m.count.Load()) }
 
@@ -184,20 +200,14 @@ func (p *Predictor) Evaluate(cfg space.Config) (offload.Measurement, error) {
 	devMB := p.workload.SizeMB - hostMB
 	var m offload.Measurement
 	if hostMB > 0 {
-		key := sideKey{cfg.HostThreads, cfg.HostAffinity, hostMB}
-		v, err := p.hostMemo.Do(key, func() (float64, error) {
-			return p.models.PredictHost(cfg.HostThreads, cfg.HostAffinity, hostMB)
-		})
+		v, err := p.hostTime(cfg.HostThreads, cfg.HostAffinity, hostMB)
 		if err != nil {
 			return offload.Measurement{}, err
 		}
 		m.Times.Host = v
 	}
 	if devMB > 0 {
-		key := sideKey{cfg.DeviceThreads, cfg.DeviceAffinity, devMB}
-		v, err := p.devMemo.Do(key, func() (float64, error) {
-			return p.models.PredictDevice(cfg.DeviceThreads, cfg.DeviceAffinity, devMB)
-		})
+		v, err := p.devTime(cfg.DeviceThreads, cfg.DeviceAffinity, devMB)
 		if err != nil {
 			return offload.Measurement{}, err
 		}
@@ -219,4 +229,42 @@ func (p *Predictor) Evaluate(cfg space.Config) (offload.Measurement, error) {
 		m.Energy.Device = e
 	}
 	return m, nil
+}
+
+// hostTime returns the memoized host-side prediction. Memo hits take the
+// allocation-free Get fast path; only a miss builds the Do closure and
+// runs the regression forest.
+func (p *Predictor) hostTime(threads int, aff machine.Affinity, sizeMB float64) (float64, error) {
+	key := sideKey{threads, aff, sizeMB}
+	if v, ok, err := p.hostMemo.Get(key); ok {
+		return v, err
+	}
+	return p.hostMemo.Do(key, func() (float64, error) {
+		return p.models.PredictHost(threads, aff, sizeMB)
+	})
+}
+
+// devTime is the device analogue of hostTime.
+func (p *Predictor) devTime(threads int, aff machine.Affinity, sizeMB float64) (float64, error) {
+	key := sideKey{threads, aff, sizeMB}
+	if v, ok, err := p.devMemo.Get(key); ok {
+		return v, err
+	}
+	return p.devMemo.Do(key, func() (float64, error) {
+		return p.models.PredictDevice(threads, aff, sizeMB)
+	})
+}
+
+// EvaluateBatch implements search.BatchEvaluator: identical to a
+// sequential Evaluate loop (first error stops), with steady-state
+// predictions served from the side memos without allocating.
+func (p *Predictor) EvaluateBatch(cfgs []space.Config, out []offload.Measurement) error {
+	for i, cfg := range cfgs {
+		v, err := p.Evaluate(cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ import (
 )
 
 func BenchmarkSimulate(b *testing.B) {
+	b.ReportAllocs()
 	s := NewScheduler()
 	w := offload.GenomeWorkload(dna.Human)
 	cfg := fullConfig(64)
@@ -20,6 +21,7 @@ func BenchmarkSimulate(b *testing.B) {
 }
 
 func BenchmarkBestChunk(b *testing.B) {
+	b.ReportAllocs()
 	s := NewScheduler()
 	w := offload.GenomeWorkload(dna.Human)
 	candidates := []float64{1, 4, 16, 64, 128, 256, 512, 1024}

@@ -7,6 +7,7 @@ func benchProblem() *bowl {
 }
 
 func BenchmarkRandomSearch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := RandomSearch(benchProblem(), Options{Budget: 1000, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
@@ -15,6 +16,7 @@ func BenchmarkRandomSearch(b *testing.B) {
 }
 
 func BenchmarkLocalSearch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := LocalSearch(benchProblem(), Options{Budget: 1000, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
@@ -23,6 +25,7 @@ func BenchmarkLocalSearch(b *testing.B) {
 }
 
 func BenchmarkTabuSearch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := TabuSearch(benchProblem(), TabuOptions{Options: Options{Budget: 1000, Seed: int64(i)}}); err != nil {
 			b.Fatal(err)
@@ -31,6 +34,7 @@ func BenchmarkTabuSearch(b *testing.B) {
 }
 
 func BenchmarkGenetic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Genetic(benchProblem(), GeneticOptions{Options: Options{Budget: 1000, Seed: int64(i)}}); err != nil {
 			b.Fatal(err)

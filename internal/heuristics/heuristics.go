@@ -27,6 +27,18 @@ type Problem interface {
 	Energy(state []int) float64
 }
 
+// BatchProblem is optionally implemented by problems that evaluate a
+// slice of states in one call, equivalent to out[i] = Energy(states[i])
+// in order. Genetic uses it to evaluate whole generations at once;
+// because evaluation consumes no search randomness, batching never
+// changes a result.
+type BatchProblem interface {
+	Problem
+	// EnergyBatch writes Energy(states[i]) into out[i];
+	// len(out) >= len(states).
+	EnergyBatch(states [][]int, out []float64)
+}
+
 // Result is the outcome of a search.
 type Result struct {
 	// Best is the lowest-energy state found; BestEnergy its energy.
@@ -347,6 +359,29 @@ func Genetic(p Problem, opt GeneticOptions) (Result, error) {
 		}
 		return b
 	}
+	makeChild := func() []int {
+		ma, pa := tournament(), tournament()
+		child := make([]int, p.Dim())
+		for g := range child {
+			if rng.Intn(2) == 0 {
+				child[g] = ma.genes[g]
+			} else {
+				child[g] = pa.genes[g]
+			}
+			if rng.Float64() < mut {
+				child[g] = rng.Intn(p.Levels(g))
+			}
+		}
+		return child
+	}
+
+	bp, batch := p.(BatchProblem)
+	var states [][]int
+	var energies []float64
+	if batch {
+		states = make([][]int, 0, pop)
+		energies = make([]float64, pop)
+	}
 
 	for !c.spent() {
 		// Elitism: carry the best individuals over unchanged.
@@ -355,26 +390,37 @@ func Genetic(p Problem, opt GeneticOptions) (Result, error) {
 		for i := 0; i < elite; i++ {
 			next = append(next, population[i])
 		}
-		for len(next) < pop && !c.spent() {
-			ma, pa := tournament(), tournament()
-			child := make([]int, p.Dim())
-			for g := range child {
-				if rng.Intn(2) == 0 {
-					child[g] = ma.genes[g]
-				} else {
-					child[g] = pa.genes[g]
-				}
-				if rng.Float64() < mut {
-					child[g] = rng.Intn(p.Levels(g))
-				}
+		if batch {
+			// Generate exactly the children the sequential loop would —
+			// evaluation consumes no randomness, so drawing them all
+			// before evaluating leaves the RNG stream unchanged — then
+			// evaluate the whole generation in one call.
+			b := pop - len(next)
+			if rem := c.limit - c.used; b > rem {
+				b = rem
 			}
-			e, ok := c.eval(child)
-			if !ok {
-				break
+			states = states[:0]
+			for len(states) < b {
+				states = append(states, makeChild())
 			}
-			in := indiv{genes: child, energy: e}
-			record(in)
-			next = append(next, in)
+			bp.EnergyBatch(states, energies[:len(states)])
+			for i, g := range states {
+				c.used++
+				in := indiv{genes: g, energy: sanitize(energies[i])}
+				record(in)
+				next = append(next, in)
+			}
+		} else {
+			for len(next) < pop && !c.spent() {
+				child := makeChild()
+				e, ok := c.eval(child)
+				if !ok {
+					break
+				}
+				in := indiv{genes: child, energy: e}
+				record(in)
+				next = append(next, in)
+			}
 		}
 		if len(next) < pop {
 			break // budget exhausted mid-generation

@@ -12,6 +12,7 @@ func benchData(n int) *Dataset {
 }
 
 func BenchmarkFitTree(b *testing.B) {
+	b.ReportAllocs()
 	d := benchData(1500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -22,6 +23,7 @@ func BenchmarkFitTree(b *testing.B) {
 }
 
 func BenchmarkFitBoostedTrees100(b *testing.B) {
+	b.ReportAllocs()
 	d := benchData(1500)
 	opt := BoostOptions{Rounds: 100, LearningRate: 0.1, Tree: TreeOptions{MaxDepth: 6, MinLeaf: 5}, Subsample: 0.9, Seed: 1}
 	b.ResetTimer()
@@ -33,6 +35,7 @@ func BenchmarkFitBoostedTrees100(b *testing.B) {
 }
 
 func BenchmarkBoostedPredict(b *testing.B) {
+	b.ReportAllocs()
 	d := benchData(1500)
 	m, err := FitBoostedTrees(d, BoostOptions{Rounds: 300, Seed: 1})
 	if err != nil {
@@ -46,6 +49,7 @@ func BenchmarkBoostedPredict(b *testing.B) {
 }
 
 func BenchmarkFitLinear(b *testing.B) {
+	b.ReportAllocs()
 	d := benchData(1500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -56,6 +60,7 @@ func BenchmarkFitLinear(b *testing.B) {
 }
 
 func BenchmarkFitPoisson(b *testing.B) {
+	b.ReportAllocs()
 	d := benchData(1500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -66,6 +71,7 @@ func BenchmarkFitPoisson(b *testing.B) {
 }
 
 func BenchmarkCrossValidate(b *testing.B) {
+	b.ReportAllocs()
 	d := benchData(800)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

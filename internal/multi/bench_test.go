@@ -9,6 +9,7 @@ import (
 )
 
 func BenchmarkMeasureTwoPhis(b *testing.B) {
+	b.ReportAllocs()
 	p, err := PaperProblem(2, offload.GenomeWorkload(dna.Human))
 	if err != nil {
 		b.Fatal(err)
@@ -29,6 +30,7 @@ func BenchmarkMeasureTwoPhis(b *testing.B) {
 }
 
 func BenchmarkTuneTwoPhis(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p, err := PaperProblem(2, offload.GenomeWorkload(dna.Human))
 		if err != nil {

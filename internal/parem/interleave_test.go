@@ -94,6 +94,7 @@ func TestCountInterleavedProperty(t *testing.T) {
 }
 
 func BenchmarkCountInterleaved(b *testing.B) {
+	b.ReportAllocs()
 	d, err := automata.CompileMotifs(dna.DefaultMotifs())
 	if err != nil {
 		b.Fatal(err)
@@ -101,6 +102,7 @@ func BenchmarkCountInterleaved(b *testing.B) {
 	text := dna.NewGenerator(dna.Human, 9).Generate(4 << 20)
 	for _, lanes := range []int{1, 2, 4, 8} {
 		b.Run(lanesName(lanes), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(text)))
 			for i := 0; i < b.N; i++ {
 				if _, err := CountInterleaved(d, text, lanes); err != nil {

@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkHostTime(b *testing.B) {
+	b.ReportAllocs()
 	m := NewPaperModel()
 	a := Assignment{SizeMB: 1948, Threads: 48, Affinity: machine.AffinityScatter}
 	b.ResetTimer()
@@ -18,6 +19,7 @@ func BenchmarkHostTime(b *testing.B) {
 }
 
 func BenchmarkDeviceTime(b *testing.B) {
+	b.ReportAllocs()
 	m := NewPaperModel()
 	a := Assignment{SizeMB: 1298, Threads: 240, Affinity: machine.AffinityBalanced}
 	b.ResetTimer()
@@ -29,6 +31,7 @@ func BenchmarkDeviceTime(b *testing.B) {
 }
 
 func BenchmarkThroughputPlacement(b *testing.B) {
+	b.ReportAllocs()
 	m := NewPaperModel()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

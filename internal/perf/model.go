@@ -233,6 +233,12 @@ type Model struct {
 	Host   *machine.Processor
 	Device *machine.Processor
 	Cal    Calibration
+
+	// tab caches placement-derived throughput and used-core tables so
+	// the evaluation hot path does lookups instead of recomputing
+	// placements (see tables.go). Nil (zero-value Model) computes
+	// directly; cached values are bit-identical to direct computation.
+	tab *tableCache
 }
 
 // NewModel builds a model from a platform description: host and device
@@ -240,7 +246,7 @@ type Model struct {
 // (internal/scenario) constructs models from registered platform specs
 // through this constructor.
 func NewModel(host, device *machine.Processor, cal Calibration) *Model {
-	return &Model{Host: host, Device: device, Cal: cal}
+	return &Model{Host: host, Device: device, Cal: cal, tab: &tableCache{}}
 }
 
 // NewPaperModel returns a model of the paper's platform (2x Xeon
@@ -292,22 +298,13 @@ func (m *Model) HostThroughputMBs(threads int, aff machine.Affinity) (float64, e
 // count and affinity under a workload's traits: the per-core rate scales
 // with HostRateFactor and the roofline with the workload's
 // bytes-per-byte traffic ratio. Zero-value traits reproduce
-// HostThroughputMBs exactly.
+// HostThroughputMBs exactly. Rates are served from the model's
+// precomputed table (tables.go); the trait-scaled core rate and traffic
+// ratio are part of the key, so distinct workloads never share an entry.
 func (m *Model) HostThroughputFor(threads int, aff machine.Affinity, w Traits) (float64, error) {
-	pl, err := machine.Place(m.Host, threads, aff)
-	if err != nil {
-		return 0, err
-	}
-	factor := 1.0
-	switch aff {
-	case machine.AffinityCompact:
-		factor = m.Cal.HostCompactBonus
-	case machine.AffinityNone:
-		factor = m.Cal.HostNonePenalty
-	}
-	return throughput(m.Host, pl, m.Cal.HostCoreRateMBs*factorOrDefault(w.HostRateFactor),
-		m.Cal.HostSMTGain, m.Cal.HostCoreScalingExp, factor, m.Cal.BandwidthEfficiency,
-		w.bytesPerByteOr(m.Cal.BytesPerByte), m.Cal.OversubscriptionDecay), nil
+	return m.hostRate(threads, aff,
+		m.Cal.HostCoreRateMBs*factorOrDefault(w.HostRateFactor),
+		w.bytesPerByteOr(m.Cal.BytesPerByte))
 }
 
 // DeviceThroughputMBs returns the modeled device streaming rate for a
@@ -318,22 +315,9 @@ func (m *Model) DeviceThroughputMBs(threads int, aff machine.Affinity) (float64,
 
 // DeviceThroughputFor is the device analogue of HostThroughputFor.
 func (m *Model) DeviceThroughputFor(threads int, aff machine.Affinity, w Traits) (float64, error) {
-	pl, err := machine.Place(m.Device, threads, aff)
-	if err != nil {
-		return 0, err
-	}
-	factor := 1.0
-	switch aff {
-	case machine.AffinityBalanced:
-		if pl.MaxShare() >= 2 {
-			factor = m.Cal.DeviceBalancedBonus
-		}
-	case machine.AffinityCompact:
-		factor = m.Cal.DeviceCompactBonus
-	}
-	return throughput(m.Device, pl, m.Cal.DeviceCoreRateMBs*factorOrDefault(w.DeviceRateFactor),
-		m.Cal.DeviceSMTGain, m.Cal.DeviceCoreScalingExp, factor, m.Cal.BandwidthEfficiency,
-		w.bytesPerByteOr(m.Cal.BytesPerByte), m.Cal.OversubscriptionDecay), nil
+	return m.devRate(threads, aff,
+		m.Cal.DeviceCoreRateMBs*factorOrDefault(w.DeviceRateFactor),
+		w.bytesPerByteOr(m.Cal.BytesPerByte))
 }
 
 // HostTime returns the modeled execution time in seconds of the host share.

@@ -1,8 +1,6 @@
 package perf
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"math"
 )
 
@@ -26,28 +24,63 @@ func (m *Model) noise(role, workload string, a Assignment, trial int, sigma floa
 	return f
 }
 
+// FNV-1a constants (hash/fnv's 64-bit variant, inlined so the hot path
+// hashes without constructing a hash.Hash64 or converting strings to
+// byte slices — both heap-allocate on every measurement otherwise).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvUint64 folds v into the running FNV-1a hash as 8 little-endian
+// bytes, byte-for-byte identical to binary.LittleEndian.PutUint64
+// followed by Write.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// fnvString folds s into the running FNV-1a hash without converting it
+// to a byte slice.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// fnvByte folds one byte into the running FNV-1a hash.
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// measurementHash is the FNV-1a hash over the measurement key. It is
+// pinned bit-identical to the original hash/fnv implementation
+// (seed, role, 0, workload, 0, sizeKB, threads, affinity, trial with
+// all integers little-endian) by TestMeasurementHashMatchesStdlibFNV.
+func measurementHash(seed uint64, role, workload string, a Assignment, trial int) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, seed)
+	h = fnvString(h, role)
+	h = fnvByte(h, 0)
+	h = fnvString(h, workload)
+	h = fnvByte(h, 0)
+	// Quantize size to 1 KB so float formatting cannot perturb the key.
+	h = fnvUint64(h, uint64(int64(a.SizeMB*1024)))
+	h = fnvUint64(h, uint64(int64(a.Threads)))
+	h = fnvUint64(h, uint64(int64(a.Affinity)))
+	h = fnvUint64(h, uint64(int64(trial)))
+	return h
+}
+
 // normalFromKey derives a standard-normal variate from the measurement key
 // via FNV-1a hashing and the Box-Muller transform. The derivation is pure:
 // equal keys always produce equal draws.
 func normalFromKey(seed uint64, role, workload string, a Assignment, trial int) float64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], seed)
-	h.Write(buf[:])
-	h.Write([]byte(role))
-	h.Write([]byte{0})
-	h.Write([]byte(workload))
-	h.Write([]byte{0})
-	// Quantize size to 1 KB so float formatting cannot perturb the key.
-	binary.LittleEndian.PutUint64(buf[:], uint64(int64(a.SizeMB*1024)))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(int64(a.Threads)))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(int64(a.Affinity)))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(int64(trial)))
-	h.Write(buf[:])
-	x := h.Sum64()
+	x := measurementHash(seed, role, workload, a, trial)
 
 	// Two decorrelated 64-bit streams via splitmix64 finalizers.
 	u1 := toUnit(splitmix64(x))

@@ -22,11 +22,11 @@ import "hetopt/internal/machine"
 // is deterministic (no measurement noise); it is what the predictor path
 // composes with predicted times.
 func (m *Model) HostActivePowerW(threads int, aff machine.Affinity) (float64, error) {
-	pl, err := machine.Place(m.Host, threads, aff)
+	coresUsed, err := m.hostCoresUsed(threads, aff)
 	if err != nil {
 		return 0, err
 	}
-	dyn := m.Cal.HostCoreActiveW*float64(pl.CoresUsed) + m.Cal.HostThreadActiveW*float64(threads)
+	dyn := m.Cal.HostCoreActiveW*float64(coresUsed) + m.Cal.HostThreadActiveW*float64(threads)
 	if aff == machine.AffinityNone && m.Cal.HostNonePowerFactor > 0 {
 		dyn *= m.Cal.HostNonePowerFactor
 	}
@@ -36,11 +36,11 @@ func (m *Model) HostActivePowerW(threads int, aff machine.Affinity) (float64, er
 // DeviceActivePowerW returns the modeled device power draw in watts while
 // the device share executes.
 func (m *Model) DeviceActivePowerW(threads int, aff machine.Affinity) (float64, error) {
-	pl, err := machine.Place(m.Device, threads, aff)
+	coresUsed, err := m.devCoresUsed(threads, aff)
 	if err != nil {
 		return 0, err
 	}
-	dyn := m.Cal.DeviceCoreActiveW*float64(pl.CoresUsed) + m.Cal.DeviceThreadActiveW*float64(threads)
+	dyn := m.Cal.DeviceCoreActiveW*float64(coresUsed) + m.Cal.DeviceThreadActiveW*float64(threads)
 	return m.Cal.DeviceIdleW + dyn, nil
 }
 

@@ -1,0 +1,33 @@
+package search
+
+import (
+	"testing"
+
+	"hetopt/internal/machine"
+	"hetopt/internal/space"
+)
+
+// TestCacheEvaluateHitZeroAllocs pins the memo-hit path of the shared
+// evaluation cache as allocation-free: once a configuration has been
+// evaluated, every further Evaluate of it is a sharded map read plus an
+// atomic load. This is the path concurrent annealing chains and
+// portfolio members sit on.
+func TestCacheEvaluateHitZeroAllocs(t *testing.T) {
+	c := NewCache(&countingEvaluator{})
+	cfg := space.Config{
+		HostThreads: 48, HostAffinity: machine.AffinityScatter,
+		DeviceThreads: 240, DeviceAffinity: machine.AffinityBalanced,
+		HostFraction: 60,
+	}
+	if _, err := c.Evaluate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.Evaluate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("memo-hit Evaluate allocates %g allocs/op, want 0", allocs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 // BenchmarkStoreHit measures the warm-start fast path: a completed
 // entry served straight from the store.
 func BenchmarkStoreHit(b *testing.B) {
+	b.ReportAllocs()
 	s := NewStore(0)
 	if _, err, _ := s.Do("k", func() (TuneResult, error) { return TuneResult{TimeSec: 1}, nil }); err != nil {
 		b.Fatal(err)
@@ -26,6 +27,7 @@ func BenchmarkStoreHit(b *testing.B) {
 // BenchmarkServeWarmStart measures the full HTTP round trip of a
 // cached submission: canonicalize, store hit, respond with the result.
 func BenchmarkServeWarmStart(b *testing.B) {
+	b.ReportAllocs()
 	s := New(Options{Workers: 1, QueueSize: 4})
 	s.runFn = func(req TuneRequest) (TuneResult, error) { return TuneResult{Method: req.Method}, nil }
 	ts := httptest.NewServer(s)
@@ -67,6 +69,7 @@ func BenchmarkServeWarmStart(b *testing.B) {
 
 // BenchmarkCanonicalKey measures request normalization and keying.
 func BenchmarkCanonicalKey(b *testing.B) {
+	b.ReportAllocs()
 	req := TuneRequest{Genome: "human", Method: "sam", Iterations: 500, Seed: 7}
 	for i := 0; i < b.N; i++ {
 		n, err := req.Normalize()

@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestJobIDMatchesSprintf pins jobID as byte-identical to the
+// fmt.Sprintf("j-%06d", n) it replaced, including the sign placement
+// fmt uses for negative values and widths beyond the pad.
+func TestJobIDMatchesSprintf(t *testing.T) {
+	cases := []int64{
+		0, 1, 9, 10, 42, 99999, 100000, 999999, // within the pad
+		1000000, 123456789, math.MaxInt64, // beyond the pad
+		-1, -42, -99999, -999999, -1000000, math.MinInt64, // signed
+	}
+	for _, n := range cases {
+		got := jobID(n)
+		want := fmt.Sprintf("j-%06d", n)
+		if got != want {
+			t.Errorf("jobID(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -296,6 +297,31 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
+// jobID formats identifier n as "j-" plus n zero-padded to at least six
+// digits — byte-identical to fmt.Sprintf("j-%06d", n), including the
+// sign placement for negative values — without the fmt machinery on the
+// submit path.
+func jobID(n int64) string {
+	var num [20]byte
+	d := strconv.AppendInt(num[:0], n, 10)
+	sign := 0
+	if d[0] == '-' {
+		sign = 1
+	}
+	pad := 6 - len(d)
+	if pad < 0 {
+		pad = 0
+	}
+	b := make([]byte, 0, 2+pad+len(d))
+	b = append(b, 'j', '-')
+	b = append(b, d[:sign]...)
+	for i := 0; i < pad; i++ {
+		b = append(b, '0')
+	}
+	b = append(b, d[sign:]...)
+	return string(b)
+}
+
 // submit turns one canonical (already-normalized) request into a
 // registered job: served synchronously from the warm-start store when
 // possible, enqueued on the pool otherwise. A full queue or a draining
@@ -307,7 +333,7 @@ func (s *Server) submit(req TuneRequest) (JobStatus, error) {
 	key := req.Key()
 
 	j := &job{
-		id:    fmt.Sprintf("j-%06d", s.nextID.Add(1)),
+		id:    jobID(s.nextID.Add(1)),
 		key:   key,
 		req:   req,
 		state: JobQueued,
@@ -568,7 +594,7 @@ func (s *Server) sharedMemo(k workloadKey) *search.Memo[space.Config, offload.Me
 	defer s.evalMu.Unlock()
 	m, ok := s.memos[k]
 	if !ok {
-		m = search.NewMemo[space.Config, offload.Measurement]()
+		m = search.NewShardedMemo[space.Config, offload.Measurement](16, search.HashConfig)
 		s.memos[k] = m
 		s.memoOrder = append(s.memoOrder, k)
 		if len(s.memoOrder) > maxWorkloadStates {
@@ -597,7 +623,7 @@ type memoEval struct {
 // newMemoEval builds the two-layer evaluator for one job.
 func newMemoEval(shared *search.Memo[space.Config, offload.Measurement], meas *core.Measurer) *memoEval {
 	return &memoEval{
-		jobMemo: search.NewMemo[space.Config, offload.Measurement](),
+		jobMemo: search.NewShardedMemo[space.Config, offload.Measurement](16, search.HashConfig),
 		shared:  shared,
 		meas:    meas,
 	}
@@ -605,6 +631,11 @@ func newMemoEval(shared *search.Memo[space.Config, offload.Measurement], meas *c
 
 // Evaluate implements core.Evaluator.
 func (e *memoEval) Evaluate(cfg space.Config) (offload.Measurement, error) {
+	// Repeat visits take the allocation-free fast path; a hit on the
+	// per-job memo charges nothing, exactly like a Do hit.
+	if v, ok, err := e.jobMemo.Get(cfg); ok {
+		return v, err
+	}
 	return e.jobMemo.Do(cfg, func() (offload.Measurement, error) {
 		computed := false
 		m, err := e.shared.Do(cfg, func() (offload.Measurement, error) {

@@ -172,22 +172,38 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 // Key returns the canonical store key of a normalized request. The
 // server's per-job search parallelism is deliberately not part of the
 // key: results are bit-identical at every parallelism level, so runs
-// that differ only in worker count share one store entry.
+// that differ only in worker count share one store entry. The key is
+// assembled in one preallocated strings.Builder — it is computed on
+// every submit and poll — and its format is pinned by golden tests.
 func (r TuneRequest) Key() string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	return strings.Join([]string{
-		"w=" + r.Workload,
-		"p=" + r.Platform,
-		"mb=" + f(r.SizeMB),
-		"m=" + r.Method,
-		"s=" + r.Strategy,
-		"o=" + r.Objective,
-		"a=" + f(r.Alpha),
-		"sl=" + f(r.Slack),
-		"it=" + strconv.Itoa(r.Iterations),
-		"r=" + strconv.Itoa(r.Restarts),
-		"seed=" + strconv.FormatInt(r.Seed, 10),
-	}, "|")
+	var num [32]byte
+	var b strings.Builder
+	b.Grow(len("w=|p=|mb=|m=|s=|o=|a=|sl=|it=|r=|seed=") +
+		len(r.Workload) + len(r.Platform) + len(r.Method) + len(r.Strategy) + len(r.Objective) +
+		6*len(num))
+	b.WriteString("w=")
+	b.WriteString(r.Workload)
+	b.WriteString("|p=")
+	b.WriteString(r.Platform)
+	b.WriteString("|mb=")
+	b.Write(strconv.AppendFloat(num[:0], r.SizeMB, 'g', -1, 64))
+	b.WriteString("|m=")
+	b.WriteString(r.Method)
+	b.WriteString("|s=")
+	b.WriteString(r.Strategy)
+	b.WriteString("|o=")
+	b.WriteString(r.Objective)
+	b.WriteString("|a=")
+	b.Write(strconv.AppendFloat(num[:0], r.Alpha, 'g', -1, 64))
+	b.WriteString("|sl=")
+	b.Write(strconv.AppendFloat(num[:0], r.Slack, 'g', -1, 64))
+	b.WriteString("|it=")
+	b.Write(strconv.AppendInt(num[:0], int64(r.Iterations), 10))
+	b.WriteString("|r=")
+	b.Write(strconv.AppendInt(num[:0], int64(r.Restarts), 10))
+	b.WriteString("|seed=")
+	b.Write(strconv.AppendInt(num[:0], r.Seed, 10))
+	return b.String()
 }
 
 // workload resolves the normalized request's workload and family.

@@ -6,6 +6,7 @@ import (
 )
 
 func BenchmarkForEachPaperSpace(b *testing.B) {
+	b.ReportAllocs()
 	sc := PaperSchema()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -21,6 +22,7 @@ func BenchmarkForEachPaperSpace(b *testing.B) {
 }
 
 func BenchmarkConfigDecode(b *testing.B) {
+	b.ReportAllocs()
 	sc := PaperSchema()
 	idx := []int{3, 1, 8, 0, 24}
 	b.ResetTimer()
@@ -32,6 +34,7 @@ func BenchmarkConfigDecode(b *testing.B) {
 }
 
 func BenchmarkNeighbor(b *testing.B) {
+	b.ReportAllocs()
 	sc := PaperSchema()
 	rng := rand.New(rand.NewSource(1))
 	idx := sc.Space().Random(rng)

@@ -37,6 +37,11 @@ type Param struct {
 	// Labels optionally names each level (used by categorical
 	// parameters).
 	Labels []string
+
+	// genLabels caches %g-formatted fallback labels for parameters
+	// without explicit Labels. New fills it so Label never formats on
+	// the hot path; zero-value Params fall back to formatting.
+	genLabels []string
 }
 
 // Levels returns the number of values the parameter can take.
@@ -46,6 +51,9 @@ func (p *Param) Levels() int { return len(p.Values) }
 func (p *Param) Label(i int) string {
 	if len(p.Labels) == len(p.Values) {
 		return p.Labels[i]
+	}
+	if len(p.genLabels) == len(p.Values) {
+		return p.genLabels[i]
 	}
 	return fmt.Sprintf("%g", p.Values[i])
 }
@@ -85,6 +93,13 @@ func New(params ...Param) (*Space, error) {
 	for i := range params {
 		if err := params[i].Validate(); err != nil {
 			return nil, err
+		}
+		if params[i].Labels == nil {
+			gen := make([]string, len(params[i].Values))
+			for j, v := range params[i].Values {
+				gen[j] = fmt.Sprintf("%g", v)
+			}
+			params[i].genLabels = gen
 		}
 	}
 	return &Space{Params: params}, nil

@@ -10,8 +10,10 @@ import (
 // under an equal budget — the microbenchmark behind the strategy
 // comparison table.
 func BenchmarkStrategyMinimize(b *testing.B) {
+	b.ReportAllocs()
 	for _, s := range allStrategies() {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Minimize(newBowl(), Options{Budget: 500, Seed: 1, Restarts: 2}); err != nil {
 					b.Fatal(err)
@@ -24,8 +26,10 @@ func BenchmarkStrategyMinimize(b *testing.B) {
 // BenchmarkPortfolioRace measures the racing portfolio sequential vs
 // parallel: the result is bit-identical, only wall-clock changes.
 func BenchmarkPortfolioRace(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := DefaultPortfolio().Race(newBowl(), Options{Budget: 500, Seed: 1, Restarts: 2, Parallelism: p}); err != nil {
 					b.Fatal(err)

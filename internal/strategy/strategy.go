@@ -62,6 +62,23 @@ type Spaced interface {
 	Levels(i int) int
 }
 
+// BatchProblem is optionally implemented by problems that evaluate a
+// slice of states in one call, amortizing per-call interface and memo
+// overhead. Semantics are exactly the sequential loop: out[i] receives
+// Energy(states[i]) in order, the first error stops the batch and is
+// returned, and effort accounting (memo lookups, evaluator charges)
+// matches calling Energy repeatedly. After an error the out entries at
+// and beyond the failure are untouched; callers must not use out from a
+// failed batch. Strategies probe for it with a type assertion
+// (Exhaustive chunks its ordinal scan, Genetic batches generations) and
+// fall back to the sequential loop.
+type BatchProblem interface {
+	Problem
+	// EnergyBatch writes Energy(states[i]) into out[i];
+	// len(out) >= len(states).
+	EnergyBatch(states [][]int, out []float64) error
+}
+
 // Options configures a strategy run. The zero value is usable.
 type Options struct {
 	// Budget caps the number of energy evaluations each worker spends:
@@ -128,7 +145,8 @@ type Strategy interface {
 	Minimize(p Problem, opt Options) (Result, error)
 }
 
-// stateKey encodes a state vector as a compact memo key.
+// stateKey encodes a state vector as a compact string memo key — the
+// fallback for problems too wide for the allocation-free array key.
 func stateKey(state []int) string {
 	buf := make([]byte, 0, 2*len(state))
 	for _, v := range state {
@@ -137,19 +155,109 @@ func stateKey(state []int) string {
 	return string(buf)
 }
 
+// arrayKeyDims bounds the array state key: problems with at most this
+// many dimensions (and at most 65536 levels each) get a fixed-size
+// comparable key built without allocating. The tuning schema has 5
+// dimensions, so every paper-shaped problem qualifies.
+const arrayKeyDims = 8
+
+// arrayKey is the compact comparable state key.
+type arrayKey struct {
+	n uint8
+	v [arrayKeyDims]uint16
+}
+
+func makeArrayKey(state []int) arrayKey {
+	k := arrayKey{n: uint8(len(state))}
+	for i, x := range state {
+		k.v[i] = uint16(x)
+	}
+	return k
+}
+
+// canArrayKey reports whether every state of p fits the array key.
+func canArrayKey(p Problem) bool {
+	sp, ok := p.(Spaced)
+	if !ok || p.Dim() > arrayKeyDims {
+		return false
+	}
+	for i := 0; i < p.Dim(); i++ {
+		if sp.Levels(i) > 1<<16 {
+			return false
+		}
+	}
+	return true
+}
+
+// memoShards stripes the shared state memo so concurrent chains and
+// portfolio members do not serialize on one mutex.
+const memoShards = 8
+
+// hashArrayKey routes array keys onto memo shards (FNV-style fold plus
+// a final avalanche; shard routing never affects results).
+func hashArrayKey(k arrayKey) uint64 {
+	h := uint64(k.n)
+	for i := 0; i < int(k.n); i++ {
+		h = (h ^ uint64(k.v[i])) * 0x100000001b3
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return h ^ (h >> 33)
+}
+
+// hashStateString routes string keys onto memo shards.
+func hashStateString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
+}
+
 // memoProblem wraps a Problem's Energy in a concurrency-safe
 // single-flight state-keyed memo, so workers sharing one memoProblem
 // never pay for the same state twice. Evaluations are pure, so the memo
-// never changes a value — only the physical effort spent.
+// never changes a value — only the physical effort spent. Paper-shaped
+// problems key on a stack-built array (amemo); wider problems fall back
+// to the varint string key (smemo). Hits take the memo's allocation-free
+// Get fast path; only misses build the Do closure.
 type memoProblem struct {
 	Problem
-	memo *search.Memo[string, float64]
+	amemo *search.Memo[arrayKey, float64]
+	smemo *search.Memo[string, float64]
 }
 
 func (m *memoProblem) Energy(state []int) (float64, error) {
-	return m.memo.Do(stateKey(state), func() (float64, error) {
+	if m.amemo != nil {
+		k := makeArrayKey(state)
+		if v, ok, err := m.amemo.Get(k); ok {
+			return v, err
+		}
+		return m.amemo.Do(k, func() (float64, error) {
+			return m.Problem.Energy(state)
+		})
+	}
+	k := stateKey(state)
+	if v, ok, err := m.smemo.Get(k); ok {
+		return v, err
+	}
+	return m.smemo.Do(k, func() (float64, error) {
 		return m.Problem.Energy(state)
 	})
+}
+
+// EnergyBatch implements BatchProblem through the memo: identical to the
+// sequential loop (one memo lookup per state, first error stops), with
+// hits served allocation-free.
+func (m *memoProblem) EnergyBatch(states [][]int, out []float64) error {
+	for i, st := range states {
+		e, err := m.Energy(st)
+		if err != nil {
+			return err
+		}
+		out[i] = e
+	}
+	return nil
 }
 
 // spacedMemoProblem additionally forwards Levels, so a memo wrapped
@@ -162,7 +270,12 @@ func (m spacedMemoProblem) Levels(i int) int { return m.Problem.(Spaced).Levels(
 // exactly when p supports it (a memo over coupled coordinates must not
 // pretend to be a product space).
 func withMemo(p Problem) Problem {
-	mp := &memoProblem{Problem: p, memo: search.NewMemo[string, float64]()}
+	mp := &memoProblem{Problem: p}
+	if canArrayKey(p) {
+		mp.amemo = search.NewShardedMemo[arrayKey, float64](memoShards, hashArrayKey)
+	} else {
+		mp.smemo = search.NewShardedMemo[string, float64](memoShards, hashStateString)
+	}
 	if _, ok := p.(Spaced); ok {
 		return spacedMemoProblem{mp}
 	}
@@ -181,7 +294,10 @@ func memoStats(p Problem) (lookups, unique, hits int, ok bool) {
 	default:
 		return 0, 0, 0, false
 	}
-	return mp.memo.Lookups(), mp.memo.Unique(), mp.memo.Hits(), true
+	if mp.amemo != nil {
+		return mp.amemo.Lookups(), mp.amemo.Unique(), mp.amemo.Hits(), true
+	}
+	return mp.smemo.Lookups(), mp.smemo.Unique(), mp.smemo.Hits(), true
 }
 
 // spacedOrErr asserts that a strategy requiring a product space got one.
