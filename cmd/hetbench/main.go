@@ -9,6 +9,7 @@
 //	hetbench -ablate         # include the ablation studies
 //	hetbench -repeats 10     # average SA over more seeds
 //	hetbench -workload spmv -platform gpu-like   # any registered scenario
+//	hetbench -workload dag:resnet-ish -platform gpu-like  # task-graph placement report
 package main
 
 import (
@@ -101,6 +102,24 @@ func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parall
 		}
 		defer f.Close()
 		w = f
+	}
+
+	sc, err := hetopt.ScenarioLookup(platformOrDefault(platform), workloadOrDefault(workload))
+	if err != nil {
+		return err
+	}
+	if sc.IsDAG() {
+		// Task-graph scenarios get the placement-focused report: the
+		// paper's tables assume one divisible kernel and do not apply.
+		if jsonMode {
+			return fmt.Errorf("-json is not supported for task-graph workloads; run the text report")
+		}
+		start := time.Now()
+		if err := experiments.DAGReport(w, platformOrDefault(platform), workloadOrDefault(workload), parallel); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "\nreport generated in %v\n", time.Since(start).Round(time.Millisecond))
+		return err
 	}
 
 	suite, err := experiments.NewScenarioSuite(platformOrDefault(platform), workloadOrDefault(workload))

@@ -143,6 +143,13 @@ func run(p params) error {
 	if err := p.validate(); err != nil {
 		return err
 	}
+	sc, err := hetopt.ScenarioLookup(p.platformName(), p.workloadName())
+	if err != nil {
+		return err
+	}
+	if sc.IsDAG() {
+		return runDAG(p, sc)
+	}
 	tuner, workload, err := hetopt.NewScenarioTuner(p.platformName(), p.workloadName())
 	if err != nil {
 		return err
@@ -235,6 +242,74 @@ func run(p params) error {
 			hostOnly.MeasuredJ()/res.MeasuredJ(), deviceOnly.MeasuredJ()/res.MeasuredJ())
 		fmt.Printf("     effort:   %d search evaluations, %d experiments\n\n",
 			res.SearchEvaluations, res.Experiments)
+	}
+	return nil
+}
+
+// runDAG tunes a task-graph scenario: instead of splitting one kernel
+// by a fraction, the search assigns each graph node to the host or the
+// device and the list-scheduling simulator prices the resulting
+// makespan. The methods map onto the placement search the way the
+// serving layer maps them: EM/EML enumerate, SAM/SAML anneal, and an
+// explicit -strategy overrides either.
+func runDAG(p params, sc hetopt.Scenario) error {
+	if p.objective != "" && p.objective != "time" {
+		return fmt.Errorf("workload %s is a task graph; the placement simulator prices time only (-objective %s unsupported)", p.workloadName(), p.objective)
+	}
+	if p.sizeMB > 0 {
+		return fmt.Errorf("workload %s is a task graph; -size cannot rescale it", p.workloadName())
+	}
+	sim, err := sc.DAGSim()
+	if err != nil {
+		return err
+	}
+	host, device := sim.SideNames()
+	g := sim.Workload()
+	fmt.Printf("workload: %s — %s\n", p.workloadName(), g.Description)
+	fmt.Printf("graph: %d nodes, %d edges, %.0f MB total work on %s (%s + %s)\n\n",
+		len(g.Nodes), len(g.Edges), g.TotalWorkMB(), p.platformName(), host, device)
+	fmt.Printf("host-only:   %.4f s\ndevice-only: %.4f s\n\n", sim.HostOnlySec(), sim.DeviceOnlySec())
+
+	methods := []hetopt.Method{}
+	if p.compare {
+		methods = append(methods, hetopt.EM, hetopt.EML, hetopt.SAM, hetopt.SAML)
+	} else {
+		m, err := hetopt.ParseMethod(p.method)
+		if err != nil {
+			return err
+		}
+		methods = append(methods, m)
+	}
+	explicit, err := hetopt.ParseStrategy(p.strategy)
+	if err != nil {
+		return err
+	}
+	opt := hetopt.SearchOptions{
+		Budget:      p.iterations,
+		Seed:        p.seed,
+		Restarts:    p.restarts,
+		Parallelism: p.parallel,
+	}
+	for _, m := range methods {
+		strat := explicit
+		if strat == nil { // auto: the method's preset explorer
+			if m.UsesAnnealing() {
+				strat = hetopt.DefaultAnneal()
+			} else {
+				strat = hetopt.ExhaustiveStrategy{}
+			}
+		}
+		res, err := hetopt.TunePlacement(sim, strat, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-4s placement: %s\n", m, sim.FormatPlacement(res.Placement))
+		fmt.Printf("     encoded:  %s (host share %.0f%% of node work)\n",
+			hetopt.PlacementString(res.Placement), sim.HostWorkFraction(res.Placement))
+		fmt.Printf("     makespan: %.4f s | round-robin %.4f s\n", res.MakespanSec, res.RoundRobinSec)
+		fmt.Printf("     speedup:  %.2fx vs host-only, %.2fx vs device-only\n",
+			res.HostOnlySec/res.MakespanSec, res.DeviceOnlySec/res.MakespanSec)
+		fmt.Printf("     effort:   %d placements priced\n\n", res.Evaluations)
 	}
 	return nil
 }

@@ -52,6 +52,7 @@ import (
 	"hetopt/internal/core"
 	"hetopt/internal/dna"
 	"hetopt/internal/dynsched"
+	"hetopt/internal/graph"
 	"hetopt/internal/machine"
 	"hetopt/internal/multi"
 	"hetopt/internal/offload"
@@ -185,6 +186,26 @@ type (
 	ScenarioPreset   = scenario.SizePreset
 	ScenarioPlatform = scenario.PlatformSpec
 	ScenarioRegistry = scenario.Registry
+	// Scenario is a fully resolved (platform, workload) pair; its IsDAG
+	// method distinguishes task-graph scenarios from divisible ones.
+	Scenario = scenario.Scenario
+	// GraphWorkload is a task-graph (DAG) workload: named nodes with
+	// per-node compute cost and edges with transfer volumes, placed
+	// node-by-node across host and device instead of split by a
+	// fraction. GraphNode/GraphEdge are its parts and GraphLink the
+	// host-device interconnect pricing cross-side transfers.
+	GraphWorkload = graph.Workload
+	GraphNode     = graph.Node
+	GraphEdge     = graph.Edge
+	GraphLink     = graph.Link
+	// GraphSim is the deterministic list-scheduling simulator pricing a
+	// graph on one platform; PlacementResult a completed placement
+	// search with its baselines.
+	GraphSim        = graph.Sim
+	PlacementResult = graph.Result
+	// SearchOptions configures a raw strategy-layer search (placement
+	// tuning uses it directly; divisible tuning wraps it in Options).
+	SearchOptions = strategy.Options
 )
 
 // Affinity values (Table I).
@@ -299,6 +320,17 @@ func StrategyNames() []string { return strategy.Names() }
 // alternative metaheuristics over a shared evaluation cache.
 func DefaultPortfolio() PortfolioStrategy { return strategy.DefaultPortfolio() }
 
+// DefaultAnneal returns the paper's simulated-annealing schedule as an
+// injectable strategy.
+func DefaultAnneal() AnnealStrategy { return strategy.DefaultAnneal() }
+
+// PlacementString encodes a graph placement canonically: one character
+// per node, 'h' or 'd'. ParsePlacement inverts it.
+func PlacementString(placement []int) string { return graph.PlacementString(placement) }
+
+// ParsePlacement decodes a PlacementString.
+func ParsePlacement(s string) ([]int, error) { return graph.ParsePlacement(s) }
+
 // ParseObjective converts an objective name ("time", "energy",
 // "weighted") into an Objective; alpha is the time weight consulted by
 // "weighted". The constrained minimum-energy mode is built from a
@@ -344,6 +376,27 @@ func ScenarioWorkload(name string) (Workload, error) { return scenario.ResolveWo
 // produce the tuner inputs.
 func ScenarioPlatformByName(name string) (ScenarioPlatform, error) {
 	return scenario.PlatformByName(name)
+}
+
+// ScenarioLookup resolves a registered (platform, workload) pair into a
+// runnable scenario — the shared resolution path of the CLIs, the
+// experiment suite and the serving layer. For DAG scenarios,
+// Scenario.DAGSim builds the placement simulator.
+func ScenarioLookup(platformName, workloadName string) (Scenario, error) {
+	return scenario.Lookup(platformName, workloadName)
+}
+
+// GraphPresets returns the built-in task-graph workloads (the "dag"
+// scenario family).
+func GraphPresets() []GraphWorkload { return graph.Presets() }
+
+// TunePlacement searches the makespan-minimizing placement of a task
+// graph over its simulator; a nil strategy enumerates the 2^n
+// placements exhaustively. Results are deterministic: same simulator,
+// strategy and options produce bit-identical placements at any
+// parallelism.
+func TunePlacement(sim *GraphSim, strat Strategy, opt SearchOptions) (PlacementResult, error) {
+	return graph.Tune(sim, strat, opt)
 }
 
 // NewScenarioTuner assembles a Tuner for a registered workload family

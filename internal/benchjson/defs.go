@@ -6,8 +6,10 @@ import (
 
 	"hetopt/internal/core"
 	"hetopt/internal/dna"
+	"hetopt/internal/graph"
 	"hetopt/internal/machine"
 	"hetopt/internal/offload"
+	"hetopt/internal/scenario"
 	"hetopt/internal/search"
 	"hetopt/internal/serve"
 	"hetopt/internal/space"
@@ -74,6 +76,33 @@ func Defs() []Def {
 		{Name: "predictor-evaluate-hit", Bench: benchPredictorEvaluateHit},
 		{Name: "cache-evaluate-hit", Bench: benchCacheEvaluateHit},
 		{Name: "store-key", Bench: benchStoreKey},
+		{Name: "dag-placement", Bench: benchDAGPlacement},
+	}
+}
+
+// benchDAGPlacement is one makespan evaluation of the graph
+// list-scheduling simulator — the inner loop of every placement search.
+// Its zero-allocation contract is also pinned by an AllocsPerRun test
+// in internal/graph.
+func benchDAGPlacement(b *testing.B) {
+	spec, err := scenario.PlatformByName("gpu-like")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := spec.DAGSim(graph.ResNetIsh())
+	if err != nil {
+		b.Fatal(err)
+	}
+	placement := sim.RoundRobinPlacement()
+	if sim.Makespan(placement) <= 0 {
+		b.Fatal("degenerate makespan")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sim.Makespan(placement) <= 0 {
+			b.Fatal("degenerate makespan")
+		}
 	}
 }
 

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hetopt/internal/graph"
+	"hetopt/internal/scenario"
+	"hetopt/internal/strategy"
+	"hetopt/internal/tables"
+)
+
+// DAGCell is one graph-preset x platform cell of the DAG placement
+// table: the optimal placement and its makespan against the host-only
+// and naive round-robin baselines.
+type DAGCell struct {
+	// Workload and Platform name the scenario ("dag:resnet-ish" etc.).
+	Workload, Platform string
+	// Placement is the canonical 'h'/'d' encoding of the best placement;
+	// HostNodes and DeviceNodes count each side's operators.
+	Placement              string
+	HostNodes, DeviceNodes int
+	// BestSec, HostOnlySec and RoundRobinSec are the simulated
+	// makespans of the tuned, all-host and alternating placements.
+	BestSec, HostOnlySec, RoundRobinSec float64
+	// Speedup is HostOnlySec / BestSec.
+	Speedup float64
+	// Evaluations is the number of placements priced by the search.
+	Evaluations int
+}
+
+// DAGTable searches the optimal placement for every registered graph
+// preset on every registered platform with exhaustive enumeration (the
+// placement spaces are 2^n for n <= graph.MaxNodes nodes; every shipped
+// preset enumerates in milliseconds) and reports it against the
+// host-only and round-robin baselines — the graph-class analogue of
+// ScenarioTable.
+func (s *Suite) DAGTable() ([]DAGCell, error) {
+	var cells []DAGCell
+	for _, spec := range scenario.Platforms() {
+		for _, fam := range scenario.Families() {
+			if !fam.IsDAG() {
+				continue
+			}
+			for _, preset := range fam.Presets {
+				sim, err := spec.DAGSim(*preset.Graph)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: dag %s on %s: %w", preset.Name, spec.Name, err)
+				}
+				res, err := graph.Tune(sim, strategy.Exhaustive{}, strategy.Options{Parallelism: s.Parallelism})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: dag %s on %s: %w", preset.Name, spec.Name, err)
+				}
+				cell := DAGCell{
+					Workload:      fam.Name + ":" + preset.Name,
+					Platform:      spec.Name,
+					Placement:     graph.PlacementString(res.Placement),
+					BestSec:       res.MakespanSec,
+					HostOnlySec:   res.HostOnlySec,
+					RoundRobinSec: res.RoundRobinSec,
+					Speedup:       res.HostOnlySec / res.MakespanSec,
+					Evaluations:   res.Evaluations,
+				}
+				for _, side := range res.Placement {
+					if side == graph.SideHost {
+						cell.HostNodes++
+					} else {
+						cell.DeviceNodes++
+					}
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RenderDAGTable renders the DAG placement comparison.
+func RenderDAGTable(cells []DAGCell) string {
+	tb := tables.New("DAG placement: optimal vs host-only vs round-robin per graph preset x platform",
+		"platform", "workload", "placement", "host/dev", "best (s)", "host-only (s)", "round-robin (s)", "speedup")
+	for _, c := range cells {
+		tb.AddRow(c.Platform, c.Workload, c.Placement,
+			fmt.Sprintf("%d/%d", c.HostNodes, c.DeviceNodes),
+			fmt.Sprintf("%.4f", c.BestSec),
+			fmt.Sprintf("%.4f", c.HostOnlySec),
+			fmt.Sprintf("%.4f", c.RoundRobinSec),
+			fmt.Sprintf("%.2fx", c.Speedup))
+	}
+	return tb.String()
+}
+
+// DAGReport writes the placement-focused report for one DAG scenario:
+// the priced graph, the tuned placement rendered with the platform's
+// processor names, and the cross-preset table. cmd/hetbench runs it
+// when -workload resolves to a graph.
+func DAGReport(w io.Writer, platformName, workloadName string, parallelism int) error {
+	sc, err := scenario.Lookup(platformName, workloadName)
+	if err != nil {
+		return err
+	}
+	if !sc.IsDAG() {
+		return fmt.Errorf("experiments: %s is not a DAG workload", workloadName)
+	}
+	sim, err := sc.DAGSim()
+	if err != nil {
+		return err
+	}
+	res, err := graph.Tune(sim, strategy.Exhaustive{}, strategy.Options{Parallelism: parallelism})
+	if err != nil {
+		return err
+	}
+	host, device := sim.SideNames()
+	rep := sim.Report(res.Placement)
+	fmt.Fprintf(w, "DAG scenario %s on %s (%s + %s)\n",
+		workloadName, sc.Platform.Name, host, device)
+	fmt.Fprintf(w, "  graph: %d nodes, %d edges, %.0f MB total work\n",
+		len(sc.Graph.Nodes), len(sc.Graph.Edges), sc.Graph.TotalWorkMB())
+	fmt.Fprintf(w, "  optimal placement (%d placements priced): %s\n",
+		res.Evaluations, sim.FormatPlacement(res.Placement))
+	fmt.Fprintf(w, "  makespan %.4f s | host-only %.4f s | device-only %.4f s | round-robin %.4f s\n",
+		res.MakespanSec, res.HostOnlySec, res.DeviceOnlySec, res.RoundRobinSec)
+	fmt.Fprintf(w, "  speedup vs host-only: %.2fx | busy: %s %.4f s, %s %.4f s\n\n",
+		res.SpeedupVsHost(), host, rep.HostBusySec, device, rep.DeviceBusySec)
+
+	suite := &Suite{Parallelism: parallelism}
+	cells, err := suite.DAGTable()
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, RenderDAGTable(cells)+"\n")
+	return err
+}

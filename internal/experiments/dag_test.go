@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetopt/internal/scenario"
+)
+
+// TestDAGTableCoverage: the placement table covers every graph preset
+// on every platform; the optimum never loses to either baseline, and
+// at least one cell shows a genuine heterogeneous win.
+func TestDAGTableCoverage(t *testing.T) {
+	s := NewSuite()
+	s.Parallelism = 8
+	cells, err := s.DAGTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	presets := 0
+	for _, f := range scenario.Families() {
+		if f.IsDAG() {
+			presets += len(f.Presets)
+		}
+	}
+	if want := presets * len(scenario.Platforms()); len(cells) != want {
+		t.Fatalf("table has %d cells, want %d (graph presets x platforms)", len(cells), want)
+	}
+	split := 0
+	for _, c := range cells {
+		if c.BestSec > c.HostOnlySec+1e-12 || c.BestSec > c.RoundRobinSec+1e-12 {
+			t.Errorf("%s/%s: optimum %.4f loses to a baseline (%+v)", c.Platform, c.Workload, c.BestSec, c)
+		}
+		if len(c.Placement) != c.HostNodes+c.DeviceNodes {
+			t.Errorf("%s/%s: placement %q inconsistent with %d/%d counts",
+				c.Platform, c.Workload, c.Placement, c.HostNodes, c.DeviceNodes)
+		}
+		if c.HostNodes > 0 && c.DeviceNodes > 0 {
+			split++
+		}
+	}
+	if split == 0 {
+		t.Error("no cell uses both processors; the placement problem is degenerate")
+	}
+}
+
+// TestDAGReport smoke-checks the placement-focused report.
+func TestDAGReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DAGReport(&buf, "gpu-like", "dag:resnet-ish", 8); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"dag:resnet-ish", "GPU-like accelerator", "optimal placement", "speedup vs host-only", "DAG placement:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	if err := DAGReport(&buf, "paper", "dna:human", 1); err == nil {
+		t.Error("divisible workload accepted by DAGReport")
+	}
+}

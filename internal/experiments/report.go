@@ -153,6 +153,14 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		return err
 	}
 
+	dag, err := s.DAGTable()
+	if err != nil {
+		return err
+	}
+	if err := section(RenderDAGTable(dag)); err != nil {
+		return err
+	}
+
 	if ablate {
 		ab, err := s.RenderAblations()
 		if err != nil {

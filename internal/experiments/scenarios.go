@@ -42,6 +42,11 @@ func (s *Suite) ScenarioTable() ([]ScenarioCell, error) {
 		}
 		platform := spec.Platform()
 		for _, fam := range scenario.Families() {
+			// Task-graph families are not fraction-divisible; they get
+			// their own placement table (DAGTable).
+			if fam.IsDAG() {
+				continue
+			}
 			w := fam.DefaultWorkload()
 			inst := &core.Instance{Schema: schema, Measurer: core.NewMeasurer(platform, w)}
 			res, err := core.Run(core.EM, inst, s.coreOpts(0, 0))

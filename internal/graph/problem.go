@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetopt/internal/strategy"
+)
+
+// PlacementProblem exposes makespan minimization over a Sim on the
+// strategy layer: one binary dimension per node (level 0 = host,
+// 1 = device). It implements strategy.Spaced — so exhaustive
+// enumeration and every coordinate-wise metaheuristic apply — and
+// strategy.BatchProblem, so the batched evaluation path introduced for
+// divisible kernels applies to placements too. Energy is pure and
+// allocation-free; the problem is safe for concurrent evaluation.
+type PlacementProblem struct {
+	Sim *Sim
+}
+
+// NewPlacementProblem wraps a simulator.
+func NewPlacementProblem(s *Sim) *PlacementProblem { return &PlacementProblem{Sim: s} }
+
+// Dim implements strategy.Problem.
+func (p *PlacementProblem) Dim() int { return p.Sim.Nodes() }
+
+// Levels implements strategy.Spaced: every node has two placements.
+func (p *PlacementProblem) Levels(int) int { return 2 }
+
+// Initial implements strategy.Problem with a uniform random placement.
+func (p *PlacementProblem) Initial(dst []int, rng *rand.Rand) {
+	for i := range dst {
+		dst[i] = rng.Intn(2)
+	}
+}
+
+// Neighbor implements strategy.Problem by moving one random node to the
+// other side.
+func (p *PlacementProblem) Neighbor(dst, src []int, rng *rand.Rand) {
+	copy(dst, src)
+	i := rng.Intn(len(dst))
+	dst[i] = 1 - (dst[i] & 1)
+}
+
+// Energy implements strategy.Problem: the placement's makespan.
+func (p *PlacementProblem) Energy(state []int) (float64, error) {
+	if len(state) != p.Sim.Nodes() {
+		return 0, fmt.Errorf("graph: placement has %d entries, want %d", len(state), p.Sim.Nodes())
+	}
+	return p.Sim.Makespan(state), nil
+}
+
+// EnergyBatch implements strategy.BatchProblem.
+func (p *PlacementProblem) EnergyBatch(states [][]int, out []float64) error {
+	for i, st := range states {
+		e, err := p.Energy(st)
+		if err != nil {
+			return err
+		}
+		out[i] = e
+	}
+	return nil
+}
+
+// Result is a completed placement search with the baselines every
+// report compares against.
+type Result struct {
+	// Placement assigns each node a side (SideHost/SideDevice).
+	Placement []int
+	// MakespanSec is the placement's simulated makespan.
+	MakespanSec float64
+	// HostOnlySec, DeviceOnlySec and RoundRobinSec are the baseline
+	// makespans: everything on the host, everything on the device, and
+	// naive alternation.
+	HostOnlySec, DeviceOnlySec, RoundRobinSec float64
+	// Evaluations is the number of placements priced by the search;
+	// Worker and Workers mirror strategy.Result.
+	Evaluations, Worker, Workers int
+}
+
+// SpeedupVsHost is the host-only-over-best makespan ratio.
+func (r Result) SpeedupVsHost() float64 {
+	if r.MakespanSec <= 0 {
+		return 0
+	}
+	return r.HostOnlySec / r.MakespanSec
+}
+
+// Tune searches for the makespan-minimizing placement with the given
+// strategy (nil selects exhaustive enumeration — placement spaces are
+// at most 2^MaxNodes but preset graphs stay small enough to enumerate).
+// Results are deterministic: same sim, strategy, and options produce
+// bit-identical placements at any parallelism.
+func Tune(sim *Sim, strat strategy.Strategy, opt strategy.Options) (Result, error) {
+	if strat == nil {
+		strat = strategy.Exhaustive{}
+	}
+	res, err := strat.Minimize(NewPlacementProblem(sim), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Placement:     res.Best,
+		MakespanSec:   res.BestEnergy,
+		HostOnlySec:   sim.HostOnlySec(),
+		DeviceOnlySec: sim.DeviceOnlySec(),
+		RoundRobinSec: sim.Makespan(sim.RoundRobinPlacement()),
+		Evaluations:   res.Evaluations,
+		Worker:        res.Worker,
+		Workers:       res.Workers,
+	}, nil
+}
+
+// ParsePlacement decodes the canonical 'h'/'d' placement string.
+func ParsePlacement(s string) ([]int, error) {
+	out := make([]int, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case 'h':
+			out[i] = SideHost
+		case 'd':
+			out[i] = SideDevice
+		default:
+			return nil, fmt.Errorf("graph: placement %q has invalid side %q at %d", s, s[i], i)
+		}
+	}
+	return out, nil
+}

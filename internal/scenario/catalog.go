@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"hetopt/internal/dna"
+	"hetopt/internal/graph"
 	"hetopt/internal/machine"
 	"hetopt/internal/offload"
 	"hetopt/internal/perf"
@@ -106,6 +107,30 @@ func CryptoFamily() Family {
 	}
 }
 
+// DAGFamily returns the task-graph workload family: the shipped graph
+// presets (internal/graph) exposed through the registry, so
+// "dag:resnet-ish" resolves with the same canonical-name and
+// did-you-mean machinery as "dna:human". Preset sizes are the graphs'
+// total node work, keeping size-based listings uniform across classes.
+func DAGFamily() Family {
+	gs := graph.Presets()
+	presets := make([]SizePreset, len(gs))
+	for i := range gs {
+		g := gs[i]
+		presets[i] = SizePreset{
+			Name:   g.Name,
+			SizeMB: g.TotalWorkMB(),
+			Graph:  &g,
+		}
+	}
+	return Family{
+		Name:        "dag",
+		Description: "task graphs placed node-by-node across host and device (list-scheduling simulator)",
+		Class:       ClassDAG,
+		Presets:     presets,
+	}
+}
+
 // PaperPlatform returns the paper's platform spec: the 2x Xeon E5-2695v2
 // host with the Xeon Phi 7120P and the default calibration over the
 // paper's 19,926-configuration space. Resolving it is bit-identical to
@@ -118,6 +143,11 @@ func PaperPlatform() PlatformSpec {
 		Device:      machine.XeonPhi7120P,
 		Cal:         perf.DefaultCalibration,
 		Space:       space.PaperSpec(),
+		// PCIe gen2 x16 to the Phi; a per-transfer DMA setup round-trip
+		// is milliseconds-scale, far below the full offload engagement
+		// cost (which pays runtime init the graph layer amortizes).
+		LinkBandwidthMBs: 6500,
+		LinkLatencySec:   0.0025,
 	}
 }
 
@@ -219,6 +249,10 @@ func GPULikePlatform() PlatformSpec {
 			DeviceAffinities: []machine.Affinity{machine.AffinityBalanced, machine.AffinityScatter, machine.AffinityCompact},
 			Fractions:        paperFractions(),
 		},
+		// PCIe gen4 x16 with resident kernels: per-transfer cost is a
+		// launch/sync round-trip, not the full 0.35 s engagement.
+		LinkBandwidthMBs: 12000,
+		LinkLatencySec:   0.0015,
 	}
 }
 
@@ -318,6 +352,9 @@ func EdgePlatform() PlatformSpec {
 			DeviceAffinities: []machine.Affinity{machine.AffinityBalanced, machine.AffinityScatter, machine.AffinityCompact},
 			Fractions:        paperFractions(),
 		},
+		// Shared memory: a transfer is a cache handoff, nearly free.
+		LinkBandwidthMBs: 20000,
+		LinkLatencySec:   0.0002,
 	}
 }
 
@@ -332,12 +369,12 @@ func paperFractions() []float64 {
 }
 
 // Builtin returns a registry populated with the shipped catalog: the
-// dna, spmv, stencil and crypto families and the paper, gpu-like and
-// edge platforms. The catalog is statically valid; registration cannot
-// fail.
+// dna, spmv, stencil and crypto divisible families, the dag task-graph
+// family, and the paper, gpu-like and edge platforms. The catalog is
+// statically valid; registration cannot fail.
 func Builtin() *Registry {
 	r := NewRegistry()
-	for _, f := range []Family{DNAFamily(), SpMVFamily(), StencilFamily(), CryptoFamily()} {
+	for _, f := range []Family{DNAFamily(), SpMVFamily(), StencilFamily(), CryptoFamily(), DAGFamily()} {
 		if err := r.RegisterFamily(f); err != nil {
 			panic(err)
 		}

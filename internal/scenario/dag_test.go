@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hetopt/internal/graph"
+	"hetopt/internal/strategy"
+)
+
+// TestDAGScenarioResolution checks that DAG workloads resolve through
+// the same machinery as divisible ones: family default, qualified
+// names, unique bare preset aliases, and canonical forms.
+func TestDAGScenarioResolution(t *testing.T) {
+	fam, preset, err := Resolve("dag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fam.IsDAG() || preset.Name != "resnet-ish" {
+		t.Fatalf("dag default resolved to %q (IsDAG %v)", preset.Name, fam.IsDAG())
+	}
+	for _, name := range []string{"dag:resnet-ish", "DAG:RESNET-ISH", "resnet-ish", "dag:fork-join", "sparse-solver"} {
+		fam, preset, err := Resolve(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !fam.IsDAG() {
+			t.Errorf("%s: resolved to non-DAG family %q", name, fam.Name)
+		}
+		if preset.Graph == nil {
+			t.Errorf("%s: preset carries no graph", name)
+		}
+		canon, err := CanonicalWorkloadName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(canon, "dag:") {
+			t.Errorf("%s: canonical form %q not dag-qualified", name, canon)
+		}
+	}
+	sc, err := Lookup("gpu-like", "dag:resnet-ish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.IsDAG() || sc.Graph == nil {
+		t.Fatal("Lookup did not fill the scenario graph")
+	}
+	if sc.Workload.SizeMB != sc.Graph.TotalWorkMB() {
+		t.Errorf("carrier size %g != total graph work %g", sc.Workload.SizeMB, sc.Graph.TotalWorkMB())
+	}
+	if _, err := sc.DAGSim(); err != nil {
+		t.Fatal(err)
+	}
+	// Divisible scenarios must refuse the DAG path.
+	div, err := Lookup("paper", "dna:human")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := div.DAGSim(); err == nil {
+		t.Error("divisible scenario built a DAG simulator")
+	}
+}
+
+// TestDAGNamesInDidYouMean sync-asserts that the error machinery
+// advertises the DAG names: every dag preset appears in the unknown-name
+// listing, and a near-miss suggests the right qualified name.
+func TestDAGNamesInDidYouMean(t *testing.T) {
+	_, _, err := Resolve("no-such-workload-xyz")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"dag", "dag:resnet-ish", "dag:fork-join", "dag:sparse-solver"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("unknown-workload error does not list %q: %s", want, msg)
+		}
+	}
+	_, _, err = Resolve("dag:resnet-sh")
+	if err == nil || !strings.Contains(err.Error(), `"resnet-ish"`) {
+		t.Errorf("typo did not suggest resnet-ish: %v", err)
+	}
+}
+
+// TestDAGPlatformLinks checks every built-in platform prices transfers
+// with an explicit link, and that the calibration fallback engages for
+// specs registered before the graph layer existed.
+func TestDAGPlatformLinks(t *testing.T) {
+	for _, p := range Platforms() {
+		link := p.Link()
+		if link.BandwidthMBs <= 0 {
+			t.Errorf("%s: non-positive link bandwidth", p.Name)
+		}
+		if p.LinkBandwidthMBs == 0 {
+			t.Errorf("%s: built-in platform should set an explicit link", p.Name)
+		}
+	}
+	legacy := PaperPlatform()
+	legacy.LinkBandwidthMBs, legacy.LinkLatencySec = 0, 0
+	link := legacy.Link()
+	cal := legacy.Cal()
+	if link.BandwidthMBs != cal.PCIeRateMBs || link.LatencySec != cal.OffloadLatencySec {
+		t.Errorf("fallback link %+v does not match calibration (%g, %g)",
+			link, cal.PCIeRateMBs, cal.OffloadLatencySec)
+	}
+}
+
+// TestDAGDeterminismSweep is the cross-layer determinism contract for
+// the graph class: every preset × platform × strategy yields
+// bit-identical results at parallelism 1, 4 and 8.
+func TestDAGDeterminismSweep(t *testing.T) {
+	strats := []strategy.Strategy{
+		strategy.DefaultAnneal(),
+		strategy.Genetic{},
+		strategy.DefaultPortfolio(),
+	}
+	fam, err := FamilyByName("dag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range Platforms() {
+		for _, preset := range fam.Presets {
+			sim, err := spec.DAGSim(*preset.Graph)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec.Name, preset.Name, err)
+			}
+			for _, strat := range strats {
+				var ref graph.Result
+				for i, par := range []int{1, 4, 8} {
+					res, err := graph.Tune(sim, strat, strategy.Options{
+						Budget: 300, Seed: 7, Restarts: 3, Parallelism: par,
+					})
+					if err != nil {
+						t.Fatalf("%s/%s/%s: %v", spec.Name, preset.Name, strat.Name(), err)
+					}
+					if i == 0 {
+						ref = res
+						continue
+					}
+					if !reflect.DeepEqual(res, ref) {
+						t.Errorf("%s/%s/%s: parallelism %d diverged:\n got  %+v\n want %+v",
+							spec.Name, preset.Name, strat.Name(), par, res, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDAGSpeedupOnGPULike pins the acceptance criterion: the optimal
+// resnet-ish placement on the gpu-like platform is measurably faster
+// than host-only.
+func TestDAGSpeedupOnGPULike(t *testing.T) {
+	sc, err := Lookup("gpu-like", "dag:resnet-ish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := sc.DAGSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := graph.Tune(sim, nil, strategy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.SpeedupVsHost(); s < 1.05 {
+		t.Errorf("speedup over host-only %g, want >= 1.05", s)
+	}
+	if res.MakespanSec > res.RoundRobinSec+1e-12 {
+		t.Errorf("optimum %g worse than round-robin %g", res.MakespanSec, res.RoundRobinSec)
+	}
+}

@@ -28,17 +28,34 @@ import (
 	"sync"
 
 	"hetopt/internal/core"
+	"hetopt/internal/graph"
 	"hetopt/internal/machine"
 	"hetopt/internal/offload"
 	"hetopt/internal/perf"
 	"hetopt/internal/space"
 )
 
+// Class is the workload-class axis of a family: how its work divides
+// across the two processors.
+type Class string
+
+const (
+	// ClassDivisible is the paper's shape — one kernel split by a
+	// fraction. The empty Class means divisible, so every family
+	// registered before the class axis existed behaves unchanged.
+	ClassDivisible Class = "divisible"
+	// ClassDAG is a task graph placed node-by-node across host and
+	// device (internal/graph).
+	ClassDAG Class = "dag"
+)
+
 // SizePreset is one named input size of a workload family.
 type SizePreset struct {
 	// Name addresses the preset ("small", "human", ...).
 	Name string
-	// SizeMB is the input size in megabytes.
+	// SizeMB is the input size in megabytes. For DAG presets it is the
+	// graph's total node work, so size-based reporting stays uniform
+	// across classes.
 	SizeMB float64
 	// Complexity overrides the family default when positive (the DNA
 	// genomes carry per-organism matching-cost factors).
@@ -48,6 +65,9 @@ type SizePreset struct {
 	// measurement-noise keys — and therefore every result — stay
 	// bit-identical to the pre-scenario-layer code.
 	WorkloadName string
+	// Graph is the task graph of a ClassDAG preset; divisible presets
+	// leave it nil.
+	Graph *graph.Workload
 }
 
 // Family is a named workload family: the traits shared by every size of
@@ -68,9 +88,14 @@ type Family struct {
 	// rates relative to the DNA reference (zero means 1.0), modeling how
 	// well the kernel maps onto each side's microarchitecture.
 	HostRateFactor, DeviceRateFactor float64
+	// Class selects the workload class; empty means ClassDivisible.
+	Class Class
 	// Presets are the named sizes; the first one is the family default.
 	Presets []SizePreset
 }
+
+// IsDAG reports whether the family's workloads are task graphs.
+func (f Family) IsDAG() bool { return f.Class == ClassDAG }
 
 // Validate checks the family's structural sanity.
 func (f Family) Validate() error {
@@ -79,6 +104,9 @@ func (f Family) Validate() error {
 	}
 	if strings.ContainsAny(f.Name, ": \t") {
 		return fmt.Errorf("scenario: family name %q must not contain colons or spaces", f.Name)
+	}
+	if f.Class != "" && f.Class != ClassDivisible && f.Class != ClassDAG {
+		return fmt.Errorf("scenario: family %q has unknown class %q", f.Name, f.Class)
 	}
 	if len(f.Presets) == 0 {
 		return fmt.Errorf("scenario: family %q needs at least one size preset", f.Name)
@@ -91,6 +119,16 @@ func (f Family) Validate() error {
 		if p.SizeMB <= 0 {
 			return fmt.Errorf("scenario: family %q preset %q size %g must be positive", f.Name, p.Name, p.SizeMB)
 		}
+		if f.IsDAG() {
+			if p.Graph == nil {
+				return fmt.Errorf("scenario: DAG family %q preset %q has no graph", f.Name, p.Name)
+			}
+			if err := p.Graph.Validate(); err != nil {
+				return fmt.Errorf("scenario: family %q preset %q: %w", f.Name, p.Name, err)
+			}
+		} else if p.Graph != nil {
+			return fmt.Errorf("scenario: divisible family %q preset %q carries a graph", f.Name, p.Name)
+		}
 		key := strings.ToLower(p.Name)
 		if seen[key] {
 			return fmt.Errorf("scenario: family %q has duplicate preset %q", f.Name, p.Name)
@@ -100,8 +138,26 @@ func (f Family) Validate() error {
 	return nil
 }
 
-// workload materializes one preset of the family.
+// workload materializes one preset of the family. DAG presets yield a
+// carrier workload with the graph's traits and total work, so
+// class-agnostic consumers (catalog listings, size reporting) see a
+// uniform shape; the runnable object for a DAG preset is the graph
+// itself (Family.Graph).
 func (f Family) workload(p SizePreset) offload.Workload {
+	if f.IsDAG() && p.Graph != nil {
+		name := p.WorkloadName
+		if name == "" {
+			name = p.Graph.Name
+		}
+		return offload.Workload{
+			Name:             name,
+			SizeMB:           p.SizeMB,
+			Complexity:       p.Graph.Complexity,
+			BytesPerByte:     p.Graph.BytesPerByte,
+			HostRateFactor:   p.Graph.HostRateFactor,
+			DeviceRateFactor: p.Graph.DeviceRateFactor,
+		}
+	}
 	name := p.WorkloadName
 	if name == "" {
 		name = f.Name
@@ -153,6 +209,19 @@ func (f Family) DefaultWorkload() offload.Workload {
 	return f.workload(f.Presets[0])
 }
 
+// Graph resolves a preset name (empty = default) into the family's
+// task graph; it fails for divisible families.
+func (f Family) Graph(preset string) (graph.Workload, error) {
+	if !f.IsDAG() {
+		return graph.Workload{}, fmt.Errorf("scenario: family %q is not a DAG family", f.Name)
+	}
+	p, err := f.Preset(preset)
+	if err != nil {
+		return graph.Workload{}, err
+	}
+	return *p.Graph, nil
+}
+
 // PlatformSpec is a named heterogeneous platform: topology, calibration
 // (timing and power constants) and the configuration space.
 type PlatformSpec struct {
@@ -169,6 +238,75 @@ type PlatformSpec struct {
 	// Space lists the configuration-space value sets (thread counts,
 	// affinities, fraction grid) tuned over on this platform.
 	Space space.SchemaSpec
+	// LinkBandwidthMBs and LinkLatencySec describe the host-device
+	// interconnect that prices DAG edge transfers. A zero bandwidth
+	// falls back to the calibration's PCIe constants (see Link), so
+	// platforms registered before the graph layer keep working.
+	LinkBandwidthMBs float64
+	LinkLatencySec   float64
+}
+
+// Link returns the platform's transfer link for the graph simulator.
+// When LinkBandwidthMBs is unset the calibration's offload constants
+// stand in: PCIe bandwidth, and the full offload latency as the
+// per-transfer cost — conservative, since a per-edge transfer pays at
+// most one launch/sync round-trip.
+func (p PlatformSpec) Link() graph.Link {
+	if p.LinkBandwidthMBs > 0 {
+		return graph.Link{BandwidthMBs: p.LinkBandwidthMBs, LatencySec: p.LinkLatencySec}
+	}
+	cal := p.Cal()
+	return graph.Link{BandwidthMBs: cal.PCIeRateMBs, LatencySec: cal.OffloadLatencySec}
+}
+
+// bestSideConfig picks the throughput-maximizing (threads, affinity)
+// pair for one side of the platform under a workload's traits, scanning
+// the spec's value sets in order (ties keep the earliest pair, so the
+// choice is deterministic). Each side of a DAG placement runs its nodes
+// at this configuration.
+func bestSideConfig(threadValues []int, affinities []machine.Affinity,
+	rate func(threads int, aff machine.Affinity) (float64, error)) (graph.SideConfig, error) {
+	best := graph.SideConfig{}
+	bestRate := -1.0
+	for _, threads := range threadValues {
+		for _, aff := range affinities {
+			r, err := rate(threads, aff)
+			if err != nil {
+				return graph.SideConfig{}, err
+			}
+			if r > bestRate {
+				best, bestRate = graph.SideConfig{Threads: threads, Affinity: aff}, r
+			}
+		}
+	}
+	if bestRate <= 0 {
+		return graph.SideConfig{}, fmt.Errorf("scenario: no usable side configuration")
+	}
+	return best, nil
+}
+
+// DAGSim builds the list-scheduling simulator for a graph workload on
+// this platform: node execution is priced by the roofline model at each
+// side's best configuration from the platform's value sets, edge
+// transfers by the platform link.
+func (p PlatformSpec) DAGSim(w graph.Workload) (*graph.Sim, error) {
+	m := p.Model()
+	traits := w.Traits()
+	host, err := bestSideConfig(p.Space.HostThreads, p.Space.HostAffinities,
+		func(threads int, aff machine.Affinity) (float64, error) {
+			return m.HostThroughputFor(threads, aff, traits)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: platform %q host: %w", p.Name, err)
+	}
+	device, err := bestSideConfig(p.Space.DeviceThreads, p.Space.DeviceAffinities,
+		func(threads int, aff machine.Affinity) (float64, error) {
+			return m.DeviceThroughputFor(threads, aff, traits)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: platform %q device: %w", p.Name, err)
+	}
+	return graph.NewSim(w, m, host, device, p.Link())
 }
 
 // Validate checks the spec's structural sanity.
@@ -390,11 +528,26 @@ type Scenario struct {
 	Preset   SizePreset
 	Workload offload.Workload
 	Schema   *space.Schema
+	// Graph is the task graph of a DAG scenario; nil for divisible
+	// scenarios.
+	Graph *graph.Workload
 }
+
+// IsDAG reports whether the scenario's workload is a task graph.
+func (s Scenario) IsDAG() bool { return s.Family.IsDAG() }
 
 // TrainingPlan derives the scenario's model-training grid.
 func (s Scenario) TrainingPlan() core.TrainingPlan {
 	return s.Platform.TrainingPlan(s.Family)
+}
+
+// DAGSim builds the scenario's list-scheduling simulator; it fails for
+// divisible scenarios.
+func (s Scenario) DAGSim() (*graph.Sim, error) {
+	if s.Graph == nil {
+		return nil, fmt.Errorf("scenario: %s is not a DAG scenario", s.Workload.Name)
+	}
+	return s.Platform.DAGSim(*s.Graph)
 }
 
 // Lookup resolves a platform name and a workload name into a runnable
@@ -419,6 +572,7 @@ func (r *Registry) Lookup(platformName, workloadName string) (Scenario, error) {
 		Preset:   preset,
 		Workload: fam.workload(preset),
 		Schema:   schema,
+		Graph:    preset.Graph,
 	}, nil
 }
 

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDAGJobEndToEnd: a task-graph workload rides the same async-job
+// machinery as divisible kernels — POST, poll, warm-start — and the
+// result carries the placement with real device names and a genuine
+// speedup over host-only execution.
+func TestDAGJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueSize: 8, Parallelism: 4})
+	first := submitAndWait(t, ts.URL,
+		`{"workload":"dag:resnet-ish","platform":"gpu-like","method":"em","seed":4}`)
+	if first.State != JobDone || first.Result == nil {
+		t.Fatalf("DAG job did not complete: %+v", first)
+	}
+	res := first.Result
+	if res.Placement == nil {
+		t.Fatal("DAG result carries no placement")
+	}
+	p := res.Placement
+	if len(p.Encoded) != len(p.Nodes) || len(p.Nodes) == 0 {
+		t.Fatalf("placement encoding %q inconsistent with %d nodes", p.Encoded, len(p.Nodes))
+	}
+	if p.SpeedupVsHost <= 1.05 {
+		t.Errorf("resnet-ish on gpu-like: speedup %.3f, want a measurable win over host-only", p.SpeedupVsHost)
+	}
+	if p.MakespanSec <= 0 || p.MakespanSec > p.HostOnlySec+1e-12 || p.MakespanSec > p.RoundRobinSec+1e-12 {
+		t.Errorf("optimum %.4f loses to a baseline (%+v)", p.MakespanSec, p)
+	}
+	for _, n := range p.Nodes {
+		if n.Name == "" || n.Device == "" {
+			t.Errorf("placement node incomplete: %+v", n)
+		}
+	}
+	if !strings.Contains(res.Distribution, "host[") || !strings.Contains(res.Distribution, "device[") {
+		t.Errorf("distribution %q does not render the placement", res.Distribution)
+	}
+	if res.Objective != "time" || res.TimeSec != p.MakespanSec {
+		t.Errorf("result times inconsistent: %+v", res)
+	}
+	if res.Config.HostThreads <= 0 || res.Config.DeviceThreads <= 0 {
+		t.Errorf("DAG result carries no side configurations: %+v", res.Config)
+	}
+
+	// A respelled equivalent (bare unique preset alias, shuffled fields)
+	// must hit the warm-start store and return bit-identical bytes.
+	second := submitAndWait(t, ts.URL,
+		`{"seed":4,"method":"EM","platform":"GPU-LIKE","workload":"RESNET-ISH"}`)
+	if second.State != JobDone || !second.Cached {
+		t.Fatalf("respelled DAG request missed the store: %+v", second)
+	}
+	firstJSON, _ := json.Marshal(first.Result)
+	secondJSON, _ := json.Marshal(second.Result)
+	if string(firstJSON) != string(secondJSON) {
+		t.Errorf("warm-started DAG result differs:\n first  %s\n second %s", firstJSON, secondJSON)
+	}
+}
+
+// TestDAGJobAnnealingMethods: the SA-based methods map onto the
+// placement search (their preset explorer anneals instead of
+// enumerating) and still beat round-robin with a reasonable budget.
+func TestDAGJobAnnealingMethods(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueSize: 4, Parallelism: 4})
+	st := submitAndWait(t, ts.URL,
+		`{"workload":"dag:fork-join","platform":"edge","method":"saml","iterations":400,"restarts":3,"seed":11}`)
+	if st.State != JobDone || st.Result == nil || st.Result.Placement == nil {
+		t.Fatalf("annealed DAG job failed: %+v", st)
+	}
+	p := st.Result.Placement
+	if p.MakespanSec > p.RoundRobinSec+1e-12 {
+		t.Errorf("annealed placement %.4f worse than round-robin %.4f", p.MakespanSec, p.RoundRobinSec)
+	}
+	if st.Result.SearchEvaluations <= 0 {
+		t.Errorf("no evaluations recorded: %+v", st.Result)
+	}
+}
+
+// TestDAGRequestValidation: the graph class rejects what it cannot
+// honor — non-time objectives and size rescaling — with 400s at
+// normalization time, and accepts the preset's own size (so canonical
+// requests re-normalize to themselves).
+func TestDAGRequestValidation(t *testing.T) {
+	for _, body := range []string{
+		`{"workload":"dag:resnet-ish","objective":"energy"}`,
+		`{"workload":"dag:resnet-ish","objective":"weighted","alpha":0.5}`,
+		`{"workload":"dag:resnet-ish","objective":"bounded","slack":0.1}`,
+		`{"workload":"dag:resnet-ish","size_mb":123}`,
+	} {
+		if _, err := decodeAndNormalize(t, body); err == nil {
+			t.Errorf("request %s accepted, want rejection", body)
+		}
+	}
+	n, err := decodeAndNormalize(t, `{"workload":"dag:resnet-ish"}`)
+	if err != nil {
+		t.Fatalf("plain DAG request rejected: %v", err)
+	}
+	if n.SizeMB <= 0 {
+		t.Fatalf("normalized DAG request has no size: %+v", n)
+	}
+	withSize := n
+	n2, err := withSize.Normalize()
+	if err != nil {
+		t.Fatalf("canonical DAG request rejected on re-normalization: %v", err)
+	}
+	if n2 != n {
+		t.Fatalf("DAG normalization not idempotent:\nonce  %+v\ntwice %+v", n, n2)
+	}
+}
+
+// decodeAndNormalize parses a raw request body and normalizes it.
+func decodeAndNormalize(t *testing.T, body string) (TuneRequest, error) {
+	t.Helper()
+	var r TuneRequest
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	return r.Normalize()
+}
+
+// TestScenariosListsDAG: GET /v1/scenarios advertises the graph family
+// with its class, its presets resolving like any other workload, while
+// divisible families stay class-less (their wire form is unchanged).
+func TestScenariosListsDAG(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueSize: 4})
+	var resp ScenariosResponse
+	if code := getJSON(t, ts.URL+"/v1/scenarios", &resp); code != http.StatusOK {
+		t.Fatalf("GET /v1/scenarios: status %d", code)
+	}
+	var dag *WorkloadWire
+	for i, w := range resp.Workloads {
+		if w.Name == "dag" {
+			dag = &resp.Workloads[i]
+		} else if w.Class != "" {
+			t.Errorf("divisible family %q advertises class %q", w.Name, w.Class)
+		}
+	}
+	if dag == nil {
+		t.Fatal("/v1/scenarios does not list the dag family")
+	}
+	if dag.Class != "dag" {
+		t.Errorf("dag family advertises class %q", dag.Class)
+	}
+	want := map[string]bool{"dag:resnet-ish": false, "dag:fork-join": false, "dag:sparse-solver": false}
+	for _, p := range dag.Presets {
+		if _, ok := want[p.Workload]; ok {
+			want[p.Workload] = true
+		}
+		if p.SizeMB <= 0 {
+			t.Errorf("DAG preset %q advertises size %g", p.Workload, p.SizeMB)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("/v1/scenarios misses DAG preset %q", name)
+		}
+	}
+}

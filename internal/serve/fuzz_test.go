@@ -34,6 +34,10 @@ func FuzzNormalize(f *testing.F) {
 		{"SPMV:LARGE", "EDGE", "", "SAM", "LOCAL", "ENERGY", 0, 0, 0, 0, 0, -5},
 		{"unknown-workload", "unknown-platform", "", "bad", "bad", "bad", -1, -1, -1, -1, -1, 0},
 		{" dna ", " paper ", "", " sam ", " random ", " time ", 2, 5, 1.5, 10, 10, 10},
+		{"dag:resnet-ish", "gpu-like", "", "em", "exhaustive", "time", 0, 0, 0, 0, 0, 0},
+		{"DAG:FORK-JOIN", "edge", "", "SAML", "anneal", "", 0, 0, 0, 200, 2, 5},
+		{"sparse-solver", "", "", "sam", "auto", "time", 0, 0, 0, 300, 1, 11},
+		{"dag:resnet-ish", "paper", "", "em", "", "energy", 0, 0, 0, 0, 0, 0},
 	}
 	for _, s := range seeds {
 		f.Add(s.workload, s.platform, s.genome, s.method, s.strat, s.objective,

@@ -39,3 +39,48 @@ func TestWarmStartGoldenDNA(t *testing.T) {
 		t.Errorf("warm-started result differs from the first run:\n first  %s\n second %s", firstJSON, secondJSON)
 	}
 }
+
+// TestNormalizeGoldenDivisible pins the canonical (workload, store key)
+// of divisible-kernel request spellings to values captured before the
+// workload-class split moved Normalize onto scenario.Resolve. The graph
+// layer must leave divisible canonicalization byte-identical.
+func TestNormalizeGoldenDivisible(t *testing.T) {
+	cases := []struct {
+		req           TuneRequest
+		workload, key string
+	}{
+		{
+			TuneRequest{Genome: "human", Method: "sam", Iterations: 300, Seed: 9},
+			"dna:human",
+			"w=dna:human|p=paper|mb=3246.08|m=SAM|s=auto|o=time|a=0|sl=0|it=300|r=1|seed=9",
+		},
+		{
+			TuneRequest{Workload: "SPMV", Platform: "GPU-Like", Method: "em"},
+			"spmv:medium",
+			"w=spmv:medium|p=gpu-like|mb=2048|m=EM|s=auto|o=time|a=0|sl=0|it=1000|r=1|seed=0",
+		},
+		{
+			TuneRequest{Workload: "stencil:large", Platform: "edge", Method: "saml",
+				Objective: "weighted", Alpha: 0.5, Iterations: 200, Restarts: 2, Seed: 3},
+			"stencil:large",
+			"w=stencil:large|p=edge|mb=6144|m=SAML|s=auto|o=weighted|a=0.5|sl=0|it=200|r=2|seed=3",
+		},
+		{
+			TuneRequest{Workload: "Mouse", Method: "eml", Objective: "energy"},
+			"dna:mouse",
+			"w=dna:mouse|p=paper|mb=2836.48|m=EML|s=auto|o=energy|a=0|sl=0|it=1000|r=1|seed=0",
+		},
+	}
+	for _, c := range cases {
+		n, err := c.req.Normalize()
+		if err != nil {
+			t.Fatalf("%+v: %v", c.req, err)
+		}
+		if n.Workload != c.workload {
+			t.Errorf("%+v: canonical workload %q, want %q", c.req, n.Workload, c.workload)
+		}
+		if got := n.Key(); got != c.key {
+			t.Errorf("%+v: key diverged from the pre-graph-layer golden:\n got  %s\n want %s", c.req, got, c.key)
+		}
+	}
+}

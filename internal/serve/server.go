@@ -37,10 +37,12 @@ import (
 	"time"
 
 	"hetopt/internal/core"
+	"hetopt/internal/graph"
 	"hetopt/internal/offload"
 	"hetopt/internal/scenario"
 	"hetopt/internal/search"
 	"hetopt/internal/space"
+	"hetopt/internal/strategy"
 )
 
 // Options configures a Server. The zero value selects the paper
@@ -729,6 +731,7 @@ func Scenarios() ScenariosResponse {
 		ww := WorkloadWire{
 			Name:        f.Name,
 			Description: f.Description,
+			Class:       string(f.Class),
 			Default:     f.Presets[0].Name,
 		}
 		for _, p := range f.Presets {
@@ -798,6 +801,9 @@ func (s *Server) runTune(req TuneRequest) (TuneResult, error) {
 	if err != nil {
 		return TuneResult{}, err
 	}
+	if fam.IsDAG() {
+		return s.runDAGTune(req, st, method, strat)
+	}
 
 	wk := workloadKey{platform: req.Platform, name: w.Name, sizeMB: w.SizeMB}
 	meas := core.NewMeasurer(st.platform, w)
@@ -843,6 +849,44 @@ func (s *Server) runTune(req TuneRequest) (TuneResult, error) {
 		return TuneResult{}, err
 	}
 	return tuneResult(res), nil
+}
+
+// runDAGTune executes one canonical DAG placement request: the graph
+// simulator replaces the measurement substrate, and the method's preset
+// explorer maps onto the placement search — EM/EML enumerate the 2^n
+// placements, SAM/SAML anneal; an explicit strategy overrides either.
+// The ML methods have no separate prediction phase here (the simulator
+// is already a model), so EML/SAML behave like EM/SAM on graphs.
+func (s *Server) runDAGTune(req TuneRequest, st *platformState, method core.Method, strat strategy.Strategy) (TuneResult, error) {
+	fam, preset, err := scenario.Resolve(req.Workload)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	g, err := fam.Graph(preset.Name)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	sim, err := st.spec.DAGSim(g)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	if strat == nil { // "auto": the method's preset explorer
+		if method.UsesAnnealing() {
+			strat = strategy.DefaultAnneal()
+		} else {
+			strat = strategy.Exhaustive{}
+		}
+	}
+	res, err := graph.Tune(sim, strat, strategy.Options{
+		Budget:      req.Iterations,
+		Seed:        req.Seed,
+		Restarts:    req.Restarts,
+		Parallelism: s.opt.Parallelism,
+	})
+	if err != nil {
+		return TuneResult{}, err
+	}
+	return dagTuneResult(method, sim, res), nil
 }
 
 // Endpoints lists the service's routes in presentation order (used by

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"hetopt/internal/core"
+	"hetopt/internal/graph"
 	"hetopt/internal/offload"
 	"hetopt/internal/scenario"
 	"hetopt/internal/space"
@@ -83,12 +84,13 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 	if n.Workload == "" {
 		n.Workload = "dna:human"
 	}
-	canon, err := scenario.CanonicalWorkloadName(n.Workload)
+	fam, preset, err := scenario.Resolve(n.Workload)
 	if err != nil {
 		return TuneRequest{}, fmt.Errorf("serve: %w", err)
 	}
-	n.Workload = canon
+	n.Workload = strings.ToLower(fam.Name) + ":" + strings.ToLower(preset.Name)
 	n.Genome = "" // folded into the canonical workload
+	isDAG := fam.IsDAG()
 
 	n.Platform = strings.ToLower(strings.TrimSpace(r.Platform))
 	if n.Platform == "" {
@@ -101,12 +103,15 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 	if n.SizeMB < 0 || math.IsNaN(n.SizeMB) || math.IsInf(n.SizeMB, 0) {
 		return TuneRequest{}, fmt.Errorf("serve: size_mb %g must be finite and non-negative", n.SizeMB)
 	}
+	if isDAG && n.SizeMB != 0 && n.SizeMB != preset.SizeMB {
+		// A task graph's size is the sum of its node works; it cannot be
+		// rescaled by a divisor the way a divisible kernel can. The
+		// preset's own size is accepted so canonical requests re-normalize
+		// to themselves.
+		return TuneRequest{}, fmt.Errorf("serve: workload %s is a task graph (%g MB of node work); size_mb cannot rescale it — omit it", n.Workload, preset.SizeMB)
+	}
 	if n.SizeMB == 0 {
-		w, err := scenario.ResolveWorkload(n.Workload)
-		if err != nil {
-			return TuneRequest{}, fmt.Errorf("serve: %w", err)
-		}
-		n.SizeMB = w.SizeMB
+		n.SizeMB = preset.SizeMB
 	}
 
 	if strings.TrimSpace(r.Method) == "" {
@@ -135,6 +140,9 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 	case "time", "energy", "weighted", "bounded":
 	default:
 		return TuneRequest{}, fmt.Errorf("serve: unknown objective %q (want time, energy, weighted or bounded)", r.Objective)
+	}
+	if isDAG && n.Objective != "time" {
+		return TuneRequest{}, fmt.Errorf("serve: workload %s is a task graph; the placement simulator prices time only (objective %q unsupported)", n.Workload, n.Objective)
 	}
 	if math.IsNaN(n.Alpha) || math.IsInf(n.Alpha, 0) || math.IsNaN(n.Slack) || math.IsInf(n.Slack, 0) {
 		return TuneRequest{}, fmt.Errorf("serve: alpha %g and slack %g must be finite", n.Alpha, n.Slack)
@@ -277,10 +285,39 @@ type TuneResult struct {
 	// once per workload across the whole server.
 	SearchEvaluations int `json:"search_evaluations"`
 	Experiments       int `json:"experiments"`
+	// Placement carries the task-graph placement of a DAG workload run;
+	// nil for divisible workloads, whose answer lives in Config. For DAG
+	// results Config holds the per-side execution configurations the
+	// simulator priced nodes at (host fraction = share of node work on
+	// the host), and the energy fields are zero — the graph simulator
+	// prices time only.
+	Placement *PlacementWire `json:"placement,omitempty"`
 	// TimeReference carries the time-optimal reference run of the
 	// bounded objective's two-phase pipeline; nil for every other
 	// objective.
 	TimeReference *TuneResult `json:"time_reference,omitempty"`
+}
+
+// PlacementWire is the JSON form of a tuned task-graph placement.
+type PlacementWire struct {
+	// Nodes lists every operator's assigned processor in topological
+	// order; Encoded is the compact one-character-per-node 'h'/'d' form.
+	Nodes   []NodePlacementWire `json:"nodes"`
+	Encoded string              `json:"encoded"`
+	// MakespanSec is the placement's simulated makespan; the three
+	// baselines it is judged against follow.
+	MakespanSec   float64 `json:"makespan_sec"`
+	HostOnlySec   float64 `json:"host_only_sec"`
+	DeviceOnlySec float64 `json:"device_only_sec"`
+	RoundRobinSec float64 `json:"round_robin_sec"`
+	// SpeedupVsHost is HostOnlySec / MakespanSec.
+	SpeedupVsHost float64 `json:"speedup_vs_host"`
+}
+
+// NodePlacementWire is one operator's assignment in a PlacementWire.
+type NodePlacementWire struct {
+	Name   string `json:"name"`
+	Device string `json:"device"`
 }
 
 // tuneResult converts a core.Result to its wire form.
@@ -300,6 +337,53 @@ func tuneResult(res core.Result) TuneResult {
 		MeasuredObjective: res.MeasuredObjective,
 		SearchEvaluations: res.SearchEvaluations,
 		Experiments:       res.Experiments,
+	}
+}
+
+// dagTuneResult converts a completed placement search to the wire form.
+// The divisible-result fields keep their meaning where one exists: the
+// per-side times are each side's busy time, the measured objective is
+// the makespan, and Config carries the side configurations the
+// simulator priced nodes at.
+func dagTuneResult(method core.Method, sim *graph.Sim, res graph.Result) TuneResult {
+	rep := sim.Report(res.Placement)
+	host, device := sim.SideNames()
+	hostCfg, devCfg := sim.SideConfigs()
+	pw := &PlacementWire{
+		Encoded:       graph.PlacementString(res.Placement),
+		MakespanSec:   res.MakespanSec,
+		HostOnlySec:   res.HostOnlySec,
+		DeviceOnlySec: res.DeviceOnlySec,
+		RoundRobinSec: res.RoundRobinSec,
+		SpeedupVsHost: res.SpeedupVsHost(),
+	}
+	w := sim.Workload()
+	for i, side := range res.Placement {
+		name := host
+		if side&1 == graph.SideDevice {
+			name = device
+		}
+		pw.Nodes = append(pw.Nodes, NodePlacementWire{Name: w.Nodes[i].Name, Device: name})
+	}
+	return TuneResult{
+		Method: method.String(),
+		Config: ConfigWire{
+			HostThreads:    hostCfg.Threads,
+			HostAffinity:   hostCfg.Affinity.String(),
+			DeviceThreads:  devCfg.Threads,
+			DeviceAffinity: devCfg.Affinity.String(),
+			HostFraction:   sim.HostWorkFraction(res.Placement),
+		},
+		Distribution:      sim.FormatPlacement(res.Placement),
+		SearchObjective:   res.MakespanSec,
+		TimeSec:           res.MakespanSec,
+		HostSec:           rep.HostBusySec,
+		DeviceSec:         rep.DeviceBusySec,
+		Objective:         "time",
+		MeasuredObjective: res.MakespanSec,
+		SearchEvaluations: res.Evaluations,
+		Experiments:       res.Evaluations,
+		Placement:         pw,
 	}
 }
 
@@ -437,6 +521,9 @@ type PresetWire struct {
 type WorkloadWire struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
+	// Class is the workload class ("dag" for task-graph families);
+	// omitted for divisible families, the pre-graph-layer default.
+	Class string `json:"class,omitempty"`
 	// Default is the preset selected when only the family is named.
 	Default string       `json:"default"`
 	Presets []PresetWire `json:"presets"`

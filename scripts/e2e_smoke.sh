@@ -97,6 +97,38 @@ sres=$(poll "$sid")
 [ "$(echo "$sres" | jq -r .request.platform)" = "gpu-like" ] \
   || { echo "e2e: scenario platform lost: $sres" >&2; exit 1; }
 
+echo "e2e: discovering the task-graph presets"
+echo "$scen" | jq -e '.workloads | map(select(.class == "dag")) | map(.name) | index("dag")' >/dev/null \
+  || { echo "e2e: /v1/scenarios does not list the dag family: $scen" >&2; exit 1; }
+for preset in resnet-ish fork-join sparse-solver; do
+  echo "$scen" | jq -e --arg p "$preset" \
+    '.workloads[] | select(.name == "dag") | .presets | map(.name) | index($p)' >/dev/null \
+    || { echo "e2e: /v1/scenarios does not list dag preset $preset: $scen" >&2; exit 1; }
+done
+
+echo "e2e: tuning a task-graph placement (dag:resnet-ish on gpu-like)"
+DAGREQ='{"workload":"dag:resnet-ish","platform":"gpu-like","method":"em","seed":11}'
+djob=$(curl -fsS -X POST "$BASE/jobs" -d "$DAGREQ")
+did=$(echo "$djob" | jq -r .id)
+dres=$(poll "$did")
+[ "$(echo "$dres" | jq -r .request.workload)" = "dag:resnet-ish" ] \
+  || { echo "e2e: dag workload not canonicalized: $dres" >&2; exit 1; }
+[ "$(echo "$dres" | jq -r .result.placement.encoded | wc -c)" -gt 1 ] \
+  || { echo "e2e: dag result has no encoded placement: $dres" >&2; exit 1; }
+dspeed=$(echo "$dres" | jq -r .result.placement.speedup_vs_host)
+ok=$(awk -v s="$dspeed" 'BEGIN { print (s + 0 > 1.0) ? "yes" : "no" }')
+[ "$ok" = "yes" ] \
+  || { echo "e2e: dag placement speedup_vs_host=$dspeed, want > 1.0" >&2; exit 1; }
+
+echo "e2e: re-POSTing the dag request (must be a bit-identical store hit)"
+dsecond=$(curl -fsS -X POST "$BASE/jobs" -d "$DAGREQ")
+[ "$(echo "$dsecond" | jq -r .cached)" = "true" ] \
+  || { echo "e2e: dag re-POST was not served from the store: $dsecond" >&2; exit 1; }
+d1=$(echo "$dres" | jq -cS .result)
+d2=$(echo "$dsecond" | jq -cS .result)
+[ "$d1" = "$d2" ] \
+  || { echo "e2e: identical dag requests returned different results:" >&2; echo "$d1" >&2; echo "$d2" >&2; exit 1; }
+
 echo "e2e: graceful shutdown (SIGTERM)"
 kill -TERM "$SERVER_PID"
 if ! wait "$SERVER_PID"; then
@@ -105,4 +137,4 @@ if ! wait "$SERVER_PID"; then
 fi
 trap - EXIT
 
-echo "e2e: ok (1 job + 3 batch jobs + 1 scenario job tuned, warm-start hit verified, clean shutdown)"
+echo "e2e: ok (1 job + 3 batch jobs + 1 scenario job + 1 dag placement tuned, warm-start hits verified, clean shutdown)"
