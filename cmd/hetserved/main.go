@@ -14,6 +14,10 @@
 //	  -d '{"template":{"method":"sam"},"alphas":[0,0.25,0.5,0.75,1]}'
 //	curl -s localhost:8080/v1/metrics
 //
+// A re-POST of a request the store already holds (and any POST with
+// ?wait=1) answers 200 with the result inline — one round-trip, no id,
+// no poll.
+//
 // The server shuts down gracefully on SIGTERM/SIGINT: the listener
 // closes first, then every accepted job — queued and in-flight —
 // drains to completion (bounded by -drain-timeout).
@@ -40,6 +44,7 @@ type params struct {
 	workers      int
 	queue        int
 	cacheSize    int
+	cacheShards  int
 	parallel     int
 	pretrain     bool
 	drainTimeout time.Duration
@@ -64,6 +69,9 @@ func (p *params) validate() error {
 	}
 	if p.cacheSize <= 0 {
 		return fmt.Errorf("-cache-size must be > 0, got %d", p.cacheSize)
+	}
+	if p.cacheShards <= 0 {
+		return fmt.Errorf("-cache-shards must be > 0, got %d", p.cacheShards)
 	}
 	if p.parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", p.parallel)
@@ -90,6 +98,7 @@ func main() {
 	flag.IntVar(&p.workers, "workers", 4, "worker-pool size (must be positive)")
 	flag.IntVar(&p.queue, "queue", 64, "pending-job queue bound; full queue answers 429 (must be positive)")
 	flag.IntVar(&p.cacheSize, "cache-size", 1024, "warm-start store capacity, LRU-evicted beyond it (must be positive)")
+	flag.IntVar(&p.cacheShards, "cache-shards", 16, "warm-start store lock stripes; 1 = exact global LRU (must be positive)")
 	flag.IntVar(&p.parallel, "parallel", 1, "per-job search worker count; never affects results")
 	flag.BoolVar(&p.pretrain, "pretrain", false, "train the prediction models at startup instead of on the first EML/SAML job")
 	flag.DurationVar(&p.drainTimeout, "drain-timeout", 60*time.Second, "graceful-shutdown budget for draining accepted jobs")
@@ -116,6 +125,7 @@ func run(p params) error {
 		Workers:         p.workers,
 		QueueSize:       p.queue,
 		StoreSize:       p.cacheSize,
+		StoreShards:     p.cacheShards,
 		Parallelism:     p.parallel,
 		DefaultWorkload: p.workload,
 		DefaultPlatform: p.platform,
@@ -134,8 +144,8 @@ func run(p params) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
-	fmt.Printf("hetserved: listening on %s (%d workers, queue %d, store %d)\n",
-		p.addr, p.workers, p.queue, p.cacheSize)
+	fmt.Printf("hetserved: listening on %s (%d workers, queue %d, store %d x%d shards)\n",
+		p.addr, p.workers, p.queue, p.cacheSize, p.cacheShards)
 	for _, ep := range serve.Endpoints() {
 		fmt.Println("  ", ep)
 	}

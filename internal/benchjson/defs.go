@@ -1,6 +1,8 @@
 package benchjson
 
 import (
+	"encoding/json"
+	"io"
 	"sync"
 	"testing"
 
@@ -76,6 +78,8 @@ func Defs() []Def {
 		{Name: "predictor-evaluate-hit", Bench: benchPredictorEvaluateHit},
 		{Name: "cache-evaluate-hit", Bench: benchCacheEvaluateHit},
 		{Name: "store-key", Bench: benchStoreKey},
+		{Name: "store-peek", Bench: benchStorePeek},
+		{Name: "warm-hit-post", Bench: benchWarmHitPost},
 		{Name: "dag-placement", Bench: benchDAGPlacement},
 	}
 }
@@ -207,18 +211,103 @@ func benchCacheEvaluateHit(b *testing.B) {
 }
 
 // benchStoreKey is the canonical store key of a normalized tune
-// request, computed on every submit and poll.
+// request, computed on every submit — the allocation-free AppendKey
+// path the serving handler uses, with the key buffer reused across
+// requests the way the pooled decode scratch reuses it.
 func benchStoreKey(b *testing.B) {
 	req := serve.TuneRequest{
 		Workload: "dna-human", Platform: "paper", SizeMB: 3246,
 		Method: "SAML", Strategy: "anneal", Objective: "time",
 		Iterations: 1000, Restarts: 4, Seed: 42,
 	}
+	buf := make([]byte, 0, 192)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if req.Key() == "" {
+		buf = req.AppendKey(buf[:0])
+		if len(buf) == 0 {
 			b.Fatal("empty key")
 		}
+	}
+}
+
+// benchStorePeek is the sharded store's warm-hit lookup: key bytes in,
+// pre-rendered response bytes out, one shard mutex held briefly.
+func benchStorePeek(b *testing.B) {
+	store := serve.NewStore(0)
+	req := warmBenchRequest()
+	canon, err := req.Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := canon.Key()
+	if _, err, _ := store.Do(key, func() (serve.TuneResult, error) {
+		return serve.TuneResult{Method: "SAM", TimeSec: 1.25, EnergyJ: 80}, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	store.SetBody(key, []byte(`{"state":"done"}`+"\n"))
+	keyBytes := []byte(key)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, _, ok := store.PeekWarm(keyBytes)
+		if !ok || body == nil {
+			b.Fatal("warm entry missing")
+		}
+	}
+}
+
+// benchWarmHitPost is the server-side core of a warm POST /v1/jobs —
+// everything between the decoded request and the socket write:
+// normalization, the canonical key appended into the reused scratch
+// buffer, the sharded-store lookup and the write of the stored response
+// bytes. HTTP transport and JSON decode are excluded (they are the
+// client's and codec's cost, identical warm or cold); the pre-PR
+// two-round-trip equivalent of this path is the POST+GET measured in
+// internal/serve's BenchmarkServeWarmStart lineage (see DESIGN.md).
+func benchWarmHitPost(b *testing.B) {
+	store := serve.NewStore(0)
+	req := warmBenchRequest()
+	canon, err := req.Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := canon.Key()
+	if _, err, _ := store.Do(key, func() (serve.TuneResult, error) {
+		return serve.TuneResult{Method: "SAM", TimeSec: 1.25, EnergyJ: 80}, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	body, jerr := json.Marshal(serve.JobStatus{State: serve.JobDone, Cached: true, Request: canon, Key: key})
+	if jerr != nil {
+		b.Fatal(jerr)
+	}
+	store.SetBody(key, append(body, '\n'))
+	keyBuf := make([]byte, 0, 192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		canon, err := req.Normalize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		keyBuf = canon.AppendKey(keyBuf[:0])
+		body, _, ok := store.PeekWarm(keyBuf)
+		if !ok || body == nil {
+			b.Fatal("warm entry missing")
+		}
+		if n, err := io.Discard.Write(body); err != nil || n == 0 {
+			b.Fatal("write failed")
+		}
+	}
+}
+
+// warmBenchRequest is the raw (pre-normalization) request the serving
+// benches replay — field casing as a client would plausibly send it.
+func warmBenchRequest() serve.TuneRequest {
+	return serve.TuneRequest{
+		Workload: "dna:human", Method: "SAM", Objective: "time",
+		Iterations: 300, Seed: 9,
 	}
 }

@@ -29,6 +29,12 @@ func TestServingThroughput(t *testing.T) {
 		if r.ElapsedMS <= 0 || r.ReqPerSec <= 0 {
 			t.Fatalf("workers %d: non-positive timing %+v", r.Workers, r)
 		}
+		// Inline answers are a subset of the store hits (a repeat that
+		// lands while its cold job is still in flight shares the flight
+		// through the pool instead of answering on the POST).
+		if r.Inline < 0 || r.Inline > r.StoreHits {
+			t.Fatalf("workers %d: inline %d outside 0..%d", r.Workers, r.Inline, r.StoreHits)
+		}
 	}
 
 	rendered := RenderServingThroughput(res)

@@ -68,6 +68,22 @@ type SizePreset struct {
 	// Graph is the task graph of a ClassDAG preset; divisible presets
 	// leave it nil.
 	Graph *graph.Workload
+
+	// qualified is the canonical lowercase "family:preset" name,
+	// precomputed at registration so hot callers (the serving layer's
+	// request canonicalization) get it without allocating a concat.
+	qualified string
+}
+
+// Qualified returns the canonical lowercase "family:preset" name of the
+// preset within fam. Presets obtained from a registry carry it
+// precomputed (allocation-free); hand-built presets fall back to the
+// concatenation.
+func (p SizePreset) Qualified(fam Family) string {
+	if p.qualified != "" {
+		return p.qualified
+	}
+	return strings.ToLower(fam.Name) + ":" + strings.ToLower(p.Name)
 }
 
 // Family is a named workload family: the traits shared by every size of
@@ -401,6 +417,14 @@ func (r *Registry) RegisterFamily(f Family) error {
 	if _, ok := r.families[key]; ok {
 		return fmt.Errorf("scenario: workload family %q already registered", f.Name)
 	}
+	// Copy the preset slice (the caller keeps its own) and precompute
+	// each preset's canonical qualified name.
+	presets := make([]SizePreset, len(f.Presets))
+	copy(presets, f.Presets)
+	for i := range presets {
+		presets[i].qualified = key + ":" + strings.ToLower(presets[i].Name)
+	}
+	f.Presets = presets
 	r.families[key] = f
 	r.famOrder = append(r.famOrder, key)
 	return nil
@@ -593,7 +617,7 @@ func (r *Registry) CanonicalWorkloadName(name string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return strings.ToLower(f.Name) + ":" + strings.ToLower(p.Name), nil
+	return p.Qualified(f), nil
 }
 
 // WorkloadNames lists every resolvable workload name: each family, each

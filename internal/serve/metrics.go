@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the service counters behind GET /v1/metrics.
+// Job latency is accounted in two buckets — the warm-hit fast path
+// (submissions answered inline from the store, no pool, no registry)
+// and the cold-miss pool path — and the totals reported on the wire are
+// defined as the sums of the buckets, so the split always adds up.
+type metrics struct {
+	requests  sync.Map // endpoint name -> *atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	storeHits atomic.Int64
+
+	warmNanos atomic.Int64
+	warmCount atomic.Int64
+	coldNanos atomic.Int64
+	coldCount atomic.Int64
+}
+
+func (m *metrics) request(endpoint string) {
+	c, _ := m.requests.LoadOrStore(endpoint, &atomic.Int64{})
+	c.(*atomic.Int64).Add(1)
+}
+
+// observeWarm records one warm-hit submission served inline.
+func (m *metrics) observeWarm(d time.Duration) {
+	m.warmNanos.Add(int64(d))
+	m.warmCount.Add(1)
+}
+
+// observeCold records one pool job from submission to terminal state.
+func (m *metrics) observeCold(d time.Duration) {
+	m.coldNanos.Add(int64(d))
+	m.coldCount.Add(1)
+}
+
+// warmHit bumps every counter a store-served submission touches.
+func (m *metrics) warmHit(d time.Duration) {
+	m.submitted.Add(1)
+	m.storeHits.Add(1)
+	m.completed.Add(1)
+	m.observeWarm(d)
+}
+
+// Metrics snapshots the service counters.
+func (s *Server) Metrics() Metrics {
+	var m Metrics
+	m.Requests = map[string]int64{}
+	s.met.requests.Range(func(k, v any) bool {
+		m.Requests[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	m.Jobs.Submitted = s.met.submitted.Load()
+	m.Jobs.Completed = s.met.completed.Load()
+	m.Jobs.Failed = s.met.failed.Load()
+	m.Jobs.Rejected = s.met.rejected.Load()
+	m.Jobs.StoreHits = s.met.storeHits.Load()
+	m.Store.Lookups = int64(s.store.Lookups())
+	m.Store.Hits = int64(s.store.Hits())
+	m.Store.Entries = int64(s.store.Len())
+	m.Store.Evictions = int64(s.store.Evictions())
+	m.Latency.Warm.Count = s.met.warmCount.Load()
+	m.Latency.Warm.TotalMS = float64(s.met.warmNanos.Load()) / 1e6
+	if m.Latency.Warm.Count > 0 {
+		m.Latency.Warm.MeanMS = m.Latency.Warm.TotalMS / float64(m.Latency.Warm.Count)
+	}
+	m.Latency.Cold.Count = s.met.coldCount.Load()
+	m.Latency.Cold.TotalMS = float64(s.met.coldNanos.Load()) / 1e6
+	if m.Latency.Cold.Count > 0 {
+		m.Latency.Cold.MeanMS = m.Latency.Cold.TotalMS / float64(m.Latency.Cold.Count)
+	}
+	// The totals are the exact bucket sums, so the split is verifiable.
+	m.Latency.Count = m.Latency.Warm.Count + m.Latency.Cold.Count
+	m.Latency.TotalMS = m.Latency.Warm.TotalMS + m.Latency.Cold.TotalMS
+	if m.Latency.Count > 0 {
+		m.Latency.MeanMS = m.Latency.TotalMS / float64(m.Latency.Count)
+	}
+	m.Queue.Workers = s.opt.Workers
+	m.Queue.Capacity = s.pool.Capacity()
+	m.Queue.Depth = s.pool.Depth()
+	m.Queue.Running = s.pool.Running()
+	return m
+}

@@ -9,8 +9,9 @@
 // Endpoints:
 //
 //	POST /v1/jobs        submit one tune request; 202 + job id
-//	                     (200 with the result when the store already
-//	                     holds it), 429 on queue backpressure
+//	                     (200 with the inline result — no id, no poll —
+//	                     when the store already holds it, or on ?wait=1
+//	                     once the job finishes), 429 on backpressure
 //	POST /v1/jobs:batch  submit a request list and/or an alpha sweep
 //	GET  /v1/jobs/{id}   poll a job
 //	GET  /v1/healthz     liveness and pool state
@@ -77,6 +78,11 @@ type Options struct {
 	// StoreSize bounds the warm-start store (LRU eviction beyond it);
 	// <= 0 means unbounded.
 	StoreSize int
+	// StoreShards is the warm-start store's lock-stripe count; <= 0
+	// selects the default (16, fewer when StoreSize is smaller). A
+	// single shard gives exact global LRU order; more shards spread
+	// concurrent warm hits over independent locks.
+	StoreShards int
 	// JobRetention bounds the job-status registry: beyond it the oldest
 	// completed jobs are forgotten (their GET answers 404; queued and
 	// running jobs are never evicted). <= 0 selects 4096.
@@ -84,28 +90,6 @@ type Options struct {
 	// Parallelism is the per-job search worker count; <= 0 runs each
 	// job sequentially. It never affects results, only wall-clock.
 	Parallelism int
-}
-
-// metrics aggregates the service counters behind GET /v1/metrics.
-type metrics struct {
-	requests  sync.Map // endpoint name -> *atomic.Int64
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	rejected  atomic.Int64
-	storeHits atomic.Int64
-	jobNanos  atomic.Int64
-	jobCount  atomic.Int64
-}
-
-func (m *metrics) request(endpoint string) {
-	c, _ := m.requests.LoadOrStore(endpoint, &atomic.Int64{})
-	c.(*atomic.Int64).Add(1)
-}
-
-func (m *metrics) observeJob(d time.Duration) {
-	m.jobNanos.Add(int64(d))
-	m.jobCount.Add(1)
 }
 
 // job is the server-side state of one submission.
@@ -118,20 +102,24 @@ type job struct {
 	cached bool
 	result *TuneResult
 	err    string
+	done   chan struct{} // closed on the terminal transition (wait=1)
 }
 
-// setDone transitions the job to done/failed.
+// setDone transitions the job to done/failed and wakes wait=1 callers.
 func (j *job) setDone(res TuneResult, err error, cached bool) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if err != nil {
 		j.state = JobFailed
 		j.err = err.Error()
-		return
+	} else {
+		j.state = JobDone
+		j.cached = cached
+		j.result = &res
 	}
-	j.state = JobDone
-	j.cached = cached
-	j.result = &res
+	j.mu.Unlock()
+	if j.done != nil {
+		close(j.done)
+	}
 }
 
 // finished reports whether the job reached a terminal state.
@@ -212,10 +200,13 @@ func New(opt Options) *Server {
 	if opt.JobRetention <= 0 {
 		opt.JobRetention = 4096
 	}
+	if opt.StoreShards <= 0 {
+		opt.StoreShards = defaultStoreShards
+	}
 	s := &Server{
 		opt:        opt,
 		pool:       NewPool(opt.Workers, opt.QueueSize),
-		store:      NewStore(opt.StoreSize),
+		store:      NewStoreShards(opt.StoreSize, opt.StoreShards),
 		jobs:       map[string]*job{},
 		platforms:  map[string]*platformState{},
 		trained:    map[trainKey]*trainState{},
@@ -324,36 +315,48 @@ func jobID(n int64) string {
 	return string(b)
 }
 
-// submit turns one canonical (already-normalized) request into a
-// registered job: served synchronously from the warm-start store when
-// possible, enqueued on the pool otherwise. A full queue or a draining
-// server is reported as an error with no job registered.
+// submit turns one canonical (already-normalized) request into a job
+// status: answered inline from the warm-start store when possible (no
+// registry entry, no pool slot — the returned status is terminal and
+// has no id), registered and enqueued on the pool otherwise. A full
+// queue or a draining server is reported as an error with nothing
+// registered.
 func (s *Server) submit(req TuneRequest) (JobStatus, error) {
+	st, _, err := s.submitJob(req)
+	return st, err
+}
+
+// submitJob is submit returning the registered job alongside the
+// status, so wait=1 callers can block on its terminal transition. The
+// job is nil for warm hits (nothing to wait for) and on error.
+func (s *Server) submitJob(req TuneRequest) (JobStatus, *job, error) {
 	if s.draining.Load() {
-		return JobStatus{}, ErrPoolClosed
+		return JobStatus{}, nil, ErrPoolClosed
 	}
 	key := req.Key()
+
+	// Warm start: a completed store entry answers the submission right
+	// here — no registry entry, no poll round-trip, no pool slot
+	// (cached POSTs are never backpressured).
+	start := time.Now()
+	if res, ok := s.store.Peek(key); ok {
+		s.met.warmHit(time.Since(start))
+		return JobStatus{
+			State:   JobDone,
+			Cached:  true,
+			Request: req,
+			Key:     key,
+			Result:  &res,
+		}, nil, nil
+	}
 
 	j := &job{
 		id:    jobID(s.nextID.Add(1)),
 		key:   key,
 		req:   req,
 		state: JobQueued,
+		done:  make(chan struct{}),
 	}
-
-	// Warm start: a completed store entry answers the job right here,
-	// without occupying the pool (cached POSTs are never backpressured).
-	start := time.Now()
-	if res, ok := s.store.Peek(key); ok {
-		j.setDone(res, nil, true)
-		s.met.submitted.Add(1)
-		s.met.storeHits.Add(1)
-		s.met.completed.Add(1)
-		s.met.observeJob(time.Since(start))
-		s.register(j)
-		return j.status(), nil
-	}
-
 	err := s.pool.Submit(func() {
 		j.mu.Lock()
 		j.state = JobRunning
@@ -361,6 +364,11 @@ func (s *Server) submit(req TuneRequest) (JobStatus, error) {
 		res, err, hit := s.store.Do(key, func() (TuneResult, error) {
 			return s.runFn(req)
 		})
+		if err == nil && !hit {
+			// Render the warm-hit response bytes once, at completion:
+			// every later hit on this key is served these exact bytes.
+			s.store.SetBody(key, renderWarmBody(req, key, res))
+		}
 		j.setDone(res, err, hit)
 		if err != nil {
 			s.met.failed.Add(1)
@@ -370,15 +378,32 @@ func (s *Server) submit(req TuneRequest) (JobStatus, error) {
 				s.met.storeHits.Add(1)
 			}
 		}
-		s.met.observeJob(time.Since(start))
+		s.met.observeCold(time.Since(start))
 	})
 	if err != nil {
 		s.met.rejected.Add(1)
-		return JobStatus{}, err
+		return JobStatus{}, nil, err
 	}
 	s.met.submitted.Add(1)
 	s.register(j)
-	return j.status(), nil
+	return j.status(), j, nil
+}
+
+// renderWarmBody marshals the terminal status a warm hit answers with —
+// the same bytes writeJSON would produce for it, newline included.
+func renderWarmBody(req TuneRequest, key string, res TuneResult) []byte {
+	st := JobStatus{
+		State:   JobDone,
+		Cached:  true,
+		Request: req,
+		Key:     key,
+		Result:  &res,
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		return nil // unreachable: JobStatus marshals
+	}
+	return append(b, '\n')
 }
 
 // register publishes a job for GET /v1/jobs/{id}, forgetting the
@@ -430,24 +455,60 @@ func submitStatus(err error) int {
 
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	s.met.request("jobs")
-	var raw TuneRequest
-	if err := decodeBody(w, r, &raw); err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := sc.decode(w, r, &sc.req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
-	s.applyDefaults(&raw)
-	req, err := raw.Normalize()
+	s.applyDefaults(&sc.req)
+	req, err := sc.req.Normalize()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
-	st, err := s.submit(req)
+
+	// Warm-hit fast path: when the canonical key already names a
+	// completed store entry, answer with its pre-rendered bytes — one
+	// round-trip, no registry entry, no job id, no poll. Skipped while
+	// draining so shutdown keeps its 503 contract.
+	if !s.draining.Load() {
+		start := time.Now()
+		sc.key = req.AppendKey(sc.key[:0])
+		if body, res, ok := s.store.PeekWarm(sc.key); ok {
+			if body == nil {
+				// Completed before this PR's bytes existed (or the
+				// render raced): render once, then every later hit is
+				// served bytes-only.
+				key := string(sc.key)
+				body = renderWarmBody(req, key, res)
+				s.store.SetBody(key, body)
+			}
+			s.met.warmHit(time.Since(start))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+			return
+		}
+	}
+
+	st, j, err := s.submitJob(req)
 	if err != nil {
 		writeJSON(w, submitStatus(err), errorJSON{err.Error()})
 		return
 	}
+	if j != nil && r.URL.Query().Get("wait") == "1" {
+		// Inline completion on request: block until the job's terminal
+		// transition (or the client gives up) instead of answering 202.
+		select {
+		case <-j.done:
+			st = j.status()
+		case <-r.Context().Done():
+			st = j.status()
+		}
+	}
 	code := http.StatusAccepted
-	if st.State == JobDone {
+	if st.State == JobDone || st.State == JobFailed {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, st)
@@ -455,8 +516,10 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.request("batch")
+	sc := getScratch()
+	defer putScratch(sc)
 	var batch BatchRequest
-	if err := decodeBody(w, r, &batch); err != nil {
+	if err := sc.decode(w, r, &batch); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
@@ -537,46 +600,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.request("metrics")
 	writeJSON(w, http.StatusOK, s.Metrics())
-}
-
-// Metrics snapshots the service counters.
-func (s *Server) Metrics() Metrics {
-	var m Metrics
-	m.Requests = map[string]int64{}
-	s.met.requests.Range(func(k, v any) bool {
-		m.Requests[k.(string)] = v.(*atomic.Int64).Load()
-		return true
-	})
-	m.Jobs.Submitted = s.met.submitted.Load()
-	m.Jobs.Completed = s.met.completed.Load()
-	m.Jobs.Failed = s.met.failed.Load()
-	m.Jobs.Rejected = s.met.rejected.Load()
-	m.Jobs.StoreHits = s.met.storeHits.Load()
-	m.Store.Lookups = int64(s.store.Lookups())
-	m.Store.Hits = int64(s.store.Hits())
-	m.Store.Entries = int64(s.store.Len())
-	m.Store.Evictions = int64(s.store.Evictions())
-	m.Latency.Count = s.met.jobCount.Load()
-	m.Latency.TotalMS = float64(s.met.jobNanos.Load()) / 1e6
-	if m.Latency.Count > 0 {
-		m.Latency.MeanMS = m.Latency.TotalMS / float64(m.Latency.Count)
-	}
-	m.Queue.Workers = s.opt.Workers
-	m.Queue.Capacity = s.pool.Capacity()
-	m.Queue.Depth = s.pool.Depth()
-	m.Queue.Running = s.pool.Running()
-	return m
-}
-
-// decodeBody strictly decodes a bounded JSON request body.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("serve: decoding request body: %w", err)
-	}
-	return nil
 }
 
 // maxWorkloadStates bounds the per-workload shared state maps (memos,
@@ -735,7 +758,7 @@ func Scenarios() ScenariosResponse {
 			Default:     f.Presets[0].Name,
 		}
 		for _, p := range f.Presets {
-			qualified := strings.ToLower(f.Name) + ":" + strings.ToLower(p.Name)
+			qualified := p.Qualified(f)
 			ww.Presets = append(ww.Presets, PresetWire{Name: p.Name, Workload: qualified, SizeMB: p.SizeMB})
 			if canon, err := scenario.CanonicalWorkloadName(p.Name); err == nil && canon == qualified {
 				ww.Aliases = append(ww.Aliases, strings.ToLower(p.Name))

@@ -5,9 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -112,8 +115,8 @@ func submitAndWait(t *testing.T, base string, body any) JobStatus {
 
 // TestWarmStartBitIdentical is the service's acceptance contract: two
 // identical requests (submitted with different JSON field orders)
-// return bit-identical results, the second marked as a store hit and
-// answered without a run.
+// return bit-identical results, the second answered inline from the
+// store — terminal state on the POST itself, no job id, no poll.
 func TestWarmStartBitIdentical(t *testing.T) {
 	s, ts := newTestServer(t, Options{Workers: 2, QueueSize: 8})
 	first := submitAndWait(t, ts.URL,
@@ -126,8 +129,8 @@ func TestWarmStartBitIdentical(t *testing.T) {
 	}
 
 	// Same request, different field order and explicit defaults.
-	code, resp := post(t, ts.URL+"/v1/jobs",
-		`{"seed":9,"iterations":60,"method":"SAM","genome":"Human","strategy":"auto","objective":"time"}`)
+	warmBody := `{"seed":9,"iterations":60,"method":"SAM","genome":"Human","strategy":"auto","objective":"time"}`
+	code, resp := post(t, ts.URL+"/v1/jobs", warmBody)
 	if code != http.StatusOK {
 		t.Fatalf("cached re-POST: status %d body %s (want 200, the result is already known)", code, resp)
 	}
@@ -138,32 +141,41 @@ func TestWarmStartBitIdentical(t *testing.T) {
 	if second.State != JobDone || !second.Cached {
 		t.Fatalf("re-POST not served from the store: %+v", second)
 	}
-	if second.ID == first.ID {
-		t.Fatalf("each submission must get its own job id")
+	if second.ID != "" {
+		t.Fatalf("warm hit registered a job (id %q); it must answer inline with no registry entry", second.ID)
 	}
 	if second.Key != first.Key {
 		t.Fatalf("identical requests keyed differently:\n%s\n%s", first.Key, second.Key)
 	}
 
-	// GET both jobs and compare the result bytes.
-	var g1, g2 JobStatus
+	// The warm result is byte-identical to the cold job's GET result.
+	var g1 JobStatus
 	getJSON(t, ts.URL+"/v1/jobs/"+first.ID, &g1)
-	getJSON(t, ts.URL+"/v1/jobs/"+second.ID, &g2)
 	b1, _ := json.Marshal(g1.Result)
-	b2, _ := json.Marshal(g2.Result)
+	b2, _ := json.Marshal(second.Result)
 	if !bytes.Equal(b1, b2) {
 		t.Fatalf("results differ:\n%s\n%s", b1, b2)
 	}
-	if g1.Cached || !g2.Cached {
-		t.Fatalf("hit marking wrong: first.cached=%v second.cached=%v", g1.Cached, g2.Cached)
+
+	// Warm hits are served stored bytes: two re-POSTs return
+	// byte-identical whole bodies, structurally.
+	code, resp2 := post(t, ts.URL+"/v1/jobs", warmBody)
+	if code != http.StatusOK {
+		t.Fatalf("second re-POST: status %d", code)
+	}
+	if !bytes.Equal(resp, resp2) {
+		t.Fatalf("warm-hit bodies differ:\n%s\n%s", resp, resp2)
 	}
 
 	m := s.Metrics()
-	if m.Store.Lookups != 2 || m.Store.Hits != 1 || m.Jobs.StoreHits != 1 {
-		t.Fatalf("store accounting: %+v", m.Store)
+	if m.Store.Lookups != 3 || m.Store.Hits != 2 || m.Jobs.StoreHits != 2 {
+		t.Fatalf("store accounting: %+v %+v", m.Store, m.Jobs)
 	}
-	if m.Jobs.Submitted != 2 || m.Jobs.Completed != 2 || m.Jobs.Failed != 0 {
+	if m.Jobs.Submitted != 3 || m.Jobs.Completed != 3 || m.Jobs.Failed != 0 {
 		t.Fatalf("job accounting: %+v", m.Jobs)
+	}
+	if m.Latency.Warm.Count != 2 || m.Latency.Cold.Count != 1 {
+		t.Fatalf("latency split: %+v", m.Latency)
 	}
 }
 
@@ -526,9 +538,10 @@ func TestMLMethodLazyTraining(t *testing.T) {
 	}
 }
 
-// TestStoreEviction keeps the store at its bound under distinct keys.
+// TestStoreEviction keeps the store at its bound under distinct keys
+// (single shard: exact global LRU, so the eviction count is exact).
 func TestStoreEviction(t *testing.T) {
-	s, ts := newTestServer(t, Options{Workers: 1, QueueSize: 8, StoreSize: 2})
+	s, ts := newTestServer(t, Options{Workers: 1, QueueSize: 8, StoreSize: 2, StoreShards: 1})
 	s.runFn = func(req TuneRequest) (TuneResult, error) {
 		return TuneResult{Method: req.Method}, nil
 	}
@@ -540,5 +553,144 @@ func TestStoreEviction(t *testing.T) {
 	}
 	if m := s.Metrics(); m.Store.Entries > 2 || m.Store.Evictions != 2 {
 		t.Fatalf("store bound not enforced: %+v", m.Store)
+	}
+}
+
+// TestWarmHitStorm re-POSTs one job from many goroutines at once: every
+// response body is byte-identical (warm hits are served stored bytes),
+// exactly one compute is paid, and the store's paid count equals its
+// unique-key count.
+func TestWarmHitStorm(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, QueueSize: 8})
+	var computes atomic.Int64
+	s.runFn = func(req TuneRequest) (TuneResult, error) {
+		computes.Add(1)
+		return TuneResult{Method: req.Method, TimeSec: 1.25, EnergyJ: 80}, nil
+	}
+	body := `{"method":"sam","seed":42}`
+	first := submitAndWait(t, ts.URL, body)
+	if first.State != JobDone {
+		t.Fatalf("cold job failed: %+v", first)
+	}
+
+	const n = 32
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d body %s", resp.StatusCode, b)
+				return
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("storm POST %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("storm bodies differ:\n%s\n%s", bodies[0], bodies[i])
+		}
+	}
+	var st JobStatus
+	if err := json.Unmarshal(bodies[0], &st); err != nil {
+		t.Fatalf("unmarshal storm body: %v", err)
+	}
+	if st.State != JobDone || !st.Cached || st.ID != "" || st.Result == nil {
+		t.Fatalf("storm response not an inline warm hit: %+v", st)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("paid %d computes, want exactly 1", got)
+	}
+	m := s.Metrics()
+	if paid := m.Store.Lookups - m.Store.Hits; paid != 1 {
+		t.Fatalf("store paid %d, want 1 (== unique keys): %+v", paid, m.Store)
+	}
+	if m.Jobs.StoreHits != n || m.Latency.Warm.Count != n {
+		t.Fatalf("warm accounting: jobs=%+v latency=%+v", m.Jobs, m.Latency)
+	}
+}
+
+// TestWaitInlineCompletion: ?wait=1 blocks a cold POST until the job's
+// terminal state and answers 200 with the embedded result — while still
+// registering the job for later GETs.
+func TestWaitInlineCompletion(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueSize: 4})
+	s.runFn = func(req TuneRequest) (TuneResult, error) {
+		return TuneResult{Method: req.Method, TimeSec: 2.5}, nil
+	}
+	code, resp := post(t, ts.URL+"/v1/jobs?wait=1", `{"method":"sam","seed":7}`)
+	if code != http.StatusOK {
+		t.Fatalf("wait=1 POST: status %d body %s, want 200", code, resp)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(resp, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if st.State != JobDone || st.Result == nil {
+		t.Fatalf("wait=1 response not terminal: %+v", st)
+	}
+	if st.Cached {
+		t.Fatalf("cold wait=1 job wrongly marked cached")
+	}
+	if st.ID == "" {
+		t.Fatalf("wait=1 cold job must still be registered (no id)")
+	}
+	var g JobStatus
+	getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &g)
+	if g.State != JobDone {
+		t.Fatalf("wait=1 job not pollable afterwards: %+v", g)
+	}
+}
+
+// TestMetricsLatencySplit: the warm/cold latency buckets partition the
+// request latency accounting — counts and totals sum exactly to the
+// top-level figures.
+func TestMetricsLatencySplit(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, QueueSize: 8})
+	s.runFn = func(req TuneRequest) (TuneResult, error) {
+		time.Sleep(2 * time.Millisecond) // keep cold visibly slower than warm
+		return TuneResult{Method: req.Method, TimeSec: 1}, nil
+	}
+	for seed := 1; seed <= 2; seed++ {
+		st := submitAndWait(t, ts.URL, fmt.Sprintf(`{"method":"sam","seed":%d}`, seed))
+		if st.State != JobDone {
+			t.Fatalf("seed %d failed: %+v", seed, st)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		code, resp := post(t, ts.URL+"/v1/jobs", `{"method":"sam","seed":1}`)
+		if code != http.StatusOK {
+			t.Fatalf("warm POST %d: status %d body %s", i, code, resp)
+		}
+	}
+	m := s.Metrics()
+	if m.Latency.Warm.Count != 3 || m.Latency.Cold.Count != 2 {
+		t.Fatalf("bucket counts: %+v", m.Latency)
+	}
+	if m.Latency.Count != m.Latency.Warm.Count+m.Latency.Cold.Count {
+		t.Fatalf("latency count %d != warm %d + cold %d", m.Latency.Count, m.Latency.Warm.Count, m.Latency.Cold.Count)
+	}
+	if m.Latency.TotalMS != m.Latency.Warm.TotalMS+m.Latency.Cold.TotalMS {
+		t.Fatalf("latency total %g != warm %g + cold %g", m.Latency.TotalMS, m.Latency.Warm.TotalMS, m.Latency.Cold.TotalMS)
+	}
+	if m.Latency.Warm.MeanMS > m.Latency.Cold.MeanMS {
+		t.Fatalf("warm mean %g above cold mean %g", m.Latency.Warm.MeanMS, m.Latency.Cold.MeanMS)
 	}
 }

@@ -96,7 +96,9 @@ func TestStoreErrorsNotRetained(t *testing.T) {
 }
 
 func TestStoreLRUEviction(t *testing.T) {
-	s := NewStore(2)
+	// A single shard gives exact global LRU order; the default sharded
+	// layout enforces the bound per stripe.
+	s := NewStoreShards(2, 1)
 	put := func(key string, v float64) {
 		t.Helper()
 		if _, err, _ := s.Do(key, func() (TuneResult, error) { return TuneResult{TimeSec: v}, nil }); err != nil {
@@ -153,5 +155,65 @@ func TestStoreEvictionSparesInFlight(t *testing.T) {
 	<-done
 	if _, ok := s.Peek("slow"); !ok {
 		t.Fatalf("in-flight entry was evicted mid-flight")
+	}
+}
+
+func TestStorePeekWarmAndSetBody(t *testing.T) {
+	s := NewStore(0)
+	if _, _, ok := s.PeekWarm([]byte("missing")); ok {
+		t.Fatalf("PeekWarm found a missing key")
+	}
+	if s.Lookups() != 0 {
+		t.Fatalf("a PeekWarm miss must not count a lookup")
+	}
+	if _, err, _ := s.Do("k", func() (TuneResult, error) { return TuneResult{EnergyJ: 7}, nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	// Completed but unrendered: ok with a nil body.
+	body, res, ok := s.PeekWarm([]byte("k"))
+	if !ok || body != nil || res.EnergyJ != 7 {
+		t.Fatalf("PeekWarm before SetBody: ok=%v body=%q res=%+v", ok, body, res)
+	}
+	s.SetBody("k", []byte("first\n"))
+	s.SetBody("k", []byte("second\n")) // later render of the same entry: no-op
+	body, _, ok = s.PeekWarm([]byte("k"))
+	if !ok || string(body) != "first\n" {
+		t.Fatalf("PeekWarm after SetBody: ok=%v body=%q, first caller must win", ok, body)
+	}
+	// SetBody on a missing or failed key is a no-op, not a panic.
+	s.SetBody("missing", []byte("x"))
+	if s.Lookups() != 3 || s.Hits() != 2 {
+		t.Fatalf("accounting lookups=%d hits=%d, want 3/2", s.Lookups(), s.Hits())
+	}
+}
+
+func TestStoreShardedBound(t *testing.T) {
+	// The sharded layout enforces capacity per stripe: the effective
+	// bound is capacity rounded down to a multiple of the shard count,
+	// and Len never exceeds the nominal capacity.
+	s := NewStore(16) // 16 shards, 1 entry each
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		if _, err, _ := s.Do(key, func() (TuneResult, error) { return TuneResult{TimeSec: float64(i)}, nil }); err != nil {
+			t.Fatalf("Do(%s): %v", key, err)
+		}
+	}
+	if s.Len() > 16 {
+		t.Fatalf("len %d exceeds capacity 16", s.Len())
+	}
+	if s.Evictions() != 100-s.Len() {
+		t.Fatalf("evictions %d + retained %d != 100 inserts", s.Evictions(), s.Len())
+	}
+	// Small capacities shrink the shard count instead of rounding the
+	// bound to zero.
+	tiny := NewStore(3)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("t%d", i)
+		if _, err, _ := tiny.Do(key, func() (TuneResult, error) { return TuneResult{}, nil }); err != nil {
+			t.Fatalf("Do(%s): %v", key, err)
+		}
+	}
+	if tiny.Len() > 3 || tiny.Len() == 0 {
+		t.Fatalf("len %d, want 1..3", tiny.Len())
 	}
 }

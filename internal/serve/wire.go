@@ -88,7 +88,7 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 	if err != nil {
 		return TuneRequest{}, fmt.Errorf("serve: %w", err)
 	}
-	n.Workload = strings.ToLower(fam.Name) + ":" + strings.ToLower(preset.Name)
+	n.Workload = preset.Qualified(fam)
 	n.Genome = "" // folded into the canonical workload
 	isDAG := fam.IsDAG()
 
@@ -177,41 +177,46 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 	return n, nil
 }
 
+// AppendKey appends the canonical store key of a normalized request to
+// dst and returns the extended slice — the allocation-free form of Key
+// the warm-hit fast path uses with a pooled buffer (the sharded store
+// looks entries up by key bytes directly). The format is pinned by
+// golden tests; Key is defined as string(AppendKey(...)), so the two
+// are byte-identical by construction.
+func (r TuneRequest) AppendKey(dst []byte) []byte {
+	dst = append(dst, "w="...)
+	dst = append(dst, r.Workload...)
+	dst = append(dst, "|p="...)
+	dst = append(dst, r.Platform...)
+	dst = append(dst, "|mb="...)
+	dst = strconv.AppendFloat(dst, r.SizeMB, 'g', -1, 64)
+	dst = append(dst, "|m="...)
+	dst = append(dst, r.Method...)
+	dst = append(dst, "|s="...)
+	dst = append(dst, r.Strategy...)
+	dst = append(dst, "|o="...)
+	dst = append(dst, r.Objective...)
+	dst = append(dst, "|a="...)
+	dst = strconv.AppendFloat(dst, r.Alpha, 'g', -1, 64)
+	dst = append(dst, "|sl="...)
+	dst = strconv.AppendFloat(dst, r.Slack, 'g', -1, 64)
+	dst = append(dst, "|it="...)
+	dst = strconv.AppendInt(dst, int64(r.Iterations), 10)
+	dst = append(dst, "|r="...)
+	dst = strconv.AppendInt(dst, int64(r.Restarts), 10)
+	dst = append(dst, "|seed="...)
+	dst = strconv.AppendInt(dst, r.Seed, 10)
+	return dst
+}
+
 // Key returns the canonical store key of a normalized request. The
 // server's per-job search parallelism is deliberately not part of the
 // key: results are bit-identical at every parallelism level, so runs
-// that differ only in worker count share one store entry. The key is
-// assembled in one preallocated strings.Builder — it is computed on
-// every submit and poll — and its format is pinned by golden tests.
+// that differ only in worker count share one store entry. Its format
+// is pinned by golden tests.
 func (r TuneRequest) Key() string {
-	var num [32]byte
-	var b strings.Builder
-	b.Grow(len("w=|p=|mb=|m=|s=|o=|a=|sl=|it=|r=|seed=") +
-		len(r.Workload) + len(r.Platform) + len(r.Method) + len(r.Strategy) + len(r.Objective) +
-		6*len(num))
-	b.WriteString("w=")
-	b.WriteString(r.Workload)
-	b.WriteString("|p=")
-	b.WriteString(r.Platform)
-	b.WriteString("|mb=")
-	b.Write(strconv.AppendFloat(num[:0], r.SizeMB, 'g', -1, 64))
-	b.WriteString("|m=")
-	b.WriteString(r.Method)
-	b.WriteString("|s=")
-	b.WriteString(r.Strategy)
-	b.WriteString("|o=")
-	b.WriteString(r.Objective)
-	b.WriteString("|a=")
-	b.Write(strconv.AppendFloat(num[:0], r.Alpha, 'g', -1, 64))
-	b.WriteString("|sl=")
-	b.Write(strconv.AppendFloat(num[:0], r.Slack, 'g', -1, 64))
-	b.WriteString("|it=")
-	b.Write(strconv.AppendInt(num[:0], int64(r.Iterations), 10))
-	b.WriteString("|r=")
-	b.Write(strconv.AppendInt(num[:0], int64(r.Restarts), 10))
-	b.WriteString("|seed=")
-	b.Write(strconv.AppendInt(num[:0], r.Seed, 10))
-	return b.String()
+	var buf [192]byte
+	return string(r.AppendKey(buf[:0]))
 }
 
 // workload resolves the normalized request's workload and family.
@@ -484,12 +489,18 @@ type Metrics struct {
 		Entries   int64 `json:"entries"`
 		Evictions int64 `json:"evictions"`
 	} `json:"store"`
-	// Latency aggregates job service times (store hits included, which
-	// is what makes the warm-start speedup visible here).
+	// Latency aggregates job service times, split into the warm-hit
+	// fast path (submissions answered inline from the store) and the
+	// cold-miss pool path (jobs that went through the queue). The
+	// top-level counters are defined as the exact sums of the two
+	// buckets, which is what makes the fast path observable: Count =
+	// Warm.Count + Cold.Count and TotalMS = Warm.TotalMS + Cold.TotalMS.
 	Latency struct {
-		Count   int64   `json:"count"`
-		TotalMS float64 `json:"total_ms"`
-		MeanMS  float64 `json:"mean_ms"`
+		Count   int64         `json:"count"`
+		TotalMS float64       `json:"total_ms"`
+		MeanMS  float64       `json:"mean_ms"`
+		Warm    LatencyBucket `json:"warm"`
+		Cold    LatencyBucket `json:"cold"`
 	} `json:"latency"`
 	// Queue is the instantaneous pool state.
 	Queue struct {
@@ -498,6 +509,13 @@ type Metrics struct {
 		Depth    int64 `json:"depth"`
 		Running  int64 `json:"running"`
 	} `json:"queue"`
+}
+
+// LatencyBucket is one side of the warm/cold request-latency split.
+type LatencyBucket struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
 }
 
 // Health is the wire form of GET /v1/healthz.

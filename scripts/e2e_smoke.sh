@@ -65,20 +65,38 @@ for id in $(echo "$batch" | jq -r '.jobs[].id'); do
   poll "$id" >/dev/null
 done
 
-echo "e2e: re-POSTing the first request (must be a store hit)"
+echo "e2e: re-POSTing the first request (must be an inline store hit, no poll)"
 second=$(curl -fsS -X POST "$BASE/jobs" -d "$REQ")
 [ "$(echo "$second" | jq -r .state)" = "done" ] \
   || { echo "e2e: cached re-POST not answered synchronously: $second" >&2; exit 1; }
 [ "$(echo "$second" | jq -r .cached)" = "true" ] \
   || { echo "e2e: re-POST was not served from the store: $second" >&2; exit 1; }
+[ "$(echo "$second" | jq -r .id)" = "null" ] \
+  || { echo "e2e: warm re-POST registered a job (id present) instead of answering inline: $second" >&2; exit 1; }
 
 r1=$(echo "$st1" | jq -cS .result)
 r2=$(echo "$second" | jq -cS .result)
 [ "$r1" = "$r2" ] \
   || { echo "e2e: identical requests returned different results:" >&2; echo "$r1" >&2; echo "$r2" >&2; exit 1; }
 
-hits=$(curl -fsS "$BASE/metrics" | jq .jobs.store_hits)
-[ "$hits" -ge 1 ] || { echo "e2e: metrics report $hits store hits, want >= 1" >&2; exit 1; }
+echo "e2e: re-POSTing again (warm hits are served stored bytes, byte-identical)"
+third=$(curl -fsS -X POST "$BASE/jobs" -d "$REQ")
+[ "$second" = "$third" ] \
+  || { echo "e2e: two warm re-POSTs returned different bodies:" >&2; echo "$second" >&2; echo "$third" >&2; exit 1; }
+
+echo "e2e: submitting a cold job with ?wait=1 (inline completion)"
+wjob=$(curl -fsS -X POST "$BASE/jobs?wait=1" \
+  -d '{"genome":"human","method":"sam","iterations":120,"seed":21}')
+[ "$(echo "$wjob" | jq -r .state)" = "done" ] \
+  || { echo "e2e: wait=1 POST not answered with a terminal state: $wjob" >&2; exit 1; }
+[ "$(echo "$wjob" | jq -r .id)" != "null" ] \
+  || { echo "e2e: wait=1 cold job was not registered: $wjob" >&2; exit 1; }
+
+metrics=$(curl -fsS "$BASE/metrics")
+hits=$(echo "$metrics" | jq .jobs.store_hits)
+[ "$hits" -ge 2 ] || { echo "e2e: metrics report $hits store hits, want >= 2" >&2; exit 1; }
+warm=$(echo "$metrics" | jq .latency.warm.count)
+[ "$warm" -ge 2 ] || { echo "e2e: metrics report $warm warm-hit requests, want >= 2" >&2; exit 1; }
 
 echo "e2e: discovering the scenario catalog"
 scen=$(curl -fsS "$BASE/scenarios")
@@ -137,4 +155,4 @@ if ! wait "$SERVER_PID"; then
 fi
 trap - EXIT
 
-echo "e2e: ok (1 job + 3 batch jobs + 1 scenario job + 1 dag placement tuned, warm-start hits verified, clean shutdown)"
+echo "e2e: ok (1 job + 3 batch jobs + 1 scenario job + 1 dag placement + 1 wait=1 job tuned, inline warm hits byte-identical, clean shutdown)"
