@@ -32,13 +32,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		jsonMode = flag.Bool("json", false, "emit the machine-readable JSON report instead of text")
 		parallel = flag.Int("parallel", 0, "search worker count (0 = all CPUs); the report is identical at any level")
-		strategy = flag.String("strategy", "auto", "search strategy injected into every method run: auto (method presets), anneal, exhaustive, genetic, tabu, local, random or portfolio")
+		strategy = flag.String("strategy", "auto", "search strategy injected into every method run: auto (method presets), anneal, exhaustive, exact, genetic, tabu, local, random or portfolio")
 		workload = flag.String("workload", "dna:human", `registered workload the report runs on: a family ("spmv"), a preset ("stencil:large"), or a genome name`)
 		platform = flag.String("platform", "paper", "registered platform spec: paper, gpu-like or edge")
+		prove    = flag.Bool("prove", false, "with -strategy exact: exhaust the branch-and-bound tree in every injected run, certifying each optimum")
+		poolSize = flag.Int("pool-size", 0, fmt.Sprintf("with -strategy exact: diverse solution pool size per run (max %d)", hetopt.MaxPoolSize))
+		poolGap  = flag.Float64("pool-gap", 0, fmt.Sprintf("with -strategy exact: relative objective gap admitting pool members (0 selects the default %g)", hetopt.DefaultPoolGap))
 	)
 	flag.Parse()
 
-	if err := validate(*repeats, *parallel, *strategy, *workload, *platform); err != nil {
+	if err := validate(*repeats, *parallel, *strategy, *workload, *platform, *prove, *poolSize, *poolGap); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -46,15 +49,35 @@ func main() {
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	if err := run(*out, *ablate, *repeats, *seed, *jsonMode, *parallel, *strategy, *workload, *platform); err != nil {
+	knobs := exactKnobs{prove: *prove, poolSize: *poolSize, poolGap: *poolGap}
+	if err := run(*out, *ablate, *repeats, *seed, *jsonMode, *parallel, *strategy, *workload, *platform, knobs); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		os.Exit(1)
 	}
 }
 
+// exactKnobs bundles the exact-only strategy flags.
+type exactKnobs struct {
+	prove    bool
+	poolSize int
+	poolGap  float64
+}
+
+// apply threads the knobs into a parsed exact strategy; validate has
+// already rejected them for any other -strategy.
+func (k exactKnobs) apply(strat hetopt.Strategy) hetopt.Strategy {
+	if ex, ok := strat.(hetopt.ExactStrategy); ok {
+		ex.Prove = k.prove
+		ex.PoolSize = k.poolSize
+		ex.PoolGap = k.poolGap
+		return ex
+	}
+	return strat
+}
+
 // validate rejects out-of-range flags before any work, so the user gets
 // a usage error instead of a silently clamped report.
-func validate(repeats, parallel int, strategy, workload, platform string) error {
+func validate(repeats, parallel int, strategy, workload, platform string, prove bool, poolSize int, poolGap float64) error {
 	if repeats < 1 {
 		return fmt.Errorf("-repeats must be >= 1, got %d", repeats)
 	}
@@ -64,6 +87,15 @@ func validate(repeats, parallel int, strategy, workload, platform string) error 
 	if _, err := hetopt.ParseStrategy(strategy); err != nil {
 		return fmt.Errorf("-strategy must be auto or one of %s, got %q",
 			strings.Join(hetopt.StrategyNames(), ", "), strategy)
+	}
+	if poolSize < 0 || poolSize > hetopt.MaxPoolSize {
+		return fmt.Errorf("-pool-size must be in [0,%d], got %d", hetopt.MaxPoolSize, poolSize)
+	}
+	if poolGap < 0 {
+		return fmt.Errorf("-pool-gap must be >= 0, got %g", poolGap)
+	}
+	if (prove || poolSize != 0 || poolGap != 0) && strategy != "exact" {
+		return fmt.Errorf("-prove, -pool-size and -pool-gap require -strategy exact, got -strategy %q", strategy)
 	}
 	if _, err := hetopt.ScenarioWorkload(workloadOrDefault(workload)); err != nil {
 		return fmt.Errorf("-workload: %v", err)
@@ -90,8 +122,8 @@ func platformOrDefault(p string) string {
 	return p
 }
 
-func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parallel int, strategyName, workload, platform string) error {
-	if err := validate(repeats, parallel, strategyName, workload, platform); err != nil {
+func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parallel int, strategyName, workload, platform string, knobs exactKnobs) error {
+	if err := validate(repeats, parallel, strategyName, workload, platform, knobs.prove, knobs.poolSize, knobs.poolGap); err != nil {
 		return err
 	}
 	w := os.Stdout
@@ -132,7 +164,7 @@ func run(out string, ablate bool, repeats int, seed int64, jsonMode bool, parall
 	if strat, err := hetopt.ParseStrategy(strategyName); err != nil {
 		return err
 	} else if strat != nil {
-		suite.Strategy = strat
+		suite.Strategy = knobs.apply(strat)
 	}
 
 	if jsonMode {

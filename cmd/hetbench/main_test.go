@@ -11,7 +11,7 @@ import (
 
 func TestRunWritesCompleteReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.txt")
-	if err := run(out, false, 1, 1, false, 2, "auto", "", ""); err != nil {
+	if err := run(out, false, 1, 1, false, 2, "auto", "", "", exactKnobs{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -38,7 +38,7 @@ func TestRunWritesCompleteReport(t *testing.T) {
 }
 
 func TestRunRejectsBadPath(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing", "report.txt"), false, 1, 1, false, 1, "auto", "", ""); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing", "report.txt"), false, 1, 1, false, 1, "auto", "", "", exactKnobs{}); err == nil {
 		t.Fatal("uncreatable output path should fail")
 	}
 }
@@ -47,23 +47,37 @@ func TestRunRejectsBadPath(t *testing.T) {
 // values fail fast with an error naming the flag instead of being
 // silently clamped by the search engine.
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("", false, 0, 1, false, 1, "auto", "", ""); err == nil || !strings.Contains(err.Error(), "-repeats") {
+	if err := run("", false, 0, 1, false, 1, "auto", "", "", exactKnobs{}); err == nil || !strings.Contains(err.Error(), "-repeats") {
 		t.Errorf("repeats=0 should fail naming -repeats, got %v", err)
 	}
-	if err := run("", false, -3, 1, false, 1, "auto", "", ""); err == nil || !strings.Contains(err.Error(), "-repeats") {
+	if err := run("", false, -3, 1, false, 1, "auto", "", "", exactKnobs{}); err == nil || !strings.Contains(err.Error(), "-repeats") {
 		t.Errorf("negative repeats should fail naming -repeats, got %v", err)
 	}
-	if err := run("", false, 1, 1, false, -4, "auto", "", ""); err == nil || !strings.Contains(err.Error(), "-parallel") {
+	if err := run("", false, 1, 1, false, -4, "auto", "", "", exactKnobs{}); err == nil || !strings.Contains(err.Error(), "-parallel") {
 		t.Errorf("negative parallel should fail naming -parallel, got %v", err)
 	}
-	if err := run("", false, 1, 1, false, 1, "quantum", "", ""); err == nil || !strings.Contains(err.Error(), "-strategy") {
+	if err := run("", false, 1, 1, false, 1, "quantum", "", "", exactKnobs{}); err == nil || !strings.Contains(err.Error(), "-strategy") {
 		t.Errorf("unknown strategy should fail naming -strategy, got %v", err)
+	}
+	// The exact-only knobs are rejected under any other strategy and
+	// range-checked under exact.
+	if err := validate(1, 0, "anneal", "", "", true, 0, 0); err == nil || !strings.Contains(err.Error(), "-strategy exact") {
+		t.Errorf("-prove without -strategy exact should fail, got %v", err)
+	}
+	if err := validate(1, 0, "exact", "", "", false, -1, 0); err == nil || !strings.Contains(err.Error(), "-pool-size") {
+		t.Errorf("negative pool size should fail naming -pool-size, got %v", err)
+	}
+	if err := validate(1, 0, "exact", "", "", false, 0, -0.5); err == nil || !strings.Contains(err.Error(), "-pool-gap") {
+		t.Errorf("negative pool gap should fail naming -pool-gap, got %v", err)
+	}
+	if err := validate(1, 0, "exact", "", "", true, 4, 0.2); err != nil {
+		t.Errorf("valid exact knobs rejected: %v", err)
 	}
 }
 
 func TestRunJSONMode(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run(out, false, 1, 1, true, 2, "auto", "", ""); err != nil {
+	if err := run(out, false, 1, 1, true, 2, "auto", "", "", exactKnobs{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -82,19 +96,19 @@ func TestRunJSONMode(t *testing.T) {
 // accepted by the -workload/-platform validation.
 func TestScenarioFlagsRoundTripRegistry(t *testing.T) {
 	for _, name := range hetopt.Scenarios().WorkloadNames() {
-		if err := validate(1, 0, "auto", name, ""); err != nil {
+		if err := validate(1, 0, "auto", name, "", false, 0, 0); err != nil {
 			t.Errorf("registered workload %q rejected: %v", name, err)
 		}
 	}
 	for _, name := range hetopt.Scenarios().PlatformNames() {
-		if err := validate(1, 0, "auto", "", name); err != nil {
+		if err := validate(1, 0, "auto", "", name, false, 0, 0); err != nil {
 			t.Errorf("registered platform %q rejected: %v", name, err)
 		}
 	}
-	if err := validate(1, 0, "auto", "plankton", ""); err == nil || !strings.Contains(err.Error(), "-workload") {
+	if err := validate(1, 0, "auto", "plankton", "", false, 0, 0); err == nil || !strings.Contains(err.Error(), "-workload") {
 		t.Errorf("unknown workload error not actionable: %v", err)
 	}
-	if err := validate(1, 0, "auto", "", "mainframe"); err == nil || !strings.Contains(err.Error(), "-platform") {
+	if err := validate(1, 0, "auto", "", "mainframe", false, 0, 0); err == nil || !strings.Contains(err.Error(), "-platform") {
 		t.Errorf("unknown platform error not actionable: %v", err)
 	}
 }

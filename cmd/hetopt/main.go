@@ -12,6 +12,8 @@
 //	hetopt -workload stencil:large -platform edge
 //	hetopt -strategy genetic                 # explore with the GA instead of SA
 //	hetopt -strategy portfolio -restarts 4   # race all strategies, shared cache
+//	hetopt -strategy exact -prove            # branch-and-bound, certified optimum
+//	hetopt -strategy exact -prove -pool-size 5   # plus a diverse solution pool
 //	hetopt -objective energy                 # minimize joules, not seconds
 //	hetopt -objective weighted -alpha 0.5    # trade time against energy
 //	hetopt -objective bounded -slack 0.10    # min energy within 110% of T_best
@@ -44,6 +46,9 @@ type params struct {
 	objective  string
 	alpha      float64
 	slack      float64
+	prove      bool
+	poolSize   int
+	poolGap    float64
 }
 
 // validate rejects flag combinations before any expensive work, so the
@@ -61,6 +66,15 @@ func (p *params) validate() error {
 	if _, err := hetopt.ParseStrategy(p.strategy); err != nil {
 		return fmt.Errorf("-strategy must be auto or one of %s, got %q",
 			strings.Join(hetopt.StrategyNames(), ", "), p.strategy)
+	}
+	if p.poolSize < 0 || p.poolSize > hetopt.MaxPoolSize {
+		return fmt.Errorf("-pool-size must be in [0,%d], got %d", hetopt.MaxPoolSize, p.poolSize)
+	}
+	if p.poolGap < 0 {
+		return fmt.Errorf("-pool-gap must be >= 0, got %g", p.poolGap)
+	}
+	if (p.prove || p.poolSize != 0 || p.poolGap != 0) && p.strategy != "exact" {
+		return fmt.Errorf("-prove, -pool-size and -pool-gap require -strategy exact, got -strategy %q", p.strategy)
 	}
 	if p.workload != "" && p.genome != "" {
 		return fmt.Errorf("-workload %q and -genome %q both set; -genome is a workload alias, set exactly one (the serving layer enforces the same rule)", p.workload, p.genome)
@@ -109,7 +123,7 @@ func (p *params) workloadName() string {
 func main() {
 	var p params
 	flag.StringVar(&p.method, "method", "saml", "optimization method: em, eml, sam or saml")
-	flag.StringVar(&p.strategy, "strategy", "auto", "search strategy: auto (method preset), anneal, exhaustive, genetic, tabu, local, random or portfolio")
+	flag.StringVar(&p.strategy, "strategy", "auto", "search strategy: auto (method preset), anneal, exhaustive, exact, genetic, tabu, local, random or portfolio")
 	flag.StringVar(&p.genome, "genome", "", "evaluation genome (alias for -workload): human, mouse, cat or dog")
 	flag.StringVar(&p.workload, "workload", "", `registered workload: a family ("spmv"), a preset ("stencil:large"), or a genome name (default "human")`)
 	flag.StringVar(&p.platform, "platform", "paper", "registered platform spec: paper, gpu-like or edge")
@@ -123,6 +137,9 @@ func main() {
 	flag.StringVar(&p.objective, "objective", "time", "search objective: time, energy, weighted or bounded")
 	flag.Float64Var(&p.alpha, "alpha", 0.5, "time weight in [0,1] for -objective weighted")
 	flag.Float64Var(&p.slack, "slack", 0.10, "makespan slack over the time optimum for -objective bounded")
+	flag.BoolVar(&p.prove, "prove", false, "with -strategy exact: ignore the budget and exhaust the branch-and-bound tree, certifying the optimum")
+	flag.IntVar(&p.poolSize, "pool-size", 0, fmt.Sprintf("with -strategy exact: keep up to this many diverse near-optimal configurations (max %d)", hetopt.MaxPoolSize))
+	flag.Float64Var(&p.poolGap, "pool-gap", 0, fmt.Sprintf("with -strategy exact: relative objective gap admitting pool members (0 selects the default %g)", hetopt.DefaultPoolGap))
 	flag.Parse()
 
 	if err := p.validate(); err != nil {
@@ -202,6 +219,7 @@ func run(p params) error {
 	if err != nil {
 		return err
 	}
+	strat = p.applyExactKnobs(strat)
 	if strat != nil {
 		fmt.Printf("search strategy: %s\n\n", strat.Name())
 	}
@@ -240,10 +258,39 @@ func run(p params) error {
 		fmt.Printf("     speedup:  %.2fx vs host-only, %.2fx vs device-only; energy: %.2fx vs host-only, %.2fx vs device-only\n",
 			hostOnly.MeasuredE()/res.MeasuredE(), deviceOnly.MeasuredE()/res.MeasuredE(),
 			hostOnly.MeasuredJ()/res.MeasuredJ(), deviceOnly.MeasuredJ()/res.MeasuredJ())
-		fmt.Printf("     effort:   %d search evaluations, %d experiments\n\n",
+		fmt.Printf("     effort:   %d search evaluations, %d experiments\n",
 			res.SearchEvaluations, res.Experiments)
+		if cert, ok := res.Certificate(); ok {
+			fmt.Printf("     proof:    %s\n", formatCertificate(cert))
+		}
+		for i, e := range res.Pool {
+			fmt.Printf("     pool[%d]:  %v (objective %.4f)\n", i, e.Config, e.Objective)
+		}
+		fmt.Println()
 	}
 	return nil
+}
+
+// applyExactKnobs threads the exact-only flags into a parsed exact
+// strategy; validate has already rejected them for any other -strategy.
+func (p *params) applyExactKnobs(strat hetopt.Strategy) hetopt.Strategy {
+	if ex, ok := strat.(hetopt.ExactStrategy); ok {
+		ex.Prove = p.prove
+		ex.PoolSize = p.poolSize
+		ex.PoolGap = p.poolGap
+		return ex
+	}
+	return strat
+}
+
+// formatCertificate renders a branch-and-bound certificate on one line.
+func formatCertificate(cert hetopt.Certificate) string {
+	status := "proved optimal"
+	if !cert.Optimal {
+		status = fmt.Sprintf("gap %.2f%% to lower bound (budget exhausted; rerun with -prove)", 100*cert.Gap)
+	}
+	return fmt.Sprintf("%s — lower bound %.4f, %d nodes explored, %d pruned",
+		status, cert.LowerBound, cert.Explored, cert.Pruned)
 }
 
 // runDAG tunes a task-graph scenario: instead of splitting one kernel
@@ -284,6 +331,7 @@ func runDAG(p params, sc hetopt.Scenario) error {
 	if err != nil {
 		return err
 	}
+	explicit = p.applyExactKnobs(explicit)
 	opt := hetopt.SearchOptions{
 		Budget:      p.iterations,
 		Seed:        p.seed,
@@ -309,7 +357,14 @@ func runDAG(p params, sc hetopt.Scenario) error {
 		fmt.Printf("     makespan: %.4f s | round-robin %.4f s\n", res.MakespanSec, res.RoundRobinSec)
 		fmt.Printf("     speedup:  %.2fx vs host-only, %.2fx vs device-only\n",
 			res.HostOnlySec/res.MakespanSec, res.DeviceOnlySec/res.MakespanSec)
-		fmt.Printf("     effort:   %d placements priced\n\n", res.Evaluations)
+		fmt.Printf("     effort:   %d placements priced\n", res.Evaluations)
+		if cert, ok := res.Certificate(); ok {
+			fmt.Printf("     proof:    %s\n", formatCertificate(cert))
+		}
+		for i, e := range res.PoolEntries() {
+			fmt.Printf("     pool[%d]:  %s (%.4f s)\n", i, hetopt.PlacementString(e.State), e.Energy)
+		}
+		fmt.Println()
 	}
 	return nil
 }

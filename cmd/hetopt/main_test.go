@@ -95,6 +95,12 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"alpha above one", func(p *params) { p.alpha = 1.5 }, "-alpha"},
 		{"negative alpha", func(p *params) { p.alpha = -0.1 }, "-alpha"},
 		{"negative slack", func(p *params) { p.slack = -0.2 }, "-slack"},
+		{"prove without exact", func(p *params) { p.prove = true }, "-strategy exact"},
+		{"pool size without exact", func(p *params) { p.poolSize = 4 }, "-strategy exact"},
+		{"pool gap without exact", func(p *params) { p.poolGap = 0.2 }, "-strategy exact"},
+		{"negative pool size", func(p *params) { p.strategy = "exact"; p.poolSize = -1 }, "-pool-size"},
+		{"oversized pool", func(p *params) { p.strategy = "exact"; p.poolSize = 1 << 20 }, "-pool-size"},
+		{"negative pool gap", func(p *params) { p.strategy = "exact"; p.poolGap = -0.5 }, "-pool-gap"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -171,5 +177,59 @@ func TestFlagsRoundTripRegistry(t *testing.T) {
 	p.genome, p.workload = "human", "spmv"
 	if err := p.validate(); err == nil {
 		t.Error("conflicting -genome and -workload accepted")
+	}
+}
+
+// TestStrategyNamesStayInSync: every name StrategyNames advertises —
+// the listing the -strategy usage error prints — parses back to a
+// strategy answering to that name, and the exact strategy is among
+// them. A strategy added to the registry can never be missing from the
+// CLI's did-you-mean listing, and vice versa.
+func TestStrategyNamesStayInSync(t *testing.T) {
+	names := hetopt.StrategyNames()
+	sawExact := false
+	for _, name := range names {
+		strat, err := hetopt.ParseStrategy(name)
+		if err != nil {
+			t.Errorf("advertised strategy %q does not parse: %v", name, err)
+			continue
+		}
+		if strat == nil || strat.Name() != name {
+			t.Errorf("strategy %q does not round-trip: parsed %v", name, strat)
+		}
+		if name == "exact" {
+			sawExact = true
+		}
+	}
+	if !sawExact {
+		t.Error("exact missing from StrategyNames")
+	}
+	p := base()
+	p.strategy = "exactt"
+	err := p.validate()
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("-strategy listing omits %q: %v", name, err)
+		}
+	}
+}
+
+// TestRunExactDAGCertified drives the exact strategy end to end through
+// the CLI's task-graph path: branch-and-bound over the 2^11 fork-join
+// placements with a proof and a diverse pool (no model training, so the
+// test is cheap).
+func TestRunExactDAGCertified(t *testing.T) {
+	p := base()
+	p.genome = ""
+	p.workload = "dag:fork-join"
+	p.method = "em"
+	p.strategy = "exact"
+	p.prove = true
+	p.poolSize = 3
+	if err := run(p); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -121,6 +121,20 @@ type (
 	LocalStrategy      = strategy.Local
 	RandomStrategy     = strategy.Random
 	PortfolioStrategy  = strategy.Portfolio
+	// ExactStrategy is the deterministic branch-and-bound member, the
+	// only strategy that proves its answer: it returns a Certificate
+	// and, with a positive PoolSize, a diverse near-optimal solution
+	// pool (cmd/hetopt exposes the knobs as -strategy exact -prove
+	// -pool-size N -pool-gap G).
+	ExactStrategy = strategy.Exact
+	// Certificate is a branch-and-bound optimality certificate; read it
+	// through Result.Certificate or PlacementResult.Certificate.
+	Certificate = strategy.Certificate
+	// PoolEntry is one raw (index-vector) member of a placement search's
+	// solution pool; PoolConfig is its decoded divisible-space
+	// counterpart on Result.Pool.
+	PoolEntry  = strategy.PoolEntry
+	PoolConfig = core.PoolConfig
 	// Result is a completed optimization run.
 	Result = core.Result
 	// Models bundles the trained host/device performance predictors.
@@ -308,10 +322,18 @@ func LoadModelsFile(path string) (*Models, error) { return core.LoadModelsFile(p
 func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
 
 // ParseStrategy converts a strategy name ("anneal", "exhaustive",
-// "genetic", "tabu", "local", "random", "portfolio") into a Strategy;
-// the empty name (or "auto") returns nil, selecting each method's
-// preset explorer.
+// "exact", "genetic", "tabu", "local", "random", "portfolio") into a
+// Strategy; the empty name (or "auto") returns nil, selecting each
+// method's preset explorer.
 func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
+
+// Pool-knob bounds of the exact strategy, shared by flag and wire
+// validation: a zero PoolGap with a positive PoolSize selects
+// DefaultPoolGap, and PoolSize clamps at MaxPoolSize.
+const (
+	DefaultPoolGap = strategy.DefaultPoolGap
+	MaxPoolSize    = strategy.MaxPoolSize
+)
 
 // StrategyNames lists the parseable strategy names.
 func StrategyNames() []string { return strategy.Names() }

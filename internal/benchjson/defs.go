@@ -15,6 +15,7 @@ import (
 	"hetopt/internal/search"
 	"hetopt/internal/serve"
 	"hetopt/internal/space"
+	"hetopt/internal/strategy"
 )
 
 // The tracked set covers each layer the hot-path work touches: the two
@@ -81,6 +82,36 @@ func Defs() []Def {
 		{Name: "store-peek", Bench: benchStorePeek},
 		{Name: "warm-hit-post", Bench: benchWarmHitPost},
 		{Name: "dag-placement", Bench: benchDAGPlacement},
+		{Name: "exact-small-space", Bench: benchExactSmallSpace},
+	}
+}
+
+// benchExactSmallSpace is one certified branch-and-bound solve of the
+// fork-join placement space (2^11 states): the end-to-end cost of a
+// proof on a small space, with the critical-path lower bound pruning
+// the tree and the diverse pool riding along.
+func benchExactSmallSpace(b *testing.B) {
+	spec, err := scenario.PlatformByName("gpu-like")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := spec.DAGSim(graph.ForkJoin())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := graph.NewPlacementProblem(sim)
+	ex := strategy.Exact{Prove: true, PoolSize: 4}
+	opt := strategy.Options{Parallelism: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Minimize(prob, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cert == nil || !res.Cert.Optimal || res.Cert.Pruned == 0 {
+			b.Fatal("solve returned no pruning proof")
+		}
 	}
 }
 

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hetopt/internal/dna"
+	"hetopt/internal/offload"
+	"hetopt/internal/strategy"
+)
+
+// TestRooflineBoundAdmissible checks the pruning oracle's contract
+// directly: the root bound (nothing fixed) and every fully-fixed bound
+// stay at or below the measured objective of the corresponding
+// configuration, for each built-in objective.
+func TestRooflineBoundAdmissible(t *testing.T) {
+	platform := offload.NewPlatform()
+	w := offload.GenomeWorkload(dna.Human)
+	schema := smallSchema(t)
+	meas := NewMeasurer(platform, w)
+	for _, obj := range []Objective{
+		TimeObjective{},
+		EnergyObjective{},
+		WeightedSumObjective{Alpha: 0.5},
+		TimeBoundedObjective{TimeBoundSec: 1},
+	} {
+		b := newRooflineBounder(schema, platform, w, obj)
+		if b == nil {
+			t.Fatalf("%s: no bounder for a measurable schema", obj.Name())
+		}
+		p := &boundedSearchProblem{
+			searchProblem: &searchProblem{schema: schema, eval: meas, obj: obj},
+			b:             b,
+		}
+		dim := schema.Space().Dim()
+		state := make([]int, dim)
+		root := p.LowerBound(state, 0)
+		var walk func(d int)
+		walk = func(d int) {
+			if d == dim {
+				e, err := p.Energy(state)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lb := p.LowerBound(state, dim); lb > e {
+					t.Fatalf("%s: bound %g above measured %g at %v", obj.Name(), lb, e, state)
+				}
+				if root > e {
+					t.Fatalf("%s: root bound %g above measured %g", obj.Name(), root, e)
+				}
+				return
+			}
+			for v := 0; v < schema.Space().Params[d].Levels(); v++ {
+				state[d] = v
+				walk(d + 1)
+			}
+			state[d] = 0
+		}
+		walk(0)
+	}
+}
+
+// TestExactRunMatchesEnumeration is the acceptance check on a real
+// schema: the exact strategy reproduces EM's optimum with a proved
+// certificate while exploring strictly fewer states than the space
+// holds.
+func TestExactRunMatchesEnumeration(t *testing.T) {
+	platform := offload.NewPlatform()
+	w := offload.GenomeWorkload(dna.Human)
+	inst := &Instance{Schema: smallSchema(t), Measurer: NewMeasurer(platform, w)}
+
+	em, err := Run(EM, inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Run(EM, inst, Options{Strategy: strategy.Exact{Prove: true, PoolSize: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Config != em.Config || ex.SearchE != em.SearchE {
+		t.Fatalf("exact found %v (%g), enumeration %v (%g)",
+			ex.Config, ex.SearchE, em.Config, em.SearchE)
+	}
+	cert, ok := ex.Certificate()
+	if !ok || !cert.Optimal || cert.Gap != 0 {
+		t.Fatalf("exact run not certified: %+v (ok=%v)", cert, ok)
+	}
+	size := inst.Schema.Size()
+	if cert.Explored+cert.Pruned != size {
+		t.Fatalf("Explored+Pruned = %d+%d, want space size %d", cert.Explored, cert.Pruned, size)
+	}
+	if cert.Explored >= size || cert.Pruned == 0 {
+		t.Fatalf("no real pruning: explored %d of %d (pruned %d)", cert.Explored, size, cert.Pruned)
+	}
+	if _, ok := em.Certificate(); ok {
+		t.Fatal("plain enumeration must not fabricate a certificate")
+	}
+	if len(ex.Pool) == 0 || ex.Pool[0].Config != ex.Config || ex.Pool[0].Objective != ex.SearchE {
+		t.Fatalf("pool[0] should be the optimum: %+v", ex.Pool)
+	}
+	for i := 1; i < len(ex.Pool); i++ {
+		if ex.Pool[i].Objective < ex.Pool[i-1].Objective {
+			t.Fatal("pool not sorted by objective")
+		}
+	}
+}
+
+// TestExactRunEnergyObjective repeats the equivalence under the energy
+// objective, where the bound composes the idle-power floor.
+func TestExactRunEnergyObjective(t *testing.T) {
+	platform := offload.NewPlatform()
+	w := offload.GenomeWorkload(dna.Human)
+	inst := &Instance{Schema: smallSchema(t), Measurer: NewMeasurer(platform, w)}
+	opt := Options{Objective: EnergyObjective{}}
+
+	em, err := Run(EM, inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exOpt := opt
+	exOpt.Strategy = strategy.Exact{Prove: true}
+	ex, err := Run(EM, inst, exOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Config != em.Config || ex.SearchE != em.SearchE {
+		t.Fatalf("exact found %v (%g), enumeration %v (%g)",
+			ex.Config, ex.SearchE, em.Config, em.SearchE)
+	}
+	cert, ok := ex.Certificate()
+	if !ok || !cert.Optimal {
+		t.Fatalf("energy run not certified: %+v", cert)
+	}
+	if math.Abs(cert.LowerBound-ex.SearchE) > 0 {
+		t.Fatalf("proved certificate must close the bound: LB %g, best %g", cert.LowerBound, ex.SearchE)
+	}
+}
+
+// TestMLPathStaysUnbounded pins the admissibility guard: prediction-path
+// runs must not get roofline bounds (a regression could prune the
+// predicted optimum), so an exact SAML-style run certifies by plain
+// exhaustion.
+func TestMLPathStaysUnbounded(t *testing.T) {
+	platform := offload.NewPlatform()
+	w := offload.GenomeWorkload(dna.Human)
+	models := testModels(t, platform)
+	pred, err := NewPredictor(models, w, platform.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{Schema: smallSchema(t), Measurer: NewMeasurer(platform, w), Predictor: pred}
+	res, err := Run(EML, inst, Options{Strategy: strategy.Exact{Prove: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, ok := res.Certificate()
+	if !ok || !cert.Optimal {
+		t.Fatalf("ML exact run should certify by exhaustion: %+v", cert)
+	}
+	if cert.Pruned != 0 || cert.Explored != inst.Schema.Size() {
+		t.Fatalf("ML path must not prune: %+v", cert)
+	}
+}

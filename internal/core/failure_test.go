@@ -36,7 +36,7 @@ func TestEnumerationPropagatesEvaluatorFailure(t *testing.T) {
 	// injected failure must abort the run with the injected error.
 	faulty := &faultyEvaluator{inner: inst.Measurer, remaining: 7}
 	p := &searchProblem{schema: inst.Schema, eval: faulty, obj: TimeObjective{}}
-	_, _, _, err := searchWith(strategy.Exhaustive{}, p, Options{})
+	_, _, err := searchWith(strategy.Exhaustive{}, p, inst.Schema, Options{})
 	if err == nil {
 		t.Fatal("enumeration should propagate evaluator failure")
 	}
@@ -52,7 +52,7 @@ func TestAnnealSearchPropagatesEvaluatorFailure(t *testing.T) {
 	faulty := &faultyEvaluator{inner: inst.Measurer, remaining: 12}
 	opt := Options{Iterations: 100, Seed: 1}
 	p := &searchProblem{schema: inst.Schema, eval: faulty, obj: TimeObjective{}}
-	_, _, _, err := searchWith(opt.strategyFor(SAM), p, opt)
+	_, _, err := searchWith(opt.strategyFor(SAM), p, inst.Schema, opt)
 	if err == nil {
 		t.Fatal("annealing should propagate evaluator failure")
 	}

@@ -241,6 +241,34 @@ type Result struct {
 	// Experiments counts physical measurements consumed, including the
 	// final fair-comparison measurement.
 	Experiments int
+	// Cert carries the optimality certificate when the search strategy
+	// produced one (the exact branch-and-bound strategy, or a portfolio
+	// it won); nil for purely heuristic runs. Read it through
+	// Certificate() rather than nil-checking the field.
+	Cert *strategy.Certificate
+	// Pool is the diverse near-optimal configuration pool of an exact
+	// run with a positive pool size, decoded into configurations and
+	// sorted by objective value; Pool[0] is the suggested optimum. Empty
+	// for heuristic runs.
+	Pool []PoolConfig
+}
+
+// PoolConfig is one member of the diverse solution pool: a decoded
+// configuration with its search-objective value.
+type PoolConfig struct {
+	// Config is the decoded configuration.
+	Config space.Config
+	// Objective is its value under the evaluator the search used.
+	Objective float64
+}
+
+// Certificate returns the run's optimality certificate; ok is false when
+// the strategy certified nothing (every heuristic run).
+func (r Result) Certificate() (strategy.Certificate, bool) {
+	if r.Cert == nil {
+		return strategy.Certificate{}, false
+	}
+	return *r.Cert, true
 }
 
 // MeasuredE is the measured time objective (makespan) of the suggested
@@ -270,8 +298,20 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 	}
 
 	obj := opt.objective()
-	prob := &searchProblem{schema: inst.Schema, eval: evalSet, mode: opt.NeighborMode, obj: obj}
-	best, bestE, evals, err := searchWith(opt.strategyFor(m), prob, opt)
+	var prob strategy.Spaced = &searchProblem{schema: inst.Schema, eval: evalSet, mode: opt.NeighborMode, obj: obj}
+	if !m.UsesML() {
+		// Measurement-path runs get the roofline pruning oracle so the
+		// exact strategy (standalone or inside a portfolio) can prune;
+		// prediction-path runs stay bound-free (see bound.go).
+		if b := newRooflineBounder(inst.Schema, inst.Measurer.Platform, inst.Measurer.Workload, obj); b != nil {
+			prob = &boundedSearchProblem{searchProblem: prob.(*searchProblem), b: b}
+		}
+	}
+	best, sres, err := searchWith(opt.strategyFor(m), prob, inst.Schema, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	pool, err := decodePool(inst.Schema, sres.PoolEntries())
 	if err != nil {
 		return Result{}, err
 	}
@@ -286,14 +326,33 @@ func Run(m Method, inst *Instance, opt Options) (Result, error) {
 	return Result{
 		Method:            m,
 		Config:            best,
-		SearchE:           bestE,
+		SearchE:           sres.BestEnergy,
 		Measured:          measured.Times,
 		MeasuredEnergy:    measured.Energy,
 		Objective:         obj.Name(),
 		MeasuredObjective: objectiveValue(obj, measured),
-		SearchEvaluations: evals,
+		SearchEvaluations: sres.Evaluations,
 		Experiments:       inst.Measurer.Count() - startCount,
+		Cert:              sres.Cert,
+		Pool:              pool,
 	}, nil
+}
+
+// decodePool converts the strategy layer's index-vector pool into
+// configurations.
+func decodePool(schema *space.Schema, entries []strategy.PoolEntry) ([]PoolConfig, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	pool := make([]PoolConfig, len(entries))
+	for i, e := range entries {
+		cfg, err := schema.Config(e.State)
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = PoolConfig{Config: cfg, Objective: e.Energy}
+	}
+	return pool, nil
 }
 
 // NewSearchProblem adapts a configuration space, an evaluator and an
@@ -380,8 +439,9 @@ func (p *searchProblem) EnergyBatch(states [][]int, out []float64) error {
 }
 
 // searchWith runs a strategy over the adapted problem and decodes the
-// winner.
-func searchWith(strat strategy.Strategy, p *searchProblem, opt Options) (space.Config, float64, int, error) {
+// winner; the full strategy result rides along so certificate and pool
+// survive into core.Result.
+func searchWith(strat strategy.Strategy, p strategy.Spaced, schema *space.Schema, opt Options) (space.Config, strategy.Result, error) {
 	res, err := strat.Minimize(p, strategy.Options{
 		Budget:      opt.iterations(),
 		Seed:        opt.Seed,
@@ -389,13 +449,13 @@ func searchWith(strat strategy.Strategy, p *searchProblem, opt Options) (space.C
 		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
-		return space.Config{}, 0, 0, err
+		return space.Config{}, strategy.Result{}, err
 	}
-	cfg, err := p.schema.Config(res.Best)
+	cfg, err := schema.Config(res.Best)
 	if err != nil {
-		return space.Config{}, 0, 0, err
+		return space.Config{}, strategy.Result{}, err
 	}
-	return cfg, res.BestEnergy, res.Evaluations, nil
+	return cfg, res, nil
 }
 
 // HostOnlyBaseline measures the paper's CPU-only baseline: all host

@@ -1,0 +1,295 @@
+package exact
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// quadProblem is a separable toy problem with a known optimum and an
+// admissible (in fact exact over free dimensions) lower bound:
+// Energy = sum_i w[i]*(state[i]-target[i])^2 + base.
+type quadProblem struct {
+	levels []int
+	target []int
+	w      []float64
+	base   float64
+}
+
+func (p *quadProblem) Dim() int         { return len(p.levels) }
+func (p *quadProblem) Levels(i int) int { return p.levels[i] }
+func (p *quadProblem) term(i, v int) float64 {
+	d := float64(v - p.target[i])
+	return p.w[i] * d * d
+}
+func (p *quadProblem) Energy(state []int) (float64, error) {
+	e := p.base
+	for i, v := range state {
+		e += p.term(i, v)
+	}
+	return e, nil
+}
+
+// boundedQuad adds the admissible bound: fixed terms exactly, free
+// terms at their per-dimension minimum (0 when the target is in range).
+type boundedQuad struct{ *quadProblem }
+
+func (p boundedQuad) LowerBound(prefix []int, fixed int) float64 {
+	e := p.base
+	for i := 0; i < fixed; i++ {
+		e += p.term(i, prefix[i])
+	}
+	for i := fixed; i < len(p.levels); i++ {
+		min := math.Inf(1)
+		for v := 0; v < p.levels[i]; v++ {
+			if t := p.term(i, v); t < min {
+				min = t
+			}
+		}
+		e += min
+	}
+	return e
+}
+
+func newQuad() *quadProblem {
+	return &quadProblem{
+		levels: []int{5, 3, 7, 4},
+		target: []int{3, 1, 2, 0},
+		w:      []float64{2, 5, 1, 3},
+		base:   0.25,
+	}
+}
+
+func spaceSize(p Problem) int {
+	n := 1
+	for i := 0; i < p.Dim(); i++ {
+		n *= p.Levels(i)
+	}
+	return n
+}
+
+// bruteForce enumerates the whole space, breaking energy ties by the
+// lowest ordinal — the reference the solver must match exactly.
+func bruteForce(t *testing.T, p Problem) ([]int, float64) {
+	t.Helper()
+	dim := p.Dim()
+	state := make([]int, dim)
+	best := append([]int(nil), state...)
+	bestE := math.Inf(1)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == dim {
+			e, err := p.Energy(state)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e < bestE {
+				bestE = e
+				copy(best, state)
+			}
+			return
+		}
+		for v := 0; v < p.Levels(d); v++ {
+			state[d] = v
+			rec(d + 1)
+		}
+		state[d] = 0
+	}
+	rec(0)
+	return best, bestE
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	p := boundedQuad{newQuad()}
+	wantState, wantE := bruteForce(t, p)
+	res, err := Solve(p, Options{Prove: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy != wantE || !reflect.DeepEqual(res.Best, wantState) {
+		t.Fatalf("Solve = %v (%g), brute force = %v (%g)", res.Best, res.BestEnergy, wantState, wantE)
+	}
+	c := res.Certificate
+	if !c.Optimal || c.Gap != 0 || c.LowerBound != wantE {
+		t.Fatalf("certificate not optimal: %+v", c)
+	}
+	size := spaceSize(p)
+	if c.Explored+c.Pruned != size {
+		t.Fatalf("Explored+Pruned = %d+%d, want space size %d", c.Explored, c.Pruned, size)
+	}
+	if c.Explored >= size {
+		t.Fatalf("no pruning: explored %d of %d", c.Explored, size)
+	}
+	if c.Pruned == 0 {
+		t.Fatal("expected pruned subtrees")
+	}
+}
+
+func TestSolveUnboundedIsCertifiedExhaustive(t *testing.T) {
+	p := newQuad() // no LowerBound method
+	wantState, wantE := bruteForce(t, p)
+	res, err := Solve(p, Options{Prove: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy != wantE || !reflect.DeepEqual(res.Best, wantState) {
+		t.Fatalf("Solve = %v (%g), brute force = %v (%g)", res.Best, res.BestEnergy, wantState, wantE)
+	}
+	c := res.Certificate
+	if !c.Optimal || c.Pruned != 0 || c.Explored != spaceSize(p) {
+		t.Fatalf("unbounded solve should exhaust without pruning: %+v", c)
+	}
+}
+
+// TestTieBreakMatchesOrdinal pins the exhaustive-equivalent tie-break:
+// among equal-energy optima the lowest state ordinal wins, regardless
+// of the bound-driven visit order.
+func TestTieBreakMatchesOrdinal(t *testing.T) {
+	// Flat plateau: every state has the same energy.
+	p := &quadProblem{levels: []int{3, 3, 3}, target: []int{0, 0, 0}, w: []float64{0, 0, 0}, base: 1}
+	res, err := Solve(boundedQuad{p}, Options{Prove: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Best, []int{0, 0, 0}) {
+		t.Fatalf("tie-break picked %v, want the lowest ordinal [0 0 0]", res.Best)
+	}
+	if !res.Certificate.Optimal {
+		t.Fatalf("plateau not proven: %+v", res.Certificate)
+	}
+}
+
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	p := boundedQuad{newQuad()}
+	base, err := Solve(p, Options{Prove: true, PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 8} {
+		res, err := Solve(p, Options{Prove: true, PoolSize: 4, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Fatalf("parallelism %d: result differs\n got %+v\nwant %+v", par, res, base)
+		}
+	}
+}
+
+func TestPoolDiversityInvariant(t *testing.T) {
+	// A large base widens the relative gap window so the pool has real
+	// candidates to filter for diversity.
+	q := newQuad()
+	q.base = 10
+	p := boundedQuad{q}
+	const minDiv = 3
+	res, err := Solve(p, Options{Prove: true, PoolSize: 6, PoolGap: 0.9, MinDiversity: minDiv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pool) < 2 {
+		t.Fatalf("pool too small to test diversity: %d entries", len(res.Pool))
+	}
+	if !reflect.DeepEqual(res.Pool[0].State, res.Best) || res.Pool[0].Energy != res.BestEnergy {
+		t.Fatalf("pool[0] = %+v, want the optimum %v (%g)", res.Pool[0], res.Best, res.BestEnergy)
+	}
+	thresh := res.BestEnergy + 0.9*math.Abs(res.BestEnergy)
+	for i, a := range res.Pool {
+		if a.Energy > thresh {
+			t.Fatalf("pool[%d] energy %g above gap threshold %g", i, a.Energy, thresh)
+		}
+		if e, err := p.Energy(a.State); err != nil || e != a.Energy {
+			t.Fatalf("pool[%d] energy mismatch: recorded %g, evaluated %g", i, a.Energy, e)
+		}
+		for j, b := range res.Pool[i+1:] {
+			if d := l1(a.State, b.State); d < minDiv {
+				t.Fatalf("pool[%d] and pool[%d] only L1=%d apart, want >= %d", i, i+1+j, d, minDiv)
+			}
+		}
+	}
+	for i := 1; i < len(res.Pool); i++ {
+		if res.Pool[i].Energy < res.Pool[i-1].Energy {
+			t.Fatalf("pool not sorted by energy: %g before %g", res.Pool[i-1].Energy, res.Pool[i].Energy)
+		}
+	}
+}
+
+// looseQuad derates the exact separable bound by a constant factor —
+// still admissible (it only underestimates) and still monotone, but
+// loose enough that budget-truncated runs report genuinely positive
+// gaps instead of proving the optimum from the frontier bounds alone.
+type looseQuad struct{ boundedQuad }
+
+func (p looseQuad) LowerBound(prefix []int, fixed int) float64 {
+	return 0.6 * p.boundedQuad.LowerBound(prefix, fixed)
+}
+
+// TestBudgetGapMonotonicity: growing the budget extends the same
+// deterministic traversal, so the incumbent never worsens, the frontier
+// bound never loosens, and the certified gap never grows.
+func TestBudgetGapMonotonicity(t *testing.T) {
+	// A larger space so small budgets genuinely truncate.
+	p := looseQuad{boundedQuad{&quadProblem{
+		levels: []int{6, 5, 7, 4, 5},
+		target: []int{4, 2, 5, 1, 3},
+		w:      []float64{2, 5, 1, 3, 4},
+		// A base large relative to the per-step deviation cost, so the
+		// derated frontier bounds genuinely undercut the incumbent.
+		base: 10,
+	}}}
+	prevGap := math.Inf(1)
+	prevE := math.Inf(1)
+	prevLB := math.Inf(-1)
+	positiveGapSeen := false
+	for _, budget := range []int{1, 2, 5, 10, 25, 100, 100000} {
+		res, err := Solve(p, Options{Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Certificate
+		if !c.Optimal && c.Gap > 0 {
+			positiveGapSeen = true
+		}
+		if res.BestEnergy > prevE {
+			t.Fatalf("budget %d: incumbent worsened %g -> %g", budget, prevE, res.BestEnergy)
+		}
+		if c.LowerBound < prevLB {
+			t.Fatalf("budget %d: lower bound loosened %g -> %g", budget, prevLB, c.LowerBound)
+		}
+		if c.Gap > prevGap {
+			t.Fatalf("budget %d: gap grew %g -> %g", budget, prevGap, c.Gap)
+		}
+		if c.LowerBound > res.BestEnergy {
+			t.Fatalf("budget %d: lower bound %g above incumbent %g", budget, c.LowerBound, res.BestEnergy)
+		}
+		prevGap, prevE, prevLB = c.Gap, res.BestEnergy, c.LowerBound
+	}
+	if !positiveGapSeen {
+		t.Fatal("no budget produced a positive gap; the monotonicity sweep tested nothing")
+	}
+	// The generous budget must prove optimality with a zero gap.
+	if prevGap != 0 {
+		t.Fatalf("final gap %g, want proven 0", prevGap)
+	}
+}
+
+func TestPruningSoundUnderPoolGap(t *testing.T) {
+	p := boundedQuad{newQuad()}
+	_, wantE := bruteForce(t, p)
+	res, err := Solve(p, Options{Prove: true, PoolSize: 8, PoolGap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy != wantE {
+		t.Fatalf("pool-widened solve lost the optimum: %g, want %g", res.BestEnergy, wantE)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(&quadProblem{}, Options{}); err == nil {
+		t.Fatal("zero-dimension problem accepted")
+	}
+	if _, err := Solve(&quadProblem{levels: []int{3, 0}, target: []int{0, 0}, w: []float64{1, 1}}, Options{}); err == nil {
+		t.Fatal("zero-level dimension accepted")
+	}
+}

@@ -183,6 +183,13 @@ func (s *Suite) RunAll(w io.Writer, ablate bool) error {
 		if err := section(RenderStrategyComparison(sc, s.reference(), 1000, s.repeats())); err != nil {
 			return err
 		}
+		gaps, err := s.ExactGapTable(1000)
+		if err != nil {
+			return err
+		}
+		if err := section(RenderExactGapTable(gaps)); err != nil {
+			return err
+		}
 		tp, err := s.ServingThroughput([]int{1, 4, 8}, 4, 3, 200)
 		if err != nil {
 			return err

@@ -19,8 +19,11 @@ type StrategyCell struct {
 	// on measurements, so the search optimum and its measured value
 	// coincide).
 	MeanObjective float64
-	// PctVsBest is the gap to the column's best strategy.
-	PctVsBest float64
+	// PctVsBest is the gap to the column's best strategy; PctVsOptimum
+	// is the gap to the column's certified branch-and-bound optimum —
+	// distance from a proof, not from the best heuristic.
+	PctVsBest    float64
+	PctVsOptimum float64
 	// MeanEvaluations is the logical evaluation count per run.
 	MeanEvaluations float64
 }
@@ -44,6 +47,11 @@ type StrategyComparisonResult struct {
 	// must: every member races with the same seed and budget it gets
 	// standalone, and the winner is a min over them).
 	PortfolioNeverWorse bool
+	// ProvenOptima[oi] is the exact strategy's certified optimum per
+	// objective — the reference every PctVsOptimum measures against —
+	// and ExactEvaluations[oi] what the proof cost in evaluations.
+	ProvenOptima     []float64
+	ExactEvaluations []int
 }
 
 // StrategyComparison is the tentpole experiment of the pluggable search
@@ -79,6 +87,8 @@ func (s *Suite) StrategyComparison(w offload.Workload, budget int) (*StrategyCom
 		Objectives:          make([]string, len(objectives)),
 		Cells:               make([][]StrategyCell, len(members)+1),
 		PortfolioNeverWorse: true,
+		ProvenOptima:        make([]float64, len(objectives)),
+		ExactEvaluations:    make([]int, len(objectives)),
 	}
 	for _, m := range members {
 		res.Strategies = append(res.Strategies, m.Name())
@@ -91,7 +101,20 @@ func (s *Suite) StrategyComparison(w offload.Workload, budget int) (*StrategyCom
 	repeats := s.repeats()
 	for oi, obj := range objectives {
 		res.Objectives[oi] = obj.Name()
-		prob := core.NewSearchProblem(s.Schema, measurer, obj, space.StepMove)
+		// The bounded adapter attaches the roofline pruning oracle, so
+		// the certified reference below is cheap; heuristics never read
+		// bounds, so their runs are untouched.
+		prob := core.NewBoundedSearchProblem(s.Schema, measurer, obj, space.StepMove, s.Platform, w)
+		exact, err := strategy.Exact{Prove: true}.Minimize(prob, strategy.Options{Parallelism: s.Parallelism})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: exact reference for %s: %w", obj.Name(), err)
+		}
+		cert, ok := exact.Certificate()
+		if !ok || !cert.Optimal {
+			return nil, fmt.Errorf("experiments: exact reference for %s not proved: %+v", obj.Name(), cert)
+		}
+		res.ProvenOptima[oi] = exact.BestEnergy
+		res.ExactEvaluations[oi] = exact.Evaluations
 		for r := 0; r < repeats; r++ {
 			opt := strategy.Options{Budget: budget, Seed: s.Seed + int64(r), Parallelism: s.Parallelism}
 			bestMember := math.Inf(1)
@@ -131,8 +154,12 @@ func (s *Suite) StrategyComparison(w offload.Workload, budget int) (*StrategyCom
 				best = res.Cells[si][oi].MeanObjective
 			}
 		}
+		opt := res.ProvenOptima[oi]
 		for si := range res.Cells {
 			res.Cells[si][oi].PctVsBest = 100 * (res.Cells[si][oi].MeanObjective - best) / best
+			if opt > 0 {
+				res.Cells[si][oi].PctVsOptimum = 100 * (res.Cells[si][oi].MeanObjective - opt) / opt
+			}
 		}
 	}
 	return res, nil
@@ -143,7 +170,7 @@ func (s *Suite) StrategyComparison(w offload.Workload, budget int) (*StrategyCom
 func RenderStrategyComparison(res *StrategyComparisonResult, w offload.Workload, budget, repeats int) string {
 	cols := []string{"strategy"}
 	for _, o := range res.Objectives {
-		cols = append(cols, "mean "+o, "pct vs best")
+		cols = append(cols, "mean "+o, "pct vs best", "pct vs optimum")
 	}
 	cols = append(cols, "mean evals")
 	tb := tables.New(fmt.Sprintf(
@@ -153,7 +180,7 @@ func RenderStrategyComparison(res *StrategyComparisonResult, w offload.Workload,
 		row := []string{name}
 		for oi := range res.Objectives {
 			c := res.Cells[si][oi]
-			row = append(row, tables.F(c.MeanObjective, 4), tables.Percent(c.PctVsBest))
+			row = append(row, tables.F(c.MeanObjective, 4), tables.Percent(c.PctVsBest), tables.Percent(c.PctVsOptimum))
 		}
 		row = append(row, tables.F(res.Cells[si][0].MeanEvaluations, 0))
 		tb.AddRow(row...)
@@ -162,7 +189,11 @@ func RenderStrategyComparison(res *StrategyComparisonResult, w offload.Workload,
 	if !res.PortfolioNeverWorse {
 		never = "WORSE than its best member in at least one run (bug!)"
 	}
-	return tb.String() + fmt.Sprintf(
+	optima := "certified optima:"
+	for oi, o := range res.Objectives {
+		optima += fmt.Sprintf(" %s=%s (%d evals)", o, tables.F(res.ProvenOptima[oi], 4), res.ExactEvaluations[oi])
+	}
+	return tb.String() + optima + "\n" + fmt.Sprintf(
 		"portfolio shared cache: %d lookups, %d paid evaluations, %d hits (%.1f%% of lookups saved; no evaluation paid twice across members); portfolio best %s\n",
 		res.PortfolioLookups, res.PortfolioUnique, res.PortfolioHits,
 		100*float64(res.PortfolioHits)/math.Max(1, float64(res.PortfolioLookups)), never)

@@ -55,8 +55,68 @@ func TestStrategyComparison(t *testing.T) {
 		}
 	}
 
+	// Every mean sits at or above the certified optimum of its column —
+	// the gap-to-proof columns can never go negative.
+	if len(res.ProvenOptima) != len(res.Objectives) {
+		t.Fatalf("proven optima per objective: %v", res.ProvenOptima)
+	}
+	for oi := range res.Objectives {
+		if res.ProvenOptima[oi] <= 0 {
+			t.Errorf("objective %s: non-positive certified optimum %g", res.Objectives[oi], res.ProvenOptima[oi])
+		}
+		for si := range res.Strategies {
+			if c := res.Cells[si][oi]; c.PctVsOptimum < 0 {
+				t.Errorf("cell [%s][%s] beats the certified optimum: %g%%",
+					res.Strategies[si], res.Objectives[oi], c.PctVsOptimum)
+			}
+		}
+	}
+
 	text := RenderStrategyComparison(res, offload.GenomeWorkload(dna.Human), 150, s.Repeats)
-	for _, want := range []string{"strategy x objective", "anneal", "portfolio", "shared cache", "never worse"} {
+	for _, want := range []string{"strategy x objective", "anneal", "portfolio", "shared cache", "never worse", "pct vs optimum", "certified optima"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExactGapTable(t *testing.T) {
+	s := NewSuite()
+	res, err := s.ExactGapTable(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Heuristics) != 5 {
+		t.Fatalf("gap table shape: %d rows, heuristics %v", len(res.Rows), res.Heuristics)
+	}
+	sawDAG, sawDivisible := false, false
+	for _, r := range res.Rows {
+		if !r.MatchesEnumeration {
+			t.Errorf("%s on %s: exact optimum diverged from enumeration", r.Scenario, r.Platform)
+		}
+		if r.Explored >= r.SpaceSize {
+			t.Errorf("%s on %s: no pruning (%d of %d explored)", r.Scenario, r.Platform, r.Explored, r.SpaceSize)
+		}
+		if len(r.GapPct) != len(res.Heuristics) {
+			t.Fatalf("%s on %s: %d gaps for %d heuristics", r.Scenario, r.Platform, len(r.GapPct), len(res.Heuristics))
+		}
+		for hi, g := range r.GapPct {
+			if g < 0 {
+				t.Errorf("%s on %s: %s beat the proven optimum by %g%%",
+					r.Scenario, r.Platform, res.Heuristics[hi], -g)
+			}
+		}
+		if strings.HasPrefix(r.Scenario, "dag:") {
+			sawDAG = true
+		} else {
+			sawDivisible = true
+		}
+	}
+	if !sawDAG || !sawDivisible {
+		t.Fatalf("gap table must cover both workload classes: dag=%v divisible=%v", sawDAG, sawDivisible)
+	}
+	text := RenderExactGapTable(res)
+	for _, want := range []string{"proven optimum", "every proof matched", "real pruning"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("rendering missing %q:\n%s", want, text)
 		}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"hetopt/internal/strategy"
@@ -62,6 +63,80 @@ func (p *PlacementProblem) EnergyBatch(states [][]int, out []float64) error {
 	return nil
 }
 
+// LowerBound implements exact.Bounded with an admissible bound on the
+// makespan of any placement agreeing with prefix[:fixed] — the pruning
+// rule of the exact branch-and-bound strategy over placement spaces.
+// It is the maximum of two classic DAG relaxations:
+//
+//   - Critical path: the longest dependency chain where a fixed node
+//     costs its assigned side's execution time, an unfixed node costs
+//     the cheaper of its two sides, and a transfer is charged only when
+//     both endpoints are fixed to different sides (an unfixed endpoint
+//     could always match its neighbor). No schedule can beat its own
+//     dependency chain.
+//   - Load: each side runs its nodes serially, so the makespan is at
+//     least the busy time already committed to either side, and at
+//     least half the total work under the cheapest split of the
+//     unfixed remainder.
+//
+// Both relaxations are monotone (fixing one more node never lowers
+// them) and exact when every node is fixed only in the relaxed sense —
+// the bound stays below the true makespan, which is what admissibility
+// requires. The simulator is noise-free, so no noise floor applies.
+func (p *PlacementProblem) LowerBound(prefix []int, fixed int) float64 {
+	s := p.Sim
+	n := s.n
+	if fixed > n {
+		fixed = n
+	}
+	var cp [MaxNodes]float64
+	var w [MaxNodes]float64
+	busyH, busyD, freeMin := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		h, d := s.nodeSec[SideHost][i], s.nodeSec[SideDevice][i]
+		if i < fixed {
+			side := prefix[i] & 1
+			w[i] = s.nodeSec[side][i]
+			if side == SideHost {
+				busyH += w[i]
+			} else {
+				busyD += w[i]
+			}
+		} else {
+			w[i] = math.Min(h, d)
+			freeMin += w[i]
+		}
+	}
+	best := 0.0
+	for i := 0; i < n; i++ {
+		ready := 0.0
+		for k := s.inStart[i]; k < s.inStart[i+1]; k++ {
+			e := s.edges[k]
+			t := cp[e.from]
+			if e.from < fixed && i < fixed && prefix[e.from]&1 != prefix[i]&1 {
+				t += e.xferSec
+			}
+			if t > ready {
+				ready = t
+			}
+		}
+		cp[i] = ready + w[i]
+		if cp[i] > best {
+			best = cp[i]
+		}
+	}
+	if load := (busyH + busyD + freeMin) / 2; load > best {
+		best = load
+	}
+	if busyH > best {
+		best = busyH
+	}
+	if busyD > best {
+		best = busyD
+	}
+	return best
+}
+
 // Result is a completed placement search with the baselines every
 // report compares against.
 type Result struct {
@@ -76,7 +151,26 @@ type Result struct {
 	// Evaluations is the number of placements priced by the search;
 	// Worker and Workers mirror strategy.Result.
 	Evaluations, Worker, Workers int
+	// Cert and Pool carry the exact strategy's optimality certificate
+	// and diverse placement pool (nil/empty for heuristic strategies).
+	// Read them through Certificate()/PoolEntries().
+	Cert *strategy.Certificate
+	Pool []strategy.PoolEntry
 }
+
+// Certificate returns the search's optimality certificate; ok is false
+// when the strategy could not certify anything.
+func (r Result) Certificate() (strategy.Certificate, bool) {
+	if r.Cert == nil {
+		return strategy.Certificate{}, false
+	}
+	return *r.Cert, true
+}
+
+// PoolEntries returns the diverse placement pool, nil unless an exact
+// run collected one. Entry states are placements (SideHost/SideDevice
+// per node).
+func (r Result) PoolEntries() []strategy.PoolEntry { return r.Pool }
 
 // SpeedupVsHost is the host-only-over-best makespan ratio.
 func (r Result) SpeedupVsHost() float64 {
@@ -108,6 +202,8 @@ func Tune(sim *Sim, strat strategy.Strategy, opt strategy.Options) (Result, erro
 		Evaluations:   res.Evaluations,
 		Worker:        res.Worker,
 		Workers:       res.Workers,
+		Cert:          res.Cert,
+		Pool:          res.Pool,
 	}, nil
 }
 

@@ -39,6 +39,10 @@ func TestTuneDeterministicAcrossParallelism(t *testing.T) {
 		strategy.DefaultAnneal(),
 		strategy.Genetic{},
 		strategy.Exhaustive{},
+		// The proved branch-and-bound run must be bit-identical at any
+		// parallelism too — certificate counts and pool included (the
+		// DeepEqual below sees through Result.Cert).
+		strategy.Exact{Prove: true, PoolSize: 3},
 	}
 	for _, w := range Presets() {
 		s := testSim(t, w)

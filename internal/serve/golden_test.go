@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -37,6 +38,105 @@ func TestWarmStartGoldenDNA(t *testing.T) {
 	}
 	if string(secondJSON) != string(firstJSON) {
 		t.Errorf("warm-started result differs from the first run:\n first  %s\n second %s", firstJSON, secondJSON)
+	}
+}
+
+// TestExactServedWithCertificateAndPool runs the exact strategy through
+// the full service path and checks the redesigned result surface: the
+// certificate proves the optimum (with real pruning), the pool rides
+// along, and the warm-hit fast path — which serves pre-rendered bytes —
+// returns the certificate-bearing body bit-identically on both the
+// inline re-POST and GET /v1/jobs/{id}.
+func TestExactServedWithCertificateAndPool(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueSize: 8})
+	body := `{"workload":"dna:human","method":"em","strategy":"exact","prove":true,"pool_size":3}`
+	first := submitAndWait(t, ts.URL, body)
+	if first.State != JobDone || first.Result == nil {
+		t.Fatalf("exact job did not complete: %+v", first)
+	}
+	if want := "|ps=3|pg=0.1|pr=true"; !strings.HasSuffix(first.Key, want) {
+		t.Fatalf("exact key %q missing pool-knob suffix %q", first.Key, want)
+	}
+	cert := first.Result.Certificate
+	if cert == nil || !cert.Optimal || cert.Gap != 0 {
+		t.Fatalf("proved exact run without a proof: %+v", cert)
+	}
+	if cert.Pruned == 0 || cert.Explored == 0 {
+		t.Fatalf("paper-space exact run should prune: %+v", cert)
+	}
+	pool := first.Result.Pool
+	if len(pool) == 0 || pool[0].Config == nil {
+		t.Fatalf("exact run with pool_size 3 returned no pool: %+v", pool)
+	}
+	if *pool[0].Config != first.Result.Config || pool[0].Objective != first.Result.SearchObjective {
+		t.Fatalf("pool[0] %+v is not the optimum %+v", pool[0], first.Result.Config)
+	}
+	for _, e := range pool {
+		if e.Distribution == "" || e.Encoded != "" {
+			t.Fatalf("divisible pool entry malformed: %+v", e)
+		}
+	}
+
+	// Same request, shuffled fields: the inline warm hit serves the
+	// pre-rendered body, certificate and pool included.
+	code, resp := post(t, ts.URL+"/v1/jobs",
+		`{"pool_size":3,"prove":true,"strategy":"exact","method":"EM","workload":"dna:human"}`)
+	if code != 200 {
+		t.Fatalf("warm re-POST: status %d body %s", code, resp)
+	}
+	var second JobStatus
+	if err := json.Unmarshal(resp, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.State != JobDone || !second.Cached {
+		t.Fatalf("exact re-POST not a warm hit: %+v", second)
+	}
+	b1, _ := json.Marshal(first.Result)
+	b2, _ := json.Marshal(second.Result)
+	if string(b1) != string(b2) {
+		t.Fatalf("warm exact result differs:\n%s\n%s", b1, b2)
+	}
+
+	// GET on the cold job serves the same certificate-bearing bytes.
+	var got JobStatus
+	getJSON(t, ts.URL+"/v1/jobs/"+first.ID, &got)
+	b3, _ := json.Marshal(got.Result)
+	if string(b3) != string(b1) {
+		t.Fatalf("GET result differs from POST result:\n%s\n%s", b3, b1)
+	}
+}
+
+// TestExactDAGServedWithCertificate covers the placement path: the exact
+// strategy over a task graph returns a certificate and an encoded-pool
+// block priced by the simulator.
+func TestExactDAGServedWithCertificate(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueSize: 8})
+	st := submitAndWait(t, ts.URL,
+		`{"workload":"dag:fork-join","method":"em","strategy":"exact","prove":true,"pool_size":2}`)
+	if st.State != JobDone || st.Result == nil {
+		t.Fatalf("exact DAG job did not complete: %+v", st)
+	}
+	cert := st.Result.Certificate
+	if cert == nil || !cert.Optimal {
+		t.Fatalf("DAG exact run not certified: %+v", cert)
+	}
+	if cert.Pruned == 0 {
+		t.Fatalf("critical-path bound should prune the placement tree: %+v", cert)
+	}
+	if st.Result.Placement == nil {
+		t.Fatal("DAG result lost its placement block")
+	}
+	if len(st.Result.Pool) == 0 {
+		t.Fatal("DAG exact run with pool_size 2 returned no pool")
+	}
+	for _, e := range st.Result.Pool {
+		if e.Encoded == "" || e.Config != nil {
+			t.Fatalf("DAG pool entry malformed: %+v", e)
+		}
+	}
+	if st.Result.Pool[0].Encoded != st.Result.Placement.Encoded {
+		t.Fatalf("pool[0] %q is not the winning placement %q",
+			st.Result.Pool[0].Encoded, st.Result.Placement.Encoded)
 	}
 }
 
@@ -82,5 +182,57 @@ func TestNormalizeGoldenDivisible(t *testing.T) {
 		if got := n.Key(); got != c.key {
 			t.Errorf("%+v: key diverged from the pre-graph-layer golden:\n got  %s\n want %s", c.req, got, c.key)
 		}
+	}
+}
+
+// TestNormalizeExactKnobs pins the exact-only knob canonicalization: the
+// pool/prove fields join the store key only under the exact strategy (so
+// every pre-existing key keeps its bytes), are zeroed elsewhere exactly
+// like Alpha outside "weighted", and the pool gap defaults/clamps the
+// way the strategy layer documents.
+func TestNormalizeExactKnobs(t *testing.T) {
+	n, err := TuneRequest{Genome: "human", Method: "em", Strategy: "exact",
+		Prove: true, PoolSize: 3}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "w=dna:human|p=paper|mb=3246.08|m=EM|s=exact|o=time|a=0|sl=0|it=1000|r=1|seed=0|ps=3|pg=0.1|pr=true"
+	if got := n.Key(); got != key {
+		t.Errorf("exact key:\n got  %s\n want %s", got, key)
+	}
+
+	// A pool size implies the default gap; an explicit gap survives; an
+	// oversized pool clamps.
+	if n.PoolGap != 0.1 {
+		t.Errorf("pool_gap not defaulted: %g", n.PoolGap)
+	}
+	big, err := TuneRequest{Genome: "human", Strategy: "exact", PoolSize: 1000, PoolGap: 0.25}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.PoolSize != 64 || big.PoolGap != 0.25 {
+		t.Errorf("pool_size/gap canonicalization: %d/%g, want 64/0.25", big.PoolSize, big.PoolGap)
+	}
+
+	// Non-exact strategies zero the knobs and keep the legacy key bytes.
+	h, err := TuneRequest{Genome: "human", Method: "sam", Iterations: 300, Seed: 9,
+		Prove: true, PoolSize: 8, PoolGap: 0.5}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.PoolSize != 0 || h.PoolGap != 0 || h.Prove {
+		t.Errorf("heuristic request kept exact-only knobs: %+v", h)
+	}
+	const legacy = "w=dna:human|p=paper|mb=3246.08|m=SAM|s=auto|o=time|a=0|sl=0|it=300|r=1|seed=9"
+	if got := h.Key(); got != legacy {
+		t.Errorf("heuristic key gained bytes:\n got  %s\n want %s", got, legacy)
+	}
+
+	// Invalid knobs are rejected.
+	if _, err := (TuneRequest{Genome: "human", Strategy: "exact", PoolSize: -1}).Normalize(); err == nil {
+		t.Error("negative pool_size accepted")
+	}
+	if _, err := (TuneRequest{Genome: "human", Strategy: "exact", PoolGap: -0.5}).Normalize(); err == nil {
+		t.Error("negative pool_gap accepted")
 	}
 }

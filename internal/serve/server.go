@@ -824,6 +824,14 @@ func (s *Server) runTune(req TuneRequest) (TuneResult, error) {
 	if err != nil {
 		return TuneResult{}, err
 	}
+	if ex, ok := strat.(strategy.Exact); ok {
+		// The exact-only request knobs configure the parsed strategy;
+		// Normalize guarantees they are zero for every other strategy.
+		ex.Prove = req.Prove
+		ex.PoolSize = req.PoolSize
+		ex.PoolGap = req.PoolGap
+		strat = ex
+	}
 	if fam.IsDAG() {
 		return s.runDAGTune(req, st, method, strat)
 	}

@@ -11,6 +11,7 @@ import (
 	"hetopt/internal/offload"
 	"hetopt/internal/scenario"
 	"hetopt/internal/space"
+	"hetopt/internal/strategy"
 )
 
 // TuneRequest is the wire form of one tuning query: which workload to
@@ -40,8 +41,8 @@ type TuneRequest struct {
 	// empty selects "saml".
 	Method string `json:"method,omitempty"`
 	// Strategy selects the search strategy (auto, anneal, exhaustive,
-	// genetic, tabu, local, random, portfolio); empty selects "auto",
-	// the method's preset explorer.
+	// exact, genetic, tabu, local, random, portfolio); empty selects
+	// "auto", the method's preset explorer.
 	Strategy string `json:"strategy,omitempty"`
 	// Objective is time, energy, weighted or bounded; empty selects
 	// "time". "bounded" runs the two-phase constrained pipeline and the
@@ -62,6 +63,18 @@ type TuneRequest struct {
 	// Seed drives the strategy's stochastic choices. Identical requests
 	// (same seed included) return bit-identical results.
 	Seed int64 `json:"seed,omitempty"`
+	// PoolSize requests a diverse near-optimal solution pool of up to
+	// this many entries from the exact strategy; PoolGap is the relative
+	// objective window pool members may occupy above the optimum (zero
+	// selects the default when a pool is requested). Both are exact-only
+	// knobs: Normalize zeroes them (like Alpha outside "weighted") for
+	// every other strategy.
+	PoolSize int     `json:"pool_size,omitempty"`
+	PoolGap  float64 `json:"pool_gap,omitempty"`
+	// Prove lifts the exact strategy's per-subtree evaluation budget so
+	// the run exhausts the tree and the certificate is a proof; zeroed
+	// for every other strategy.
+	Prove bool `json:"prove,omitempty"`
 }
 
 // Normalize validates the request and returns its canonical form:
@@ -174,6 +187,28 @@ func (r TuneRequest) Normalize() (TuneRequest, error) {
 	if n.Restarts == 0 {
 		n.Restarts = 1
 	}
+
+	if math.IsNaN(n.PoolGap) || math.IsInf(n.PoolGap, 0) || n.PoolGap < 0 {
+		return TuneRequest{}, fmt.Errorf("serve: pool_gap %g must be finite and non-negative", n.PoolGap)
+	}
+	if n.PoolSize < 0 {
+		return TuneRequest{}, fmt.Errorf("serve: pool_size %d must be non-negative", n.PoolSize)
+	}
+	if n.Strategy == "exact" {
+		if n.PoolSize > strategy.MaxPoolSize {
+			n.PoolSize = strategy.MaxPoolSize
+		}
+		if n.PoolSize > 0 && n.PoolGap == 0 {
+			n.PoolGap = strategy.DefaultPoolGap
+		}
+		if n.PoolSize == 0 {
+			n.PoolGap = 0
+		}
+	} else {
+		// Exact-only knobs are canonicalized away for every other
+		// strategy, exactly like Alpha outside the weighted objective.
+		n.PoolSize, n.PoolGap, n.Prove = 0, 0, false
+	}
 	return n, nil
 }
 
@@ -206,6 +241,17 @@ func (r TuneRequest) AppendKey(dst []byte) []byte {
 	dst = strconv.AppendInt(dst, int64(r.Restarts), 10)
 	dst = append(dst, "|seed="...)
 	dst = strconv.AppendInt(dst, r.Seed, 10)
+	// The exact-only knobs join the key only for the exact strategy. No
+	// other strategy ever sees non-zero values (Normalize zeroes them),
+	// so every pre-existing key keeps its exact bytes.
+	if r.Strategy == "exact" {
+		dst = append(dst, "|ps="...)
+		dst = strconv.AppendInt(dst, int64(r.PoolSize), 10)
+		dst = append(dst, "|pg="...)
+		dst = strconv.AppendFloat(dst, r.PoolGap, 'g', -1, 64)
+		dst = append(dst, "|pr="...)
+		dst = strconv.AppendBool(dst, r.Prove)
+	}
 	return dst
 }
 
@@ -297,10 +343,58 @@ type TuneResult struct {
 	// the host), and the energy fields are zero — the graph simulator
 	// prices time only.
 	Placement *PlacementWire `json:"placement,omitempty"`
+	// Certificate carries the exact strategy's optimality certificate
+	// and Pool its diverse near-optimal solutions; both are omitted for
+	// heuristic runs, keeping their wire bytes identical to the
+	// pre-certificate format.
+	Certificate *CertificateWire `json:"certificate,omitempty"`
+	Pool        []PoolEntryWire  `json:"pool,omitempty"`
 	// TimeReference carries the time-optimal reference run of the
 	// bounded objective's two-phase pipeline; nil for every other
 	// objective.
 	TimeReference *TuneResult `json:"time_reference,omitempty"`
+}
+
+// CertificateWire is the JSON form of a branch-and-bound optimality
+// certificate (strategy.Certificate).
+type CertificateWire struct {
+	// Optimal reports a proof: the tree was exhausted, so no
+	// configuration beats the answer under the search's evaluator.
+	Optimal bool `json:"optimal"`
+	// LowerBound is the certified bound on the best achievable objective
+	// and Gap the relative distance (best - LowerBound) / |best|; a
+	// proved certificate closes the gap to zero.
+	LowerBound float64 `json:"lower_bound"`
+	Gap        float64 `json:"gap"`
+	// Explored and Pruned count search-tree states visited and discarded
+	// by bound.
+	Explored int `json:"explored"`
+	Pruned   int `json:"pruned"`
+}
+
+// certificateWire converts a strategy certificate to its wire form.
+func certificateWire(c *strategy.Certificate) *CertificateWire {
+	if c == nil {
+		return nil
+	}
+	return &CertificateWire{
+		Optimal:    c.Optimal,
+		LowerBound: c.LowerBound,
+		Gap:        c.Gap,
+		Explored:   c.Explored,
+		Pruned:     c.Pruned,
+	}
+}
+
+// PoolEntryWire is one member of the diverse solution pool: a decoded
+// configuration (divisible workloads) or an encoded placement (task
+// graphs), with the human-readable distribution and its objective value.
+// Entries are sorted by objective; the first is the suggested optimum.
+type PoolEntryWire struct {
+	Config       *ConfigWire `json:"config,omitempty"`
+	Encoded      string      `json:"encoded,omitempty"`
+	Distribution string      `json:"distribution"`
+	Objective    float64     `json:"objective"`
 }
 
 // PlacementWire is the JSON form of a tuned task-graph placement.
@@ -327,7 +421,18 @@ type NodePlacementWire struct {
 
 // tuneResult converts a core.Result to its wire form.
 func tuneResult(res core.Result) TuneResult {
+	var pool []PoolEntryWire
+	for _, e := range res.Pool {
+		cw := configWire(e.Config)
+		pool = append(pool, PoolEntryWire{
+			Config:       &cw,
+			Distribution: e.Config.String(),
+			Objective:    e.Objective,
+		})
+	}
 	return TuneResult{
+		Certificate:       certificateWire(res.Cert),
+		Pool:              pool,
 		Method:            res.Method.String(),
 		Config:            configWire(res.Config),
 		Distribution:      res.Config.String(),
@@ -370,8 +475,18 @@ func dagTuneResult(method core.Method, sim *graph.Sim, res graph.Result) TuneRes
 		}
 		pw.Nodes = append(pw.Nodes, NodePlacementWire{Name: w.Nodes[i].Name, Device: name})
 	}
+	var pool []PoolEntryWire
+	for _, e := range res.Pool {
+		pool = append(pool, PoolEntryWire{
+			Encoded:      graph.PlacementString(e.State),
+			Distribution: sim.FormatPlacement(e.State),
+			Objective:    e.Energy,
+		})
+	}
 	return TuneResult{
-		Method: method.String(),
+		Certificate: certificateWire(res.Cert),
+		Pool:        pool,
+		Method:      method.String(),
 		Config: ConfigWire{
 			HostThreads:    hostCfg.Threads,
 			HostAffinity:   hostCfg.Affinity.String(),

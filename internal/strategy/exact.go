@@ -1,0 +1,76 @@
+package strategy
+
+import (
+	"hetopt/internal/exact"
+)
+
+// Certificate and PoolEntry re-export the exact layer's result types so
+// every consumer of a strategy Result (core, graph, serve, the CLIs)
+// speaks one vocabulary without importing internal/exact directly.
+type (
+	// Certificate is a branch-and-bound optimality certificate.
+	Certificate = exact.Certificate
+	// PoolEntry is one member of the diverse near-optimal solution pool.
+	PoolEntry = exact.PoolEntry
+)
+
+// Pool-knob defaults, re-exported for flag and wire validation.
+const (
+	DefaultPoolGap      = exact.DefaultPoolGap
+	DefaultMinDiversity = exact.DefaultMinDiversity
+	MaxPoolSize         = exact.MaxPoolSize
+)
+
+// Exact is the deterministic branch-and-bound strategy (internal/exact)
+// lifted onto the strategy layer: the only member that returns a
+// provable answer rather than a heuristic one. It requires Spaced.
+// Options.Budget caps energy evaluations per subtree root (the
+// deterministic unit of work, mirroring the per-chain/per-restart
+// budget semantics of the heuristics); Prove lifts the cap and runs to
+// exhaustion. Problems additionally implementing
+// LowerBound(prefix []int, fixed int) float64 (see exact.Bounded) are
+// pruned with admissible bounds; others are solved as a certified
+// exhaustive enumeration. Options.Seed and Options.Restarts are ignored
+// — the search draws no randomness and its decomposition is fixed.
+type Exact struct {
+	// Prove ignores the budget and always exhausts the tree.
+	Prove bool
+	// PoolSize, PoolGap and MinDiversity configure the diverse solution
+	// pool (see exact.Options).
+	PoolSize     int
+	PoolGap      float64
+	MinDiversity int
+}
+
+// Name implements Strategy.
+func (Exact) Name() string { return "exact" }
+
+// Minimize implements Strategy. The returned Result carries the
+// certificate and pool (Result.Certificate()/Result.PoolEntries()).
+func (e Exact) Minimize(p Problem, opt Options) (Result, error) {
+	sp, err := spacedOrErr("exact", p)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := exact.Solve(sp, exact.Options{
+		Budget:       opt.budget(),
+		Prove:        e.Prove,
+		PoolSize:     e.PoolSize,
+		PoolGap:      e.PoolGap,
+		MinDiversity: e.MinDiversity,
+		Parallelism:  opt.Parallelism,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	cert := res.Certificate
+	return Result{
+		Best:        res.Best,
+		BestEnergy:  res.BestEnergy,
+		Evaluations: res.Evaluations,
+		Worker:      0,
+		Workers:     1,
+		Cert:        &cert,
+		Pool:        res.Pool,
+	}, nil
+}

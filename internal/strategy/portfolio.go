@@ -29,12 +29,29 @@ type Portfolio struct {
 	// requiring Spaced fails the race on problems with coupled
 	// coordinates; pick Initial/Neighbor-driven members (Anneal) there.
 	Members []Strategy
+	// ExactLimit, when positive, appends an Exact{Prove: true} member
+	// to the race whenever the problem is a product space of at most
+	// this many states — small enough that a certified solve is
+	// affordable — so the portfolio returns a proven optimum (and its
+	// certificate) on small spaces for free. Zero never adds it,
+	// preserving the explicitly-listed member set exactly.
+	ExactLimit int
 }
 
+// DefaultExactLimit is the space-size gate under which DefaultPortfolio
+// races the exact member: it covers the paper's 19,926-config schema
+// and every registered DAG preset, while leaving unboundedly large
+// product spaces to the heuristics.
+const DefaultExactLimit = 1 << 16
+
 // DefaultPortfolio races the paper's annealer against all four
-// alternative metaheuristics.
+// alternative metaheuristics, plus the exact branch-and-bound member on
+// spaces within DefaultExactLimit.
 func DefaultPortfolio() Portfolio {
-	return Portfolio{Members: []Strategy{DefaultAnneal(), Genetic{}, Tabu{}, Local{}, Random{}}}
+	return Portfolio{
+		Members:    []Strategy{DefaultAnneal(), Genetic{}, Tabu{}, Local{}, Random{}},
+		ExactLimit: DefaultExactLimit,
+	}
 }
 
 // Name implements Strategy.
@@ -63,6 +80,10 @@ func (pf Portfolio) Race(p Problem, opt Options) (PortfolioResult, error) {
 	if len(pf.Members) == 0 {
 		return PortfolioResult{}, fmt.Errorf("strategy: portfolio has no members")
 	}
+	members := pf.Members
+	if n, ok := spaceSize(p); ok && pf.ExactLimit > 0 && n <= pf.ExactLimit {
+		members = append(members[:len(members):len(members)], Exact{Prove: true})
+	}
 	shared := withMemo(p)
 	// Split the parallelism budget between the two fan-out levels:
 	// up to Parallelism members race concurrently, and each member's
@@ -70,8 +91,8 @@ func (pf Portfolio) Race(p Problem, opt Options) (PortfolioResult, error) {
 	// concurrency stays near Parallelism instead of Parallelism^2.
 	// Parallelism never affects results, only wall-clock.
 	racing := opt.Parallelism
-	if racing > len(pf.Members) {
-		racing = len(pf.Members)
+	if racing > len(members) {
+		racing = len(members)
 	}
 	memberOpt := opt
 	if racing > 1 {
@@ -80,11 +101,11 @@ func (pf Portfolio) Race(p Problem, opt Options) (PortfolioResult, error) {
 			memberOpt.Parallelism = 1
 		}
 	}
-	results := make([]Result, len(pf.Members))
-	err := search.ForEach(len(pf.Members), opt.Parallelism, func(i int) error {
-		r, err := pf.Members[i].Minimize(shared, memberOpt)
+	results := make([]Result, len(members))
+	err := search.ForEach(len(members), opt.Parallelism, func(i int) error {
+		r, err := members[i].Minimize(shared, memberOpt)
 		if err != nil {
-			return fmt.Errorf("strategy: portfolio member %s: %w", pf.Members[i].Name(), err)
+			return fmt.Errorf("strategy: portfolio member %s: %w", members[i].Name(), err)
 		}
 		results[i] = r
 		return nil
@@ -95,9 +116,9 @@ func (pf Portfolio) Race(p Problem, opt Options) (PortfolioResult, error) {
 
 	out := PortfolioResult{
 		PerMember:   results,
-		MemberNames: make([]string, len(pf.Members)),
+		MemberNames: make([]string, len(members)),
 	}
-	for i, m := range pf.Members {
+	for i, m := range members {
 		out.MemberNames[i] = m.Name()
 	}
 	best := 0
@@ -108,6 +129,18 @@ func (pf Portfolio) Race(p Problem, opt Options) (PortfolioResult, error) {
 	}
 	out.Result = results[best]
 	out.Worker = best
+	// A certificate certifies an energy value, not a member: when the
+	// exact member proved the winning energy optimal but lost the
+	// lowest-index tie-break, its certificate (and pool) still apply to
+	// the winner.
+	if out.Cert == nil {
+		for _, r := range results {
+			if r.Cert != nil && r.Cert.Optimal && r.BestEnergy == out.BestEnergy {
+				out.Cert, out.Pool = r.Cert, r.Pool
+				break
+			}
+		}
+	}
 	out.Evaluations = 0
 	out.Workers = 0
 	for _, r := range results {
@@ -116,6 +149,24 @@ func (pf Portfolio) Race(p Problem, opt Options) (PortfolioResult, error) {
 	}
 	out.Lookups, out.Unique, out.Hits, _ = memoStats(shared)
 	return out, nil
+}
+
+// spaceSize returns the product-space size of a Spaced problem, with
+// ok=false for coupled-coordinate problems or overflowing products.
+func spaceSize(p Problem) (int, bool) {
+	sp, ok := p.(Spaced)
+	if !ok {
+		return 0, false
+	}
+	size := 1
+	for i := 0; i < sp.Dim(); i++ {
+		n := sp.Levels(i)
+		if n <= 0 || size > (1<<40)/n {
+			return 0, false
+		}
+		size *= n
+	}
+	return size, true
 }
 
 // Minimize implements Strategy.

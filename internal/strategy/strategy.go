@@ -133,7 +133,31 @@ type Result struct {
 	// Workers is the number of independent workers that ran (1 for
 	// Exhaustive; for Portfolio, the sum over members).
 	Workers int
+	// Cert, when non-nil, is the optimality certificate of an exact
+	// branch-and-bound run (nil for every heuristic strategy; Portfolio
+	// propagates the exact member's certificate when it certifies the
+	// winning energy). Read it through Certificate(), which spares the
+	// nil-check.
+	Cert *Certificate
+	// Pool is the exact strategy's diverse near-optimal solution pool
+	// (empty for heuristics and when no pool was requested). Read it
+	// through PoolEntries().
+	Pool []PoolEntry
 }
+
+// Certificate returns the run's optimality certificate; ok is false for
+// heuristic strategies, which cannot certify anything. Callers never
+// need to touch the raw Cert pointer.
+func (r Result) Certificate() (Certificate, bool) {
+	if r.Cert == nil {
+		return Certificate{}, false
+	}
+	return *r.Cert, true
+}
+
+// PoolEntries returns the diverse solution pool, nil unless an exact
+// run collected one.
+func (r Result) PoolEntries() []PoolEntry { return r.Pool }
 
 // Strategy is one search method over the shared representation.
 // Implementations must be deterministic for a fixed Options at every
@@ -266,9 +290,26 @@ type spacedMemoProblem struct{ *memoProblem }
 
 func (m spacedMemoProblem) Levels(i int) int { return m.Problem.(Spaced).Levels(i) }
 
+// lowerBounded matches problems carrying admissible partial-assignment
+// bounds (exact.Bounded without the import).
+type lowerBounded interface {
+	LowerBound(prefix []int, fixed int) float64
+}
+
+// boundedSpacedMemoProblem additionally forwards LowerBound, so the
+// exact strategy still prunes when racing over a shared memo inside
+// Portfolio. It is a distinct type (not a method on the plain memo
+// wrappers) so a memo never advertises bounds its problem lacks.
+type boundedSpacedMemoProblem struct{ spacedMemoProblem }
+
+func (m boundedSpacedMemoProblem) LowerBound(prefix []int, fixed int) float64 {
+	return m.Problem.(lowerBounded).LowerBound(prefix, fixed)
+}
+
 // withMemo wraps p in a fresh single-flight memo, preserving Spaced
-// exactly when p supports it (a memo over coupled coordinates must not
-// pretend to be a product space).
+// (and LowerBound) exactly when p supports it (a memo over coupled
+// coordinates must not pretend to be a product space, and a memo over
+// an unbounded problem must not pretend to have admissible bounds).
 func withMemo(p Problem) Problem {
 	mp := &memoProblem{Problem: p}
 	if canArrayKey(p) {
@@ -277,6 +318,9 @@ func withMemo(p Problem) Problem {
 		mp.smemo = search.NewShardedMemo[string, float64](memoShards, hashStateString)
 	}
 	if _, ok := p.(Spaced); ok {
+		if _, ok := p.(lowerBounded); ok {
+			return boundedSpacedMemoProblem{spacedMemoProblem{mp}}
+		}
 		return spacedMemoProblem{mp}
 	}
 	return mp
@@ -290,6 +334,8 @@ func memoStats(p Problem) (lookups, unique, hits int, ok bool) {
 	case *memoProblem:
 		mp = t
 	case spacedMemoProblem:
+		mp = t.memoProblem
+	case boundedSpacedMemoProblem:
 		mp = t.memoProblem
 	default:
 		return 0, 0, 0, false
@@ -318,7 +364,7 @@ func sanitize(e float64) float64 {
 
 // Names lists the parseable strategy names in presentation order.
 func Names() []string {
-	return []string{"anneal", "exhaustive", "genetic", "tabu", "local", "random", "portfolio"}
+	return []string{"anneal", "exhaustive", "exact", "genetic", "tabu", "local", "random", "portfolio"}
 }
 
 // Parse converts a CLI-style strategy name into a Strategy with default
@@ -334,6 +380,8 @@ func Parse(name string) (Strategy, error) {
 		return DefaultAnneal(), nil
 	case "exhaustive":
 		return Exhaustive{}, nil
+	case "exact":
+		return Exact{}, nil
 	case "genetic":
 		return Genetic{}, nil
 	case "tabu":
