@@ -31,9 +31,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hetopt/internal/cluster"
 	"hetopt/internal/scenario"
 	"hetopt/internal/serve"
 )
@@ -50,6 +52,33 @@ type params struct {
 	drainTimeout time.Duration
 	workload     string
 	platform     string
+
+	// Cluster mode: -peers lists every member's base URL (self
+	// included) and -node-id names this node's entry in that list.
+	peers          string
+	nodeID         string
+	replicate      bool
+	forwardTimeout time.Duration
+}
+
+// clusterOptions derives the serve cluster configuration; nil when
+// -peers is unset (single-node).
+func (p *params) clusterOptions() *serve.ClusterOptions {
+	if strings.TrimSpace(p.peers) == "" {
+		return nil
+	}
+	var peers []string
+	for _, raw := range strings.Split(p.peers, ",") {
+		if n := strings.TrimSpace(raw); n != "" {
+			peers = append(peers, strings.TrimRight(n, "/"))
+		}
+	}
+	return &serve.ClusterOptions{
+		NodeID:         strings.TrimRight(strings.TrimSpace(p.nodeID), "/"),
+		Peers:          peers,
+		Replicate:      p.replicate,
+		ForwardTimeout: p.forwardTimeout,
+	}
 }
 
 // validate rejects bad flag values before binding the listener. The
@@ -89,6 +118,24 @@ func (p *params) validate() error {
 			return fmt.Errorf("-platform: %v", err)
 		}
 	}
+	if p.forwardTimeout <= 0 {
+		return fmt.Errorf("-forward-timeout must be positive, got %v", p.forwardTimeout)
+	}
+	if cl := p.clusterOptions(); cl != nil {
+		if cl.NodeID == "" {
+			return fmt.Errorf("-peers needs -node-id naming this node's entry in the peer list")
+		}
+		if !strings.HasPrefix(cl.NodeID, "http://") && !strings.HasPrefix(cl.NodeID, "https://") {
+			return fmt.Errorf("-node-id %q must be a base URL (http://host:port)", cl.NodeID)
+		}
+		// The router re-validates membership; checking here turns a
+		// misconfigured node into a flag error before the bind.
+		if _, err := cluster.NewRouter(cl.NodeID, cl.Peers, 0); err != nil {
+			return fmt.Errorf("-peers: %v", err)
+		}
+	} else if strings.TrimSpace(p.nodeID) != "" {
+		return fmt.Errorf("-node-id %q is set but -peers is empty", p.nodeID)
+	}
 	return nil
 }
 
@@ -104,6 +151,10 @@ func main() {
 	flag.DurationVar(&p.drainTimeout, "drain-timeout", 60*time.Second, "graceful-shutdown budget for draining accepted jobs")
 	flag.StringVar(&p.workload, "workload", "", `default workload for requests naming none (empty = "dna:human")`)
 	flag.StringVar(&p.platform, "platform", "", `default platform for requests naming none (empty = "paper")`)
+	flag.StringVar(&p.peers, "peers", "", "comma-separated base URLs of every cluster member, self included (empty = single-node)")
+	flag.StringVar(&p.nodeID, "node-id", "", "this node's entry in -peers (required with -peers)")
+	flag.BoolVar(&p.replicate, "replicate", true, "replicate completed store entries to each key's ring-successor follower")
+	flag.DurationVar(&p.forwardTimeout, "forward-timeout", cluster.DefaultForwardTimeout, "per-hop budget for proxied requests (cold forwards block for compute)")
 	flag.Parse()
 
 	if err := p.validate(); err != nil {
@@ -121,7 +172,7 @@ func run(p params) error {
 	if err := p.validate(); err != nil {
 		return err
 	}
-	s := serve.New(serve.Options{
+	s, err := serve.NewCluster(serve.Options{
 		Workers:         p.workers,
 		QueueSize:       p.queue,
 		StoreSize:       p.cacheSize,
@@ -129,7 +180,11 @@ func run(p params) error {
 		Parallelism:     p.parallel,
 		DefaultWorkload: p.workload,
 		DefaultPlatform: p.platform,
+		Cluster:         p.clusterOptions(),
 	})
+	if err != nil {
+		return err
+	}
 	if p.pretrain {
 		fmt.Println("hetserved: training prediction models...")
 		if err := s.Pretrain(); err != nil {
@@ -148,6 +203,11 @@ func run(p params) error {
 		p.addr, p.workers, p.queue, p.cacheSize, p.cacheShards)
 	for _, ep := range serve.Endpoints() {
 		fmt.Println("  ", ep)
+	}
+	if cl := p.clusterOptions(); cl != nil {
+		fmt.Printf("hetserved: cluster member %s of %d peers (replicate=%v, forward timeout %v)\n",
+			cl.NodeID, len(cl.Peers), cl.Replicate, p.forwardTimeout)
+		fmt.Println("   POST /v1/cluster/replicate")
 	}
 
 	select {

@@ -9,15 +9,19 @@ import (
 // valid returns a baseline valid parameter set.
 func valid() params {
 	return params{
-		addr:         ":0",
-		workers:      4,
-		queue:        64,
-		cacheSize:    1024,
-		cacheShards:  16,
-		parallel:     1,
-		drainTimeout: time.Minute,
+		addr:           ":0",
+		workers:        4,
+		queue:          64,
+		cacheSize:      1024,
+		cacheShards:    16,
+		parallel:       1,
+		drainTimeout:   time.Minute,
+		forwardTimeout: 30 * time.Second,
 	}
 }
+
+// threePeers is a baseline valid 3-node cluster flag pair.
+const threePeers = "http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083"
 
 func TestValidateAccepts(t *testing.T) {
 	cases := []struct {
@@ -29,6 +33,11 @@ func TestValidateAccepts(t *testing.T) {
 		{"sequential search", func(p *params) { p.parallel = 0 }},
 		{"scenario defaults", func(p *params) { p.workload, p.platform = "spmv:large", "gpu-like" }},
 		{"genome alias default", func(p *params) { p.workload = "human" }},
+		{"cluster member", func(p *params) { p.peers, p.nodeID = threePeers, "http://127.0.0.1:18082" }},
+		{"cluster trailing slash", func(p *params) { p.peers, p.nodeID = threePeers, "http://127.0.0.1:18082/" }},
+		{"cluster replication off", func(p *params) {
+			p.peers, p.nodeID, p.replicate = threePeers, "http://127.0.0.1:18081", false
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -62,6 +71,13 @@ func TestValidateRejects(t *testing.T) {
 		{"zero drain timeout", func(p *params) { p.drainTimeout = 0 }, "-drain-timeout"},
 		{"unknown workload", func(p *params) { p.workload = "plankton" }, "-workload"},
 		{"unknown platform", func(p *params) { p.platform = "mainframe" }, "-platform"},
+		{"peers without node id", func(p *params) { p.peers = threePeers }, "-node-id"},
+		{"node id without peers", func(p *params) { p.nodeID = "http://127.0.0.1:18081" }, "-peers"},
+		{"node id not in peers", func(p *params) {
+			p.peers, p.nodeID = threePeers, "http://127.0.0.1:9999"
+		}, "-peers"},
+		{"node id not a url", func(p *params) { p.peers, p.nodeID = threePeers, "127.0.0.1:18081" }, "-node-id"},
+		{"zero forward timeout", func(p *params) { p.forwardTimeout = 0 }, "-forward-timeout"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

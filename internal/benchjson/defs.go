@@ -1,11 +1,18 @@
 package benchjson
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"hetopt/internal/cluster"
 	"hetopt/internal/core"
 	"hetopt/internal/dna"
 	"hetopt/internal/graph"
@@ -83,7 +90,146 @@ func Defs() []Def {
 		{Name: "warm-hit-post", Bench: benchWarmHitPost},
 		{Name: "dag-placement", Bench: benchDAGPlacement},
 		{Name: "exact-small-space", Bench: benchExactSmallSpace},
+		{Name: "ring-lookup", Bench: benchRingLookup},
+		{Name: "local-warm-hit-http", Bench: benchLocalWarmHitHTTP},
+		{Name: "forward-warm-hit", Bench: benchForwardWarmHit},
 	}
+}
+
+// benchRingLookup is the cluster routing decision paid by every POST:
+// one consistent-hash lookup of a canonical store key, returning owner
+// and failover follower. Contract: 0 allocs/op (the ring is immutable
+// and the binary search walks a flat point slice).
+func benchRingLookup(b *testing.B) {
+	ring, err := cluster.New([]string{
+		"http://10.0.0.1:8080", "http://10.0.0.2:8080", "http://10.0.0.3:8080",
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("w=dna:human|p=paper|mb=3246|m=SAML|s=auto|o=time|a=0|sl=0|it=1000|r=1|seed=42")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owner, follower := ring.Lookup(key)
+		if owner == "" || follower == "" {
+			b.Fatal("empty lookup")
+		}
+	}
+}
+
+// benchSwap adapts a Server into a handler swappable after its peer
+// URLs are known (the cluster benches need listeners bound first).
+type benchSwap struct {
+	s atomic.Pointer[serve.Server]
+}
+
+func (sw *benchSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s := sw.s.Load(); s != nil {
+		s.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+// benchCluster builds a 2-node cluster, warms one key on its owner,
+// and returns the owner URL, the other node's URL, the warm POST body
+// and a teardown. The same fixture serves the local and forwarded
+// warm-hit benches, so their ratio is a clean one-hop cost.
+func benchCluster(b *testing.B) (ownerURL, otherURL string, body []byte, done func()) {
+	b.Helper()
+	swaps := [2]*benchSwap{{}, {}}
+	l0 := httptest.NewServer(swaps[0])
+	l1 := httptest.NewServer(swaps[1])
+	urls := []string{l0.URL, l1.URL}
+	servers := make([]*serve.Server, 2)
+	for i := range servers {
+		s, err := serve.NewCluster(serve.Options{
+			Workers:   2,
+			QueueSize: 8,
+			Cluster:   &serve.ClusterOptions{NodeID: urls[i], Peers: urls, Replicate: false},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i] = s
+		swaps[i].s.Store(s)
+	}
+	done = func() {
+		l0.Close()
+		l1.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, s := range servers {
+			_ = s.Drain(ctx)
+		}
+	}
+	// Sweep seeds for a key owned by node 0 (the httptest ports differ
+	// per process, so the ring layout does too).
+	for seed := int64(1); seed < 4096; seed++ {
+		raw := serve.TuneRequest{Method: "sam", Iterations: 40, Seed: seed}
+		canon, err := raw.Normalize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if servers[0].ClusterOwner(canon.Key()) != urls[0] {
+			continue
+		}
+		body, err = json.Marshal(canon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, perr := http.Post(urls[0]+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+		if perr != nil {
+			b.Fatal(perr)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warming POST: status %d", resp.StatusCode)
+		}
+		return urls[0], urls[1], body, done
+	}
+	b.Fatal("no seed under 4096 owned by node 0")
+	return "", "", nil, nil
+}
+
+// benchWarmPost drives b.N warm POSTs of body to url over a pooled
+// client — one full HTTP round trip per op.
+func benchWarmPost(b *testing.B, url string, body []byte) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warm POST: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// benchLocalWarmHitHTTP is a warm hit POSTed to the key's owner: the
+// full HTTP round trip of the store-served fast path, and the baseline
+// the forwarded hop is compared against (acceptance: forwarded stays
+// within 10x of this).
+func benchLocalWarmHitHTTP(b *testing.B) {
+	ownerURL, _, body, done := benchCluster(b)
+	defer done()
+	benchWarmPost(b, ownerURL+"/v1/jobs", body)
+}
+
+// benchForwardWarmHit is the same warm hit POSTed to the non-owner:
+// the entry node routes the key, proxies to the owner, and streams the
+// owner's pre-rendered bytes through — two HTTP round trips total.
+func benchForwardWarmHit(b *testing.B) {
+	ownerURL, otherURL, body, done := benchCluster(b)
+	_ = ownerURL
+	defer done()
+	benchWarmPost(b, otherURL+"/v1/jobs", body)
 }
 
 // benchExactSmallSpace is one certified branch-and-bound solve of the

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"time"
+)
+
+// ForwardedHeader marks a request as already proxied once. A node
+// receiving it serves the request itself, whatever its ring says —
+// the loop guard that caps every request at a single extra hop even
+// when two nodes momentarily disagree about ownership (mismatched
+// -peers during a rolling restart).
+const ForwardedHeader = "X-Hetopt-Forwarded"
+
+// DefaultForwardTimeout bounds one peer exchange end to end. Forwarded
+// cold jobs block until the owner finishes computing (the proxied hop
+// is synchronous), so the default is sized for compute, not for the
+// microseconds a warm hit takes.
+const DefaultForwardTimeout = 30 * time.Second
+
+// Client is the pooled peer HTTP client: one shared http.Transport
+// with keep-alive connections per peer, so steady forwarding traffic
+// reuses sockets instead of paying a dial per request.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient builds a peer client with the given per-exchange timeout
+// (<= 0 selects DefaultForwardTimeout).
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultForwardTimeout
+	}
+	return &Client{hc: &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        128,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
+}
+
+// Post sends body as one JSON POST to url, marking it forwarded when
+// from is non-empty. The caller owns the response and must close its
+// body; a non-nil error means no response was received (connection
+// refused, timeout) and the exchange is eligible for failover.
+func (c *Client) Post(url string, body []byte, from string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if from != "" {
+		req.Header.Set(ForwardedHeader, from)
+	}
+	return c.hc.Do(req)
+}

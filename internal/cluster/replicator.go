@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Item is one replication unit: an opaque pre-marshaled payload (the
+// serving layer's {key, rendered response bytes} envelope) and the
+// nodes it should land on.
+type Item struct {
+	Targets []string
+	Payload []byte
+}
+
+// Replicator copies completed hot store entries to follower nodes
+// from a bounded asynchronous queue. Enqueue never blocks and never
+// does I/O: the warm path hands the item over and moves on, and a
+// slow — or entirely black-holed — follower costs queued items, never
+// request latency. A full queue drops the newest item (replication is
+// an availability optimization, not a durability contract: the owner
+// still holds the entry, and a failover miss just recomputes
+// deterministically).
+type Replicator struct {
+	ch   chan Item
+	send func(target string, payload []byte) error
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	sent    atomic.Int64
+	failed  atomic.Int64
+	dropped atomic.Int64
+}
+
+// DefaultReplicationQueue bounds the pending replication queue.
+const DefaultReplicationQueue = 256
+
+// NewReplicator starts a replicator draining a queue of the given
+// bound (<= 0 selects DefaultReplicationQueue) on workers goroutines
+// (<= 0 selects 1; a single worker keeps per-follower apply order
+// matching completion order). send performs one delivery; its error
+// is counted, not retried.
+func NewReplicator(queue, workers int, send func(target string, payload []byte) error) *Replicator {
+	if queue <= 0 {
+		queue = DefaultReplicationQueue
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	r := &Replicator{ch: make(chan Item, queue), send: send}
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer r.wg.Done()
+			for it := range r.ch {
+				for _, t := range it.Targets {
+					if err := r.send(t, it.Payload); err != nil {
+						r.failed.Add(1)
+					} else {
+						r.sent.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	return r
+}
+
+// Enqueue hands one item to the queue, reporting false (and counting
+// a drop) when the queue is full or the replicator is closed. Items
+// without targets are accepted and ignored.
+func (r *Replicator) Enqueue(it Item) bool {
+	if len(it.Targets) == 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		r.dropped.Add(1)
+		return false
+	}
+	select {
+	case r.ch <- it:
+		return true
+	default:
+		r.dropped.Add(1)
+		return false
+	}
+}
+
+// Close stops intake and waits for queued deliveries to finish (each
+// bounded by the send function's own timeout). Idempotent.
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.ch)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Sent counts successful deliveries (one per target).
+func (r *Replicator) Sent() int64 { return r.sent.Load() }
+
+// Failed counts deliveries whose send returned an error.
+func (r *Replicator) Failed() int64 { return r.failed.Load() }
+
+// Dropped counts items rejected by the full (or closed) queue.
+func (r *Replicator) Dropped() int64 { return r.dropped.Load() }
+
+// Pending returns the queued item count (diagnostics).
+func (r *Replicator) Pending() int { return len(r.ch) }

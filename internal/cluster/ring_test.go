@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// catalogKeys generates n keys shaped like the serving layer's
+// canonical store keys — the real key distribution the ring shards —
+// cycling workload families, platforms and methods over a seed sweep.
+func catalogKeys(n int) [][]byte {
+	families := []string{"dna:human", "dna:mouse", "spmv:medium", "spmv:large", "stencil:medium", "crypto:medium", "dag:resnet-ish", "dag:fork-join"}
+	platforms := []string{"paper", "gpu-like", "edge"}
+	methods := []string{"EM", "EML", "SAM", "SAML"}
+	keys := make([][]byte, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("w=%s|p=%s|mb=3246|m=%s|s=auto|o=time|a=0|sl=0|it=1000|r=1|seed=%d",
+			families[i%len(families)], platforms[i%len(platforms)], methods[i%len(methods)], i)
+		keys = append(keys, []byte(k))
+	}
+	return keys
+}
+
+func threeNodes() []string {
+	return []string{"http://10.0.0.1:8080", "http://10.0.0.2:8080", "http://10.0.0.3:8080"}
+}
+
+// TestRingBalance pins the distribution quality the sharding story
+// rests on: at 128 virtual nodes, 10k catalog-shaped keys land within
+// ±20% of fair share on every node of a 3-node ring.
+func TestRingBalance(t *testing.T) {
+	nodes := threeNodes()
+	r, err := New(nodes, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := catalogKeys(10000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		c := counts[n]
+		if float64(c) < 0.8*fair || float64(c) > 1.2*fair {
+			t.Errorf("node %s owns %d of %d keys; fair share %.0f ±20%% violated (full split %v)",
+				n, c, len(keys), fair, counts)
+		}
+	}
+}
+
+// TestRingRemapFraction: adding one node to a 3-node ring must remap
+// roughly a quarter of the key space — and nothing else: every key
+// that changes owner moves TO the new node (consistent hashing's
+// defining property; a modulo shard would remap ~75% here). Removing
+// the node restores the original ownership exactly.
+func TestRingRemapFraction(t *testing.T) {
+	nodes := threeNodes()
+	added := "http://10.0.0.4:8080"
+	r3, err := New(nodes, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := New(append(append([]string{}, nodes...), added), DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := catalogKeys(10000)
+	moved := 0
+	for _, k := range keys {
+		before, after := r3.Owner(k), r4.Owner(k)
+		if before != after {
+			moved++
+			if after != added {
+				t.Fatalf("key %q moved %s -> %s: a key may only move to the added node", k, before, after)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Expected fraction is 1/4; the ±20%-of-fair balance bound above
+	// translates to the same tolerance here.
+	if frac < 0.25*0.8 || frac > 0.25*1.2 {
+		t.Errorf("adding a 4th node remapped %.3f of keys; want ~0.25 ±20%%", frac)
+	}
+	// Removal is the exact inverse: rebuilding the 3-node ring gives
+	// identical ownership for every key (determinism: the ring is a
+	// pure function of the node set).
+	r3b, err := New([]string{nodes[2], nodes[0], nodes[1]}, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if r3.Owner(k) != r3b.Owner(k) {
+			t.Fatalf("ring is not a pure function of the node set: key %q owner %s vs %s", k, r3.Owner(k), r3b.Owner(k))
+		}
+	}
+}
+
+// TestRingGoldenTable pins ownership (owner and follower) of a fixed
+// key sample against a golden table, so the ring layout can never
+// drift across PRs — a silent drift would cold-start every node's
+// store slice on upgrade.
+func TestRingGoldenTable(t *testing.T) {
+	r, err := New(threeNodes(), DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := catalogKeys(8)
+	golden := []struct{ owner, follower string }{
+		{"http://10.0.0.1:8080", "http://10.0.0.2:8080"},
+		{"http://10.0.0.1:8080", "http://10.0.0.2:8080"},
+		{"http://10.0.0.2:8080", "http://10.0.0.1:8080"},
+		{"http://10.0.0.1:8080", "http://10.0.0.3:8080"},
+		{"http://10.0.0.2:8080", "http://10.0.0.1:8080"},
+		{"http://10.0.0.3:8080", "http://10.0.0.1:8080"},
+		{"http://10.0.0.2:8080", "http://10.0.0.1:8080"},
+		{"http://10.0.0.3:8080", "http://10.0.0.1:8080"},
+	}
+	for i, k := range keys {
+		owner, follower := r.Lookup(k)
+		if owner != golden[i].owner || follower != golden[i].follower {
+			t.Errorf("key %d (%q): owner/follower %s/%s, golden %s/%s",
+				i, k, owner, follower, golden[i].owner, golden[i].follower)
+		}
+		if owner == follower {
+			t.Errorf("key %d: follower equals owner on a 3-node ring", i)
+		}
+	}
+}
+
+// TestRingInputOrderIrrelevant: every permutation of the peer list
+// builds the same ring — all cluster members agree on ownership
+// whatever order their -peers flags list.
+func TestRingInputOrderIrrelevant(t *testing.T) {
+	nodes := threeNodes()
+	perms := [][]string{
+		{nodes[0], nodes[1], nodes[2]},
+		{nodes[2], nodes[1], nodes[0]},
+		{nodes[1], nodes[0], nodes[2], nodes[0]}, // duplicate folded
+	}
+	rings := make([]*Ring, len(perms))
+	for i, p := range perms {
+		var err error
+		rings[i], err = New(p, DefaultVirtualNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range catalogKeys(512) {
+		o0, f0 := rings[0].Lookup(k)
+		for i := 1; i < len(rings); i++ {
+			o, f := rings[i].Lookup(k)
+			if o != o0 || f != f0 {
+				t.Fatalf("permutation %d disagrees on key %q: %s/%s vs %s/%s", i, k, o, f, o0, f0)
+			}
+		}
+	}
+}
+
+// TestRingSingleNode: one node owns everything and is its own
+// follower.
+func TestRingSingleNode(t *testing.T) {
+	r, err := New([]string{"http://solo:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, follower := r.Lookup([]byte("w=dna:human"))
+	if owner != "http://solo:1" || follower != "http://solo:1" {
+		t.Fatalf("single-node lookup: %s/%s", owner, follower)
+	}
+}
+
+// TestRingRejects pins the constructor's error contract.
+func TestRingRejects(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	if _, err := New([]string{"http://a:1", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+}
+
+// TestRingLookupAllocationFree pins the 0 allocs/op contract of the
+// routing hot path (every single POST pays one lookup).
+func TestRingLookupAllocationFree(t *testing.T) {
+	r, err := New(threeNodes(), DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("w=dna:human|p=paper|mb=3246|m=SAML|s=auto|o=time|a=0|sl=0|it=1000|r=1|seed=42")
+	if allocs := testing.AllocsPerRun(200, func() {
+		owner, follower := r.Lookup(key)
+		if owner == "" || follower == "" {
+			t.Fatal("empty lookup")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Lookup allocates %v/op; the routing hot path must be allocation-free", allocs)
+	}
+}

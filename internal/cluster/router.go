@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Route is one routing decision: the key's owner and follower, and
+// whether this node is the owner (Local) — in which case the request
+// is served here and no hop is paid.
+type Route struct {
+	Owner    string
+	Follower string
+	Local    bool
+}
+
+// Router binds a ring to one member node: it answers "is this key
+// mine, and if not, who do I forward to?" and tracks a coarse up/down
+// health bit per peer, flipped by forward and replication outcomes
+// (no background prober — traffic is the probe).
+type Router struct {
+	ring *Ring
+	self string
+	up   []atomic.Bool // indexed like ring.nodes
+}
+
+// NewRouter builds the router for node self over the peer set (self
+// included — every node of a cluster is configured with the same
+// -peers list). Peers start marked up.
+func NewRouter(self string, peers []string, virtualNodes int) (*Router, error) {
+	ring, err := New(peers, virtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	idx := -1
+	for i, n := range ring.Nodes() {
+		if n == self {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("cluster: node id %q is not in the peer set %v", self, ring.Nodes())
+	}
+	r := &Router{ring: ring, self: self, up: make([]atomic.Bool, len(ring.Nodes()))}
+	for i := range r.up {
+		r.up[i].Store(true)
+	}
+	return r, nil
+}
+
+// Self returns this node's name.
+func (r *Router) Self() string { return r.self }
+
+// Ring returns the underlying ring.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Peers returns the sorted full node set (self included).
+func (r *Router) Peers() []string { return r.ring.Nodes() }
+
+// Route decides where key is served.
+func (r *Router) Route(key []byte) Route {
+	owner, follower := r.ring.Lookup(key)
+	return Route{Owner: owner, Follower: follower, Local: owner == r.self}
+}
+
+// nodeIndex resolves a node name; -1 when unknown.
+func (r *Router) nodeIndex(node string) int {
+	for i, n := range r.ring.Nodes() {
+		if n == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// MarkUp records a successful exchange with node.
+func (r *Router) MarkUp(node string) {
+	if i := r.nodeIndex(node); i >= 0 {
+		r.up[i].Store(true)
+	}
+}
+
+// MarkDown records a failed exchange with node.
+func (r *Router) MarkDown(node string) {
+	if i := r.nodeIndex(node); i >= 0 {
+		r.up[i].Store(false)
+	}
+}
+
+// Up reports the last-known health of node (unknown nodes are down).
+func (r *Router) Up(node string) bool {
+	i := r.nodeIndex(node)
+	return i >= 0 && r.up[i].Load()
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetopt/internal/serve"
+	"hetopt/internal/tables"
+)
+
+// ClusterRow is one node-count row of the cluster scale-out table.
+type ClusterRow struct {
+	// Nodes is the cluster size of the measured round.
+	Nodes int
+	// Jobs is the number of measured warm requests, Distinct the
+	// number of canonical keys they collapse to.
+	Jobs, Distinct int
+	// Computes is the cluster-wide paid compute count after the whole
+	// round — exactly Distinct by the single-flight + routing contract.
+	Computes int
+	// ElapsedMS is the wall-clock of the measured warm phase, with one
+	// concurrent driver per node hammering that node's own key slice;
+	// ReqPerSec is the aggregate warm-hit throughput.
+	ElapsedMS float64
+	ReqPerSec float64
+	// LocalWarmMeanMS is the mean round-trip of a warm hit POSTed to
+	// the key's owner; ForwardWarmMeanMS the mean when POSTed to a
+	// non-owner, which streams the owner's bytes through one hop
+	// (zero on a single-node cluster: there is no one to forward to).
+	LocalWarmMeanMS   float64
+	ForwardWarmMeanMS float64
+}
+
+// ClusterThroughputResult is the horizontal scale-out experiment.
+type ClusterThroughputResult struct {
+	Rows       []ClusterRow
+	Iterations int
+}
+
+// swapHandler lets every member's listener bind before any member's
+// Server exists (each peer list names every member's URL).
+type swapHandler struct {
+	h atomic.Pointer[serve.Server]
+}
+
+func (sw *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s := sw.h.Load(); s != nil {
+		s.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "cluster member not ready", http.StatusServiceUnavailable)
+}
+
+// ClusterThroughput measures hetserved's horizontal scale-out over
+// real HTTP: for each node count an in-process cluster is built, the
+// distinct key set is computed once (each key cold on its owning
+// shard — the slices are disjoint by the ring's partition), and the
+// measured phase replays the whole key set repeats times with one
+// concurrent driver per node posting that node's own slice. Hit
+// accounting stays deterministic at every size: the ring plus
+// single-flight store pay each distinct key exactly once cluster-wide,
+// so throughput is the only machine-varying column.
+func (s *Suite) ClusterThroughput(nodeCounts []int, distinct, repeats, iterations int) (*ClusterThroughputResult, error) {
+	if distinct < 1 || repeats < 1 {
+		return nil, fmt.Errorf("experiments: cluster throughput needs distinct >= 1 and repeats >= 1")
+	}
+	res := &ClusterThroughputResult{Iterations: iterations}
+	for _, n := range nodeCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: node count %d must be >= 1", n)
+		}
+		row, err := s.clusterRound(n, distinct, repeats, iterations)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// clusterRound builds one n-node cluster, warms it, and measures.
+func (s *Suite) clusterRound(n, distinct, repeats, iterations int) (ClusterRow, error) {
+	swaps := make([]*swapHandler, n)
+	listeners := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		listeners[i] = httptest.NewServer(swaps[i])
+		urls[i] = listeners[i].URL
+	}
+	servers := make([]*serve.Server, n)
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := range servers {
+		opt := serve.Options{
+			Platform:  s.Platform,
+			Schema:    s.Schema,
+			Workers:   2,
+			QueueSize: distinct + 8,
+		}
+		if n > 1 {
+			opt.Cluster = &serve.ClusterOptions{NodeID: urls[i], Peers: urls, Replicate: true}
+		}
+		srv, err := serve.NewCluster(opt)
+		if err != nil {
+			return ClusterRow{}, err
+		}
+		servers[i] = srv
+		swaps[i].h.Store(srv)
+	}
+
+	// The request mix, keyed to owning nodes: seeds 0..distinct-1 fold
+	// into distinct canonical keys, each owned by exactly one shard.
+	type member struct {
+		body  []byte
+		owner int // index into urls
+	}
+	keys := make([]member, distinct)
+	slices := make([][]int, n) // per-node key indices (disjoint)
+	for i := range keys {
+		raw := serve.TuneRequest{Method: "sam", Iterations: iterations, Seed: int64(i)}
+		canon, err := raw.Normalize()
+		if err != nil {
+			return ClusterRow{}, err
+		}
+		body, err := json.Marshal(canon)
+		if err != nil {
+			return ClusterRow{}, err
+		}
+		owner := 0
+		if n > 1 {
+			ownerURL := servers[0].ClusterOwner(canon.Key())
+			for j, u := range urls {
+				if u == ownerURL {
+					owner = j
+					break
+				}
+			}
+		}
+		keys[i] = member{body: body, owner: owner}
+		slices[owner] = append(slices[owner], i)
+	}
+
+	// Warm phase: each key computes once, on its owning shard (POSTed
+	// to node 0; non-owned keys take the forwarded hop to the owner).
+	for i := range keys {
+		if code, _, err := postWait(urls[0]+"/v1/jobs?wait=1", keys[i].body); err != nil {
+			return ClusterRow{}, fmt.Errorf("experiments: warming key %d: %w", i, err)
+		} else if code != http.StatusOK {
+			return ClusterRow{}, fmt.Errorf("experiments: warming key %d: status %d", i, code)
+		}
+	}
+
+	// Measured phase: one driver per node hammers its own (disjoint)
+	// slice of warm keys, repeats times over.
+	total := 0
+	for _, sl := range slices {
+		total += len(sl) * repeats
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for node := 0; node < n; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for r := 0; r < repeats; r++ {
+				for _, ki := range slices[node] {
+					code, _, err := postWait(urls[node]+"/v1/jobs", keys[ki].body)
+					if err == nil && code != http.StatusOK {
+						err = fmt.Errorf("warm status %d", code)
+					}
+					if err != nil {
+						errs[node] = fmt.Errorf("experiments: node %d key %d: %w", node, ki, err)
+						return
+					}
+				}
+			}
+		}(node)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ClusterRow{}, err
+		}
+	}
+
+	// Forward-vs-local warm latency: time the same warm key POSTed to
+	// its owner and to a non-owner (single-node clusters have no hop).
+	const probes = 20
+	localMean, err := meanWarmMS(urls[keys[0].owner]+"/v1/jobs", keys[0].body, probes)
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	forwardMean := 0.0
+	if n > 1 {
+		other := (keys[0].owner + 1) % n
+		forwardMean, err = meanWarmMS(urls[other]+"/v1/jobs", keys[0].body, probes)
+		if err != nil {
+			return ClusterRow{}, err
+		}
+	}
+
+	computes := 0
+	for _, srv := range servers {
+		m := srv.Metrics()
+		computes += int(m.Jobs.Completed - m.Jobs.StoreHits)
+	}
+	if computes != distinct {
+		return ClusterRow{}, fmt.Errorf("experiments: %d-node cluster paid %d computes for %d distinct keys", n, computes, distinct)
+	}
+	row := ClusterRow{
+		Nodes:             n,
+		Jobs:              total,
+		Distinct:          distinct,
+		Computes:          computes,
+		ElapsedMS:         float64(elapsed) / float64(time.Millisecond),
+		LocalWarmMeanMS:   localMean,
+		ForwardWarmMeanMS: forwardMean,
+	}
+	if elapsed > 0 {
+		row.ReqPerSec = float64(total) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// postWait POSTs body and fully reads the answer.
+func postWait(url string, body []byte) (int, []byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out.Bytes(), nil
+}
+
+// meanWarmMS times count warm POSTs of body to url.
+func meanWarmMS(url string, body []byte, count int) (float64, error) {
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		code, _, err := postWait(url, body)
+		if err != nil {
+			return 0, err
+		}
+		if code != http.StatusOK {
+			return 0, fmt.Errorf("experiments: warm probe status %d", code)
+		}
+	}
+	return float64(time.Since(start)) / float64(time.Millisecond) / float64(count), nil
+}
+
+// RenderClusterThroughput formats the scale-out table.
+func RenderClusterThroughput(res *ClusterThroughputResult) string {
+	tb := tables.New(fmt.Sprintf(
+		"Extension: cluster scale-out (consistent-hash sharding; %d distinct SAM keys at %d iterations, warm phase paid once cluster-wide, measured phase replays each node's disjoint slice)",
+		res.Rows[0].Distinct, res.Iterations),
+		"nodes", "warm jobs", "distinct", "computes", "elapsed ms", "req/s", "local warm ms", "forward warm ms")
+	for _, r := range res.Rows {
+		fw := "n/a"
+		if r.Nodes > 1 {
+			fw = tables.F(r.ForwardWarmMeanMS, 3)
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.Distinct),
+			fmt.Sprintf("%d", r.Computes),
+			tables.F(r.ElapsedMS, 1),
+			tables.F(r.ReqPerSec, 1),
+			tables.F(r.LocalWarmMeanMS, 3),
+			fw,
+		)
+	}
+	return tb.String() +
+		"(computes is deterministic: the ring partitions the key space and single-flight pays each distinct key\n" +
+		" exactly once cluster-wide, whatever node receives the POST; throughput and the local/forwarded warm\n" +
+		" round-trips are wall-clock and vary with the machine)\n"
+}

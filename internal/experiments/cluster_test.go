@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterThroughput checks the deterministic half of the scale-out
+// experiment: at every node count the cluster pays each distinct key
+// exactly once, the measured phase covers the full key set, and the
+// rendered table carries the determinism caveat.
+func TestClusterThroughput(t *testing.T) {
+	s := NewSuite()
+	const distinct, repeats, iters = 4, 2, 30
+	res, err := s.ClusterThroughput([]int{1, 2}, distinct, repeats, iters)
+	if err != nil {
+		t.Fatalf("ClusterThroughput: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Computes != distinct {
+			t.Fatalf("%d nodes: %d computes, want %d (one per distinct key cluster-wide)",
+				r.Nodes, r.Computes, distinct)
+		}
+		if r.Jobs != distinct*repeats {
+			t.Fatalf("%d nodes: %d measured jobs, want %d", r.Nodes, r.Jobs, distinct*repeats)
+		}
+		if r.ElapsedMS <= 0 || r.ReqPerSec <= 0 || r.LocalWarmMeanMS <= 0 {
+			t.Fatalf("%d nodes: non-positive timing %+v", r.Nodes, r)
+		}
+	}
+	if res.Rows[0].ForwardWarmMeanMS != 0 {
+		t.Fatalf("single-node row has a forwarded warm mean: %+v", res.Rows[0])
+	}
+	if res.Rows[1].ForwardWarmMeanMS <= 0 {
+		t.Fatalf("2-node row has no forwarded warm mean: %+v", res.Rows[1])
+	}
+
+	rendered := RenderClusterThroughput(res)
+	for _, want := range []string{"cluster scale-out", "nodes", "computes", "forward warm ms", "n/a", "exactly once cluster-wide"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+// TestClusterThroughputRejects pins the argument contract.
+func TestClusterThroughputRejects(t *testing.T) {
+	s := NewSuite()
+	if _, err := s.ClusterThroughput([]int{1}, 0, 1, 10); err == nil {
+		t.Fatal("distinct=0 accepted")
+	}
+	if _, err := s.ClusterThroughput([]int{0}, 1, 1, 10); err == nil {
+		t.Fatal("node count 0 accepted")
+	}
+}

@@ -87,5 +87,6 @@ func (s *Server) Metrics() Metrics {
 	m.Queue.Capacity = s.pool.Capacity()
 	m.Queue.Depth = s.pool.Depth()
 	m.Queue.Running = s.pool.Running()
+	m.Cluster = s.clusterMetrics()
 	return m
 }

@@ -90,6 +90,10 @@ type Options struct {
 	// Parallelism is the per-job search worker count; <= 0 runs each
 	// job sequentially. It never affects results, only wall-clock.
 	Parallelism int
+	// Cluster makes this server one member of a consistent-hash
+	// sharded cluster (forwarding, scatter-gather, replication and
+	// failover); nil serves single-node. See ClusterOptions.
+	Cluster *ClusterOptions
 }
 
 // job is the server-side state of one submission.
@@ -159,11 +163,12 @@ type workloadKey struct {
 // Server is the tuning service. Construct with New; it implements
 // http.Handler.
 type Server struct {
-	opt   Options
-	pool  *Pool
-	store *Store
-	mux   *http.ServeMux
-	met   metrics
+	opt     Options
+	pool    *Pool
+	store   *Store
+	mux     *http.ServeMux
+	met     metrics
+	cluster *clusterState // nil on a single-node server
 
 	jobsMu   sync.Mutex
 	jobs     map[string]*job
@@ -189,8 +194,20 @@ type Server struct {
 	runFn func(TuneRequest) (TuneResult, error)
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. It panics on an
+// invalid Options.Cluster (a static configuration error); cluster
+// embedders wanting an error instead use NewCluster.
 func New(opt Options) *Server {
+	s, err := NewCluster(opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewCluster is New returning cluster-configuration errors instead of
+// panicking; with a nil Options.Cluster it never fails.
+func NewCluster(opt Options) (*Server, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = 4
 	}
@@ -214,6 +231,13 @@ func New(opt Options) *Server {
 		predictors: map[workloadKey]*core.Predictor{},
 	}
 	s.runFn = s.runTune
+	if opt.Cluster != nil {
+		cl, err := newClusterState(*opt.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	s.mux.HandleFunc("POST /v1/jobs:batch", s.handleBatch)
@@ -221,7 +245,10 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	return s
+	if s.cluster != nil {
+		s.mux.HandleFunc("POST /v1/cluster/replicate", s.handleReplicate)
+	}
+	return s, nil
 }
 
 // platformState is the lazily built per-platform substrate shared by
@@ -274,7 +301,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // HTTP listener down.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.pool.Shutdown(ctx)
+	err := s.pool.Shutdown(ctx)
+	if s.cluster != nil && s.cluster.repl != nil {
+		// After the pool: the last completions have enqueued their
+		// replication, and Close drains the queue (each delivery
+		// bounded by the short replication timeout).
+		s.cluster.repl.Close()
+	}
+	return err
 }
 
 // writeJSON marshals v with a trailing newline (curl-friendly).
@@ -367,7 +401,12 @@ func (s *Server) submitJob(req TuneRequest) (JobStatus, *job, error) {
 		if err == nil && !hit {
 			// Render the warm-hit response bytes once, at completion:
 			// every later hit on this key is served these exact bytes.
-			s.store.SetBody(key, renderWarmBody(req, key, res))
+			body := renderWarmBody(req, key, res)
+			s.store.SetBody(key, body)
+			// Replication rides the same bytes, enqueued after the
+			// stripe lock is long released — the replicator's network
+			// I/O can never block the warm path.
+			s.replicateEntry(key, body)
 		}
 		j.setDone(res, err, hit)
 		if err != nil {
@@ -455,6 +494,20 @@ func submitStatus(err error) int {
 
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	s.met.request("jobs")
+	// Routing disposition: every jobs request lands in exactly one
+	// cluster bucket — forwarded when a peer's answer was streamed
+	// through, local otherwise (warm hits, cold computes and error
+	// answers alike) — so local+forwarded equals the request count.
+	proxied := false
+	if s.cluster != nil {
+		defer func() {
+			if proxied {
+				s.cluster.forwarded.Add(1)
+			} else {
+				s.cluster.local.Add(1)
+			}
+		}()
+	}
 	sc := getScratch()
 	defer putScratch(sc)
 	if err := sc.decode(w, r, &sc.req); err != nil {
@@ -467,14 +520,16 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
+	sc.key = req.AppendKey(sc.key[:0])
 
 	// Warm-hit fast path: when the canonical key already names a
 	// completed store entry, answer with its pre-rendered bytes — one
 	// round-trip, no registry entry, no job id, no poll. Skipped while
-	// draining so shutdown keeps its 503 contract.
+	// draining so shutdown keeps its 503 contract. In a cluster this
+	// runs before routing: a follower's replicated entry answers here
+	// with the owner's exact bytes, no hop paid.
 	if !s.draining.Load() {
 		start := time.Now()
-		sc.key = req.AppendKey(sc.key[:0])
 		if body, res, ok := s.store.PeekWarm(sc.key); ok {
 			if body == nil {
 				// Completed before this PR's bytes existed (or the
@@ -489,6 +544,21 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write(body)
 			return
+		}
+	}
+
+	// Cluster routing: a non-owned cold key is forwarded to its owner
+	// (follower on owner outage), one loop-guarded hop. Forwarding
+	// failure on every peer falls through to a local compute — the
+	// answer stays byte-identical, results being pure functions of the
+	// canonical request. Draining nodes skip the hop so shutdown keeps
+	// its 503 contract.
+	if s.cluster != nil && !isForwarded(r) && !s.draining.Load() {
+		if rt := s.cluster.router.Route(sc.key); !rt.Local {
+			if s.forwardJob(w, rt, req) {
+				proxied = true
+				return
+			}
 		}
 	}
 
@@ -541,6 +611,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		canon[i] = c
 	}
+	// Cluster scatter-gather: members fan out to their owning shards
+	// in parallel (an alpha sweep runs on every node's hot store at
+	// once) and the front merges deterministically in expansion order,
+	// every member terminal. Forwarded batches (loop guard) and
+	// draining servers keep the local path.
+	if s.cluster != nil && !isForwarded(r) && !s.draining.Load() {
+		resp := s.scatterBatch(canon)
+		code := http.StatusOK
+		rejected := 0
+		for _, st := range resp.Jobs {
+			if st.State == JobRejected {
+				rejected++
+			}
+		}
+		if rejected == len(resp.Jobs) {
+			code = http.StatusTooManyRequests
+		}
+		writeJSON(w, code, resp)
+		return
+	}
+
 	resp := BatchResponse{Jobs: make([]JobStatus, 0, len(canon))}
 	accepted := 0
 	for _, req := range canon {

@@ -185,6 +185,30 @@ func (s *Store) SetBody(key string, body []byte) {
 	sh.mu.Unlock()
 }
 
+// Install inserts an already-completed entry — a replicated result
+// from a cluster peer — alongside its pre-rendered response bytes,
+// which later hits serve verbatim (the byte-identity of failover
+// answers is inherited from the owner's bytes, not re-derived). The
+// local store wins every race: when the key already has an entry,
+// in-flight or completed, Install is a no-op and reports false. It
+// counts neither a lookup nor a hit (replication is not traffic).
+func (s *Store) Install(key string, res TuneResult, body []byte) bool {
+	sh := s.shardForString(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
+		return false
+	}
+	e := &storeEntry{res: res, body: body, done: true}
+	// Consume the single-flight slot so a racing Do on this entry can
+	// never recompute over the installed result.
+	e.once.Do(func() {})
+	e.elem = sh.lru.PushFront(key)
+	sh.entries[key] = e
+	s.evictLocked(sh)
+	return true
+}
+
 // Do returns the stored result for key, computing it with fn on the
 // first call; concurrent first calls block until the single computation
 // finishes and share its outcome. The hit return reports whether this

@@ -624,6 +624,10 @@ type Metrics struct {
 		Depth    int64 `json:"depth"`
 		Running  int64 `json:"running"`
 	} `json:"queue"`
+	// Cluster is the sharded-cluster routing and replication block;
+	// omitted on a single-node server, keeping its wire bytes
+	// identical to the pre-cluster format.
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
 }
 
 // LatencyBucket is one side of the warm/cold request-latency split.
